@@ -1,0 +1,177 @@
+// Benchmark harness: one benchmark per paper table and figure (each runs
+// the corresponding experiment driver at reduced scale and reports
+// wall-time per regeneration), plus microbenchmarks of the hot simulator
+// paths.
+//
+//	go test -bench=. -benchmem
+package bimodal_test
+
+import (
+	"testing"
+
+	bimodal "bimodal"
+	"bimodal/internal/addr"
+	"bimodal/internal/core"
+	"bimodal/internal/dram"
+	"bimodal/internal/dramcache"
+	"bimodal/internal/experiments"
+	"bimodal/internal/memctrl"
+	"bimodal/internal/trace"
+	"bimodal/internal/xrand"
+)
+
+// benchOptions keeps each experiment regeneration small enough to iterate.
+func benchOptions() experiments.Options {
+	return experiments.Options{
+		AccessesPerCore: 2_000,
+		StreamAccesses:  30_000,
+		Seed:            1,
+		MaxMixes:        1,
+	}
+}
+
+// benchExperiment runs one registered experiment per iteration.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	o := benchOptions()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if tbl := e.Run(o); tbl.NumRows() == 0 {
+			b.Fatalf("%s produced no rows", id)
+		}
+	}
+}
+
+func BenchmarkFig1BlockSizeSweep(b *testing.B)   { benchExperiment(b, "fig1") }
+func BenchmarkFig2Utilization(b *testing.B)      { benchExperiment(b, "fig2") }
+func BenchmarkFig3LatencyBreakdown(b *testing.B) { benchExperiment(b, "fig3") }
+func BenchmarkFig5MRU(b *testing.B)              { benchExperiment(b, "fig5") }
+func BenchmarkFig7ANTT(b *testing.B)             { benchExperiment(b, "fig7") }
+func BenchmarkFig8aAblation(b *testing.B)        { benchExperiment(b, "fig8a") }
+func BenchmarkFig8bHitRate(b *testing.B)         { benchExperiment(b, "fig8b") }
+func BenchmarkFig8cLatency(b *testing.B)         { benchExperiment(b, "fig8c") }
+func BenchmarkFig9aWastedBW(b *testing.B)        { benchExperiment(b, "fig9a") }
+func BenchmarkFig9bMetadataRBH(b *testing.B)     { benchExperiment(b, "fig9b") }
+func BenchmarkFig9cWayLocator(b *testing.B)      { benchExperiment(b, "fig9c") }
+func BenchmarkFig10SmallFraction(b *testing.B)   { benchExperiment(b, "fig10") }
+func BenchmarkFig11Energy(b *testing.B)          { benchExperiment(b, "fig11") }
+func BenchmarkFig12Sensitivity(b *testing.B)     { benchExperiment(b, "fig12") }
+func BenchmarkTable3WayLocatorStorage(b *testing.B) {
+	benchExperiment(b, "table3")
+}
+func BenchmarkTable5Workloads(b *testing.B) { benchExperiment(b, "table5") }
+func BenchmarkTable6Prefetch(b *testing.B)  { benchExperiment(b, "table6") }
+func BenchmarkExtMissPredictor(b *testing.B) {
+	benchExperiment(b, "ext-misspred")
+}
+func BenchmarkExtVictimCache(b *testing.B) { benchExperiment(b, "ext-victim") }
+func BenchmarkSweepThreshold(b *testing.B) { benchExperiment(b, "sweep-threshold") }
+func BenchmarkSweepWeight(b *testing.B)    { benchExperiment(b, "sweep-weight") }
+func BenchmarkSweepPredictor(b *testing.B) { benchExperiment(b, "sweep-predictor") }
+
+// --- microbenchmarks of the simulator's hot paths ---
+
+// BenchmarkBiModalAccess measures one end-to-end scheme access (functional
+// cache + way locator + DRAM timing).
+func BenchmarkBiModalAccess(b *testing.B) {
+	cfg := dramcache.DefaultConfig(4)
+	cfg.CacheBytes = 32 << 20
+	s := dramcache.NewBiModal(cfg)
+	g := trace.NewSynthetic(trace.MustProfile("soplex"), 0, 1)
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := g.Next()
+		now += int64(a.Gap)
+		s.Access(dramcache.Request{Addr: a.Addr, Write: a.Write}, now)
+	}
+}
+
+// BenchmarkAlloyAccess measures the baseline's access path.
+func BenchmarkAlloyAccess(b *testing.B) {
+	cfg := dramcache.DefaultConfig(4)
+	cfg.CacheBytes = 32 << 20
+	s := dramcache.NewAlloy(cfg)
+	g := trace.NewSynthetic(trace.MustProfile("soplex"), 0, 1)
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := g.Next()
+		now += int64(a.Gap)
+		s.Access(dramcache.Request{Addr: a.Addr, Write: a.Write}, now)
+	}
+}
+
+// BenchmarkCoreCacheAccess measures the functional Bi-Modal cache alone.
+func BenchmarkCoreCacheAccess(b *testing.B) {
+	p := core.DefaultParams(32 << 20)
+	c := core.NewCache(p, core.NewWayLocator(14, p.BigBlock))
+	g := trace.NewSynthetic(trace.MustProfile("omnetpp"), 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := g.Next()
+		c.Access(a.Addr, a.Write)
+	}
+}
+
+// BenchmarkWayLocatorLookup measures the SRAM locator probe.
+func BenchmarkWayLocatorLookup(b *testing.B) {
+	wl := core.NewWayLocator(14, 512)
+	r := xrand.New(1)
+	for i := 0; i < 10000; i++ {
+		wl.Insert(addr.Phys(r.Uint64n(1<<30))&^63, r.Bool(0.5), r.Intn(18))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wl.Lookup(addr.Phys(uint64(i)*512) & (1<<30 - 1))
+	}
+}
+
+// BenchmarkDRAMChannelAccess measures the bank timing state machine.
+func BenchmarkDRAMChannelAccess(b *testing.B) {
+	ch := dram.NewChannel(dram.StackedTiming(), 1, 8)
+	r := xrand.New(2)
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := addr.Location{Bank: r.Intn(8), Row: r.Uint64n(4096), Column: r.Uint64n(32) * 64}
+		now += 20
+		ch.Access(dram.OpRead, l, now, 64)
+	}
+}
+
+// BenchmarkMemctrlRead measures a full controller read (interleave + bank).
+func BenchmarkMemctrlRead(b *testing.B) {
+	c := memctrl.New(memctrl.StackedConfig(2))
+	r := xrand.New(3)
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 20
+		c.Read(addr.Phys(r.Uint64n(1<<30))&^63, now, 64)
+	}
+}
+
+// BenchmarkTraceGeneration measures synthetic stream production.
+func BenchmarkTraceGeneration(b *testing.B) {
+	g := trace.NewSynthetic(trace.MustProfile("mcf"), 0, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+// BenchmarkEndToEndMix measures a complete small multiprogrammed run via
+// the public facade.
+func BenchmarkEndToEndMix(b *testing.B) {
+	mix := bimodal.Workload("Q7")
+	o := bimodal.Options{AccessesPerCore: 2000, CacheDivisor: 16, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bimodal.RunBiModal(mix, o)
+	}
+}

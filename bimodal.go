@@ -1,0 +1,86 @@
+// Package bimodal is a Go reproduction of "Bi-Modal DRAM Cache: Improving
+// Hit Rate, Hit Latency and Bandwidth" (Gulur, Mehendale, Manikantan,
+// Govindarajan — MICRO 2014).
+//
+// The implementation lives in internal packages; this root package is a
+// small facade over the pieces a downstream user typically wants:
+//
+//   - internal/core      — the Bi-Modal cache itself (bi-modal sets, way
+//     locator, block size predictor, global adaptation)
+//   - internal/dramcache — timing schemes: BiModal and every baseline the
+//     paper compares against (AlloyCache, Loh-Hill, ATCache, Footprint)
+//   - internal/dram, internal/memctrl — the stacked/off-chip DRAM timing
+//     substrate
+//   - internal/trace, internal/workloads — synthetic SPEC-like workloads
+//   - internal/sim, internal/experiments — system assembly and the
+//     drivers that regenerate every table and figure of the paper
+//
+// Quick start:
+//
+//	mix := bimodal.Workload("Q7")
+//	opts := bimodal.Options{AccessesPerCore: 100_000}
+//	res := bimodal.RunBiModal(mix, opts)
+//	fmt.Println(res.Report.HitRate(), res.Report.AvgLatency())
+//
+// See the examples directory and cmd/paper for complete programs.
+package bimodal
+
+import (
+	"bimodal/internal/dramcache"
+	"bimodal/internal/sim"
+	"bimodal/internal/workloads"
+)
+
+// Options configures a simulation run; it aliases sim.Options.
+type Options = sim.Options
+
+// RunResult aliases sim.RunResult.
+type RunResult = sim.RunResult
+
+// Mix aliases workloads.Mix.
+type Mix = workloads.Mix
+
+// Workload returns a named workload mix (Q1..Q24, E1..E16, S1..S8); it
+// panics on unknown names.
+func Workload(name string) Mix { return workloads.MustByName(name) }
+
+// Workloads returns the mix table for a core count (4, 8 or 16).
+func Workloads(cores int) ([]Mix, error) { return workloads.ForCores(cores) }
+
+// RunBiModal runs the mix on the paper's Bi-Modal cache with run-length
+// scaled adaptation parameters.
+func RunBiModal(mix Mix, o Options) RunResult {
+	return sim.Run(mix, sim.BiModalFactory(mix.Cores(), o), o)
+}
+
+// RunScheme runs the mix on a named scheme: bimodal, bimodal-only,
+// wl-only, alloy, lohhill, atcache or footprint.
+func RunScheme(name string, mix Mix, o Options) (RunResult, error) {
+	f, err := sim.SchemeFactory(name)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return sim.Run(mix, f, o), nil
+}
+
+// ANTT runs the mix multiprogrammed and standalone on a named scheme and
+// returns the Average Normalized Turnaround Time (lower is better).
+func ANTT(name string, mix Mix, o Options) (float64, error) {
+	var f sim.Factory
+	if name == "bimodal" {
+		f = sim.BiModalFactory(mix.Cores(), o)
+	} else {
+		var err error
+		if f, err = sim.SchemeFactory(name); err != nil {
+			return 0, err
+		}
+	}
+	antt, _ := sim.ANTT(mix, f, o)
+	return antt, nil
+}
+
+// NewBiModalScheme builds a standalone Bi-Modal scheme instance for direct
+// Access-level use (see dramcache.Scheme).
+func NewBiModalScheme(cores int) *dramcache.BiModal {
+	return dramcache.NewBiModal(dramcache.DefaultConfig(cores))
+}

@@ -1,0 +1,71 @@
+package bimodal_test
+
+import (
+	"testing"
+
+	bimodal "bimodal"
+)
+
+func facadeOptions() bimodal.Options {
+	return bimodal.Options{AccessesPerCore: 3000, CacheDivisor: 16, Seed: 1}
+}
+
+func TestWorkloadLookup(t *testing.T) {
+	if bimodal.Workload("Q1").Cores() != 4 {
+		t.Error("Q1 should have 4 cores")
+	}
+	ms, err := bimodal.Workloads(8)
+	if err != nil || len(ms) != 16 {
+		t.Errorf("Workloads(8): %d mixes, err %v", len(ms), err)
+	}
+	if _, err := bimodal.Workloads(5); err == nil {
+		t.Error("Workloads(5) should fail")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Workload should panic on unknown name")
+		}
+	}()
+	bimodal.Workload("nope")
+}
+
+func TestRunBiModalFacade(t *testing.T) {
+	res := bimodal.RunBiModal(bimodal.Workload("Q13"), facadeOptions())
+	if res.Report.Accesses == 0 || res.Report.Scheme != "BiModal" {
+		t.Errorf("unexpected result: %+v", res.Report.Scheme)
+	}
+}
+
+func TestRunSchemeFacade(t *testing.T) {
+	res, err := bimodal.RunScheme("alloy", bimodal.Workload("Q13"), facadeOptions())
+	if err != nil || res.Report.Scheme != "AlloyCache" {
+		t.Errorf("RunScheme: %v %v", res.Report.Scheme, err)
+	}
+	if _, err := bimodal.RunScheme("bogus", bimodal.Workload("Q13"), facadeOptions()); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+}
+
+func TestANTTFacade(t *testing.T) {
+	antt, err := bimodal.ANTT("bimodal", bimodal.Workload("Q13"), facadeOptions())
+	if err != nil || antt <= 0 {
+		t.Errorf("ANTT: %v %v", antt, err)
+	}
+	if _, err := bimodal.ANTT("bogus", bimodal.Workload("Q13"), facadeOptions()); err == nil {
+		t.Error("unknown scheme accepted")
+	}
+	antt2, err := bimodal.ANTT("alloy", bimodal.Workload("Q13"), facadeOptions())
+	if err != nil || antt2 <= 0 {
+		t.Errorf("alloy ANTT: %v %v", antt2, err)
+	}
+}
+
+func TestNewBiModalScheme(t *testing.T) {
+	s := bimodal.NewBiModalScheme(4)
+	if s.Name() != "BiModal" {
+		t.Error("wrong scheme name")
+	}
+	if s.Core().Params().CacheBytes != 128<<20 {
+		t.Error("wrong preset size")
+	}
+}

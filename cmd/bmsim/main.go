@@ -1,0 +1,92 @@
+// Command bmsim runs a single DRAM cache simulation: one workload mix on
+// one scheme, printing hit rate, latency, bandwidth and energy metrics.
+//
+// Examples:
+//
+//	bmsim -scheme bimodal -mix Q7
+//	bmsim -scheme alloy -mix E3 -accesses 500000
+//	bmsim -scheme bimodal -mix Q2 -prefetch 3 -antt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bimodal/internal/energy"
+	"bimodal/internal/sim"
+	"bimodal/internal/stats"
+	"bimodal/internal/workloads"
+)
+
+func main() {
+	var (
+		schemeName = flag.String("scheme", "bimodal", "scheme: bimodal|bimodal-only|wl-only|alloy|lohhill|atcache|footprint")
+		mixName    = flag.String("mix", "Q1", "workload mix (Q1..Q24, E1..E16, S1..S8)")
+		accesses   = flag.Int64("accesses", 300_000, "accesses per core")
+		seed       = flag.Uint64("seed", 1, "random seed")
+		cacheBytes = flag.Uint64("cache", 0, "DRAM cache bytes (0 = Table IV preset)")
+		prefetchN  = flag.Int("prefetch", 0, "next-N-lines prefetch depth (0 = off)")
+		withANTT   = flag.Bool("antt", false, "also run standalone baselines and report ANTT")
+	)
+	flag.Parse()
+	if err := run(*schemeName, *mixName, *accesses, *seed, *cacheBytes, *prefetchN, *withANTT); err != nil {
+		fmt.Fprintln(os.Stderr, "bmsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(schemeName, mixName string, accesses int64, seed, cacheBytes uint64, prefetchN int, withANTT bool) error {
+	mix, err := workloads.ByName(mixName)
+	if err != nil {
+		return err
+	}
+	opts := sim.Options{
+		AccessesPerCore: accesses,
+		Seed:            seed,
+		CacheBytes:      cacheBytes,
+		PrefetchN:       prefetchN,
+	}
+	var factory sim.Factory
+	if schemeName == "bimodal" {
+		factory = sim.BiModalFactory(mix.Cores(), opts)
+	} else if factory, err = sim.SchemeFactory(schemeName); err != nil {
+		return err
+	}
+
+	res := sim.Run(mix, factory, opts)
+	r := res.Report
+
+	tbl := stats.NewTable(fmt.Sprintf("%s on %s (%d cores, %d accesses/core)",
+		r.Scheme, mix.Name, mix.Cores(), accesses), "metric", "value")
+	tbl.AddRow("hit rate", stats.FmtPct(r.HitRate()))
+	tbl.AddRow("avg access latency", fmt.Sprintf("%.1f cycles", r.AvgLatency()))
+	if r.LocatorLookups > 0 {
+		tbl.AddRow("way locator hit rate", stats.FmtPct(r.LocatorHitRate()))
+	}
+	if r.MetaReads > 0 {
+		tbl.AddRow("metadata row-buffer hit rate", stats.FmtPct(r.MetaRowHitRate()))
+	}
+	tbl.AddRow("off-chip read traffic", stats.FmtBytes(float64(r.OffchipReadBytes)))
+	tbl.AddRow("off-chip write traffic", stats.FmtBytes(float64(r.OffchipWriteBytes)))
+	tbl.AddRow("wasted fetch bytes", stats.FmtBytes(float64(r.WastedFetchBytes)))
+	if r.SmallFraction > 0 {
+		tbl.AddRow("small-block access fraction", stats.FmtPct(r.SmallFraction))
+	}
+	tbl.AddRow("stacked row-buffer hit rate", stats.FmtPct(r.Stacked.RowHitRate()))
+	tbl.AddRow("energy per access", fmt.Sprintf("%.1f nJ", energy.PerAccess(res.Energy, r.Accesses)))
+	fmt.Print(tbl)
+
+	per := stats.NewTable("per-core results", "core", "benchmark", "cycles", "IPC", "hit rate")
+	for _, c := range res.PerCore {
+		per.AddRow(fmt.Sprint(c.Core), c.Benchmark, fmt.Sprint(c.Cycles),
+			fmt.Sprintf("%.3f", c.IPC()), stats.FmtPct(stats.Ratio(c.Hits, c.Accesses)))
+	}
+	fmt.Print(per)
+
+	if withANTT {
+		antt, _ := sim.ANTT(mix, factory, opts)
+		fmt.Printf("ANTT = %.3f (lower is better)\n", antt)
+	}
+	return nil
+}

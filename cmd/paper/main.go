@@ -1,0 +1,80 @@
+// Command paper regenerates the paper's tables and figures.
+//
+// Examples:
+//
+//	paper -exp fig7          # one experiment at full scale
+//	paper -exp all -quick    # everything, reduced scale
+//	paper -list              # show the experiment index
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bimodal/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "", "experiment id (fig1, fig7, table3, ...) or 'all'")
+		list     = flag.Bool("list", false, "list available experiments")
+		quick    = flag.Bool("quick", false, "reduced scale (fast, noisier)")
+		accesses = flag.Int64("accesses", 0, "override accesses per core")
+		stream   = flag.Int64("stream", 0, "override stream-study access count")
+		mixes    = flag.Int("mixes", 0, "cap workload mixes per core count (0 = all)")
+		seed     = flag.Uint64("seed", 1, "random seed")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-8s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" {
+			fmt.Println("\nrun with -exp <id> or -exp all")
+		}
+		return
+	}
+
+	o := experiments.DefaultOptions()
+	if *quick {
+		o = experiments.QuickOptions()
+	}
+	if *accesses > 0 {
+		o.AccessesPerCore = *accesses
+	}
+	if *stream > 0 {
+		o.StreamAccesses = *stream
+	}
+	if *mixes > 0 {
+		o.MaxMixes = *mixes
+	}
+	o.Seed = *seed
+
+	var ids []string
+	if *exp == "all" {
+		for _, e := range experiments.All() {
+			ids = append(ids, e.ID)
+		}
+	} else {
+		ids = strings.Split(*exp, ",")
+	}
+	for _, id := range ids {
+		e, err := experiments.ByID(strings.TrimSpace(id))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
+		tbl := e.Run(o)
+		if *csv {
+			fmt.Println(tbl.CSV())
+		} else {
+			fmt.Println(tbl)
+		}
+	}
+}

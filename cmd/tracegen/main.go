@@ -1,0 +1,179 @@
+// Command tracegen generates, inspects and replays binary access traces,
+// mirroring the paper's collect-once / simulate-many flow.
+//
+// Examples:
+//
+//	tracegen -bench mcf -n 1000000 -o mcf.trc        # generate
+//	tracegen -inspect mcf.trc                         # stream statistics
+//	tracegen -replay mcf.trc -scheme bimodal          # drive a scheme
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"bimodal/internal/dramcache"
+	"bimodal/internal/stats"
+	"bimodal/internal/trace"
+)
+
+func main() {
+	var (
+		bench   = flag.String("bench", "", "benchmark profile to generate (see -benches)")
+		benches = flag.Bool("benches", false, "list benchmark profiles")
+		n       = flag.Int64("n", 1_000_000, "accesses to generate")
+		out     = flag.String("o", "", "output trace file")
+		seed    = flag.Uint64("seed", 1, "generator seed")
+		llsc    = flag.Uint64("llsc", 0, "filter through an LLSC of this many bytes before writing")
+		inspect = flag.String("inspect", "", "trace file to analyze")
+		replay  = flag.String("replay", "", "trace file to replay")
+		scheme  = flag.String("scheme", "bimodal", "scheme for -replay")
+	)
+	flag.Parse()
+
+	var err error
+	switch {
+	case *benches:
+		for _, name := range trace.ProfileNames() {
+			p := trace.MustProfile(name)
+			fmt.Printf("%-12s footprint %-8s intensity %s\n", name,
+				stats.FmtBytes(float64(p.FootprintBytes())), p.Intensity)
+		}
+	case *inspect != "":
+		err = inspectTrace(*inspect)
+	case *replay != "":
+		err = replayTrace(*replay, *scheme)
+	case *bench != "" && *out != "":
+		err = generate(*bench, *out, *n, *seed, *llsc)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+}
+
+func generate(bench, out string, n int64, seed, llscBytes uint64) error {
+	prof, err := trace.ProfileByName(bench)
+	if err != nil {
+		return err
+	}
+	var gen trace.Generator = trace.NewSynthetic(prof, 0, seed)
+	if llscBytes > 0 {
+		gen = trace.NewLLSCFilter(gen, llscBytes, 8, seed)
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w, err := trace.NewWriter(f)
+	if err != nil {
+		return err
+	}
+	for i := int64(0); i < n; i++ {
+		if err := w.Write(gen.Next()); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d accesses to %s\n", w.Count(), out)
+	return nil
+}
+
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f, path)
+	if err != nil {
+		return err
+	}
+	recs := r.Records()
+	if len(recs) == 0 {
+		fmt.Println("empty trace")
+		return nil
+	}
+	var writes, deps int64
+	var gapSum float64
+	lines := map[uint64]struct{}{}
+	blockUtil := map[uint64]uint8{}
+	for _, a := range recs {
+		if a.Write {
+			writes++
+		}
+		if a.Dep {
+			deps++
+		}
+		gapSum += float64(a.Gap)
+		lines[uint64(a.Addr)>>6] = struct{}{}
+		blk := uint64(a.Addr) >> 9
+		blockUtil[blk] |= 1 << ((uint64(a.Addr) >> 6) & 7)
+	}
+	var utilBits, utilBlocks int
+	for _, m := range blockUtil {
+		utilBlocks += 8
+		for b := 0; b < 8; b++ {
+			if m&(1<<b) != 0 {
+				utilBits++
+			}
+		}
+	}
+	tbl := stats.NewTable("trace "+path, "metric", "value")
+	tbl.AddRow("accesses", fmt.Sprint(len(recs)))
+	tbl.AddRow("write fraction", stats.FmtPct(float64(writes)/float64(len(recs))))
+	tbl.AddRow("dependent fraction", stats.FmtPct(float64(deps)/float64(len(recs))))
+	tbl.AddRow("mean gap (insts)", fmt.Sprintf("%.1f", gapSum/float64(len(recs))))
+	tbl.AddRow("distinct 64B lines", fmt.Sprint(len(lines)))
+	tbl.AddRow("footprint", stats.FmtBytes(float64(len(lines)*64)))
+	tbl.AddRow("512B-block utilization", stats.FmtPct(float64(utilBits)/float64(utilBlocks)))
+	fmt.Print(tbl)
+	return nil
+}
+
+func replayTrace(path, schemeName string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r, err := trace.NewReader(f, path)
+	if err != nil {
+		return err
+	}
+	cfg := dramcache.DefaultConfig(4)
+	var s dramcache.Scheme
+	switch schemeName {
+	case "bimodal":
+		s = dramcache.NewBiModal(cfg)
+	case "alloy":
+		s = dramcache.NewAlloy(cfg)
+	case "lohhill":
+		s = dramcache.NewLohHill(cfg)
+	case "atcache":
+		s = dramcache.NewATCache(cfg)
+	case "footprint":
+		s = dramcache.NewFootprint(cfg)
+	default:
+		return fmt.Errorf("unknown scheme %q", schemeName)
+	}
+	now := int64(0)
+	for _, a := range r.Records() {
+		now += int64(a.Gap)
+		s.Access(dramcache.Request{Addr: a.Addr, Write: a.Write}, now)
+	}
+	rep := s.Report()
+	tbl := stats.NewTable(fmt.Sprintf("%s on %s (%d accesses)", rep.Scheme, path, rep.Accesses), "metric", "value")
+	tbl.AddRow("hit rate", stats.FmtPct(rep.HitRate()))
+	tbl.AddRow("avg read latency", fmt.Sprintf("%.1f cycles", rep.AvgLatency()))
+	tbl.AddRow("off-chip traffic", stats.FmtBytes(float64(rep.OffchipBytes())))
+	fmt.Print(tbl)
+	return nil
+}

@@ -1,0 +1,50 @@
+// Waylocator studies the SRAM way locator in isolation: storage cost and
+// lookup latency per Table III, and the hit rate it achieves on a real
+// access stream at each table size (Figure 9c's sweep).
+//
+//	go run ./examples/waylocator
+package main
+
+import (
+	"fmt"
+
+	"bimodal/internal/core"
+	"bimodal/internal/stats"
+	"bimodal/internal/trace"
+)
+
+func main() {
+	// Table III: storage and latency at each K for the three cache scales.
+	cost := stats.NewTable("way locator storage (Table III)",
+		"K", "entries", "4GB mem", "8GB mem", "16GB mem", "latency")
+	for _, k := range []uint{10, 12, 14, 16} {
+		kb32 := core.StorageKB(k, 32)
+		cost.AddRow(
+			fmt.Sprint(k),
+			fmt.Sprint(2<<k),
+			fmt.Sprintf("%.1fKB", kb32),
+			fmt.Sprintf("%.1fKB", core.StorageKB(k, 33)),
+			fmt.Sprintf("%.1fKB", core.StorageKB(k, 34)),
+			fmt.Sprintf("%d cycle(s)", core.LatencyCycles(kb32)))
+	}
+	fmt.Print(cost)
+
+	// Hit rate vs K on a mixed workload, driving the full bi-modal cache
+	// functionally (every access exercises locator insert/lookup).
+	fmt.Println()
+	hit := stats.NewTable("way locator hit rate vs K (soplex stream)", "K", "hit rate")
+	for _, k := range []uint{10, 12, 14, 16} {
+		p := core.DefaultParams(32 << 20)
+		p.AdaptInterval = 50_000
+		wl := core.NewWayLocator(k, p.BigBlock)
+		c := core.NewCache(p, wl)
+		gen := trace.NewSynthetic(trace.MustProfile("soplex"), 0, 5)
+		for i := 0; i < 400_000; i++ {
+			a := gen.Next()
+			c.Access(a.Addr, a.Write)
+		}
+		hit.AddRow(fmt.Sprint(k), stats.FmtPct(wl.HitRate()))
+	}
+	fmt.Print(hit)
+	fmt.Println("\nK=14 is the paper's sweet spot: ~80KB of SRAM, single-cycle lookup.")
+}

@@ -1,0 +1,3 @@
+module bimodal
+
+go 1.22

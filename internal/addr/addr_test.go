@@ -1,0 +1,112 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFieldsRoundTrip(t *testing.T) {
+	f := NewFields(512, 1<<16) // 512B blocks, 64K sets (128MB / 2KB-set layout uses 512B block fields)
+	cases := []Phys{0, 511, 512, 0xdeadbeef, Mask}
+	for _, p := range cases {
+		tag, set, off := f.Tag(p), f.Set(p), f.Offset(p)
+		base := f.Rebuild(tag, set)
+		if got := base + Phys(off); got != p&Mask|p&^Mask {
+			// Rebuild drops bits above the address space only if input had them.
+			if got != p {
+				t.Errorf("round trip %x: got %x", p, got)
+			}
+		}
+	}
+}
+
+func TestFieldsOffsetsAndSets(t *testing.T) {
+	f := NewFields(512, 64)
+	if f.OffsetBits() != 9 {
+		t.Fatalf("offset bits = %d, want 9", f.OffsetBits())
+	}
+	if f.SetBits() != 6 {
+		t.Fatalf("set bits = %d, want 6", f.SetBits())
+	}
+	p := Phys(0b1010_111111_101010101)
+	if f.Offset(p) != 0b101010101 {
+		t.Errorf("offset = %b", f.Offset(p))
+	}
+	if f.Set(p) != 0b111111 {
+		t.Errorf("set = %b", f.Set(p))
+	}
+	if f.Tag(p) != 0b1010 {
+		t.Errorf("tag = %b", f.Tag(p))
+	}
+}
+
+func TestFieldsPanicsOnNonPow2(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two block size")
+		}
+	}()
+	NewFields(100, 64)
+}
+
+func TestBlockTruncation(t *testing.T) {
+	p := Phys(0x12345)
+	if p.Line64() != 0x12340 {
+		t.Errorf("Line64 = %x", p.Line64())
+	}
+	if p.Block(512) != 0x12200 {
+		t.Errorf("Block(512) = %x", p.Block(512))
+	}
+}
+
+func TestLog2(t *testing.T) {
+	for i := uint(0); i < 40; i++ {
+		if Log2(1<<i) != i {
+			t.Errorf("Log2(1<<%d) = %d", i, Log2(1<<i))
+		}
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	il := NewInterleave(Geometry{Channels: 2, Ranks: 1, BanksPerRnk: 8, PageBytes: 2048})
+	f := func(raw uint64) bool {
+		p := Phys(raw) & Mask
+		l := il.Map(p)
+		return il.Unmap(l) == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInterleaveSpreadsPagesAcrossChannels(t *testing.T) {
+	il := NewInterleave(Geometry{Channels: 2, Ranks: 1, BanksPerRnk: 8, PageBytes: 2048})
+	a := il.Map(0)
+	b := il.Map(2048)
+	if a.Channel == b.Channel {
+		t.Errorf("consecutive pages map to same channel %d", a.Channel)
+	}
+	// Same page stays in one row.
+	c := il.Map(2047)
+	if c.Channel != a.Channel || c.Row != a.Row || c.Bank != a.Bank {
+		t.Errorf("intra-page address moved banks: %+v vs %+v", a, c)
+	}
+	if c.Column != 2047 {
+		t.Errorf("column = %d", c.Column)
+	}
+}
+
+func TestInterleaveBankCycle(t *testing.T) {
+	g := Geometry{Channels: 2, Ranks: 2, BanksPerRnk: 8, PageBytes: 2048}
+	il := NewInterleave(g)
+	seen := map[[3]int]bool{}
+	// Walking pages should visit every (channel,rank,bank) combination before
+	// reusing one row distance away.
+	for i := uint64(0); i < uint64(g.TotalBanks()); i++ {
+		l := il.Map(Phys(i * g.PageBytes))
+		seen[[3]int{l.Channel, l.Rank, l.Bank}] = true
+	}
+	if len(seen) != g.TotalBanks() {
+		t.Errorf("visited %d distinct banks, want %d", len(seen), g.TotalBanks())
+	}
+}

@@ -1,0 +1,52 @@
+package core_test
+
+import (
+	"fmt"
+
+	"bimodal/internal/core"
+)
+
+// ExampleNewCache shows the basic functional use of the Bi-Modal cache: a
+// miss fills a big block, after which every line of the block hits.
+func ExampleNewCache() {
+	p := core.DefaultParams(1 << 20) // 1MB cache, 2KB sets, 512B big blocks
+	cache := core.NewCache(p, core.NewWayLocator(10, p.BigBlock))
+
+	out := cache.Access(0x12340, false)
+	fmt.Println("first access hit:", out.Hit, "fill bytes:", out.FillBytes)
+
+	out = cache.Access(0x12380, false) // another line of the same 512B block
+	fmt.Println("neighbour hit:", out.Hit, "via way locator:", out.LocatorHit)
+	// Output:
+	// first access hit: false fill bytes: 512
+	// neighbour hit: true via way locator: true
+}
+
+// ExampleParams_AllowedStates lists the paper's bi-modal set states.
+func ExampleParams_AllowedStates() {
+	p := core.DefaultParams(128 << 20)
+	fmt.Println(p.AllowedStates())
+	// Output:
+	// [(4,0) (3,8) (2,16)]
+}
+
+// ExampleStorageKB reproduces a Table III entry: the K=14 way locator for
+// a 128MB cache over 4GB of memory.
+func ExampleStorageKB() {
+	kb := core.StorageKB(14, 32)
+	fmt.Printf("%.1fKB, %d cycle(s)\n", kb, core.LatencyCycles(kb))
+	// Output:
+	// 78.0KB, 1 cycle(s)
+}
+
+// ExampleSizePredictor shows the 2-bit saturating counter behaviour.
+func ExampleSizePredictor() {
+	p := core.NewSizePredictor(10)
+	fmt.Println("cold prediction big:", p.Predict(42))
+	p.Update(42, false) // tracker observed low utilization
+	p.Update(42, false)
+	fmt.Println("after training big:", p.Predict(42))
+	// Output:
+	// cold prediction big: true
+	// after training big: false
+}

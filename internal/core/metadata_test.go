@@ -1,0 +1,216 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bimodal/internal/addr"
+	"bimodal/internal/xrand"
+)
+
+func codec(t *testing.T) *MetadataCodec {
+	t.Helper()
+	c, err := NewMetadataCodec(DefaultParams(128<<20), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCodecSizeFitsBurstBudget(t *testing.T) {
+	p := DefaultParams(128 << 20)
+	c := codec(t)
+	// The encoded set must fit within the metadata bytes the timing model
+	// charges (2 bursts of 64B for 2KB sets).
+	if int64(c.EncodedBytes()) > p.MetadataBytesPerSet() {
+		t.Errorf("encoded %dB exceeds the %dB burst budget", c.EncodedBytes(), p.MetadataBytesPerSet())
+	}
+	// 2 + 4*(4+16) = 82 bytes for the paper's configuration.
+	if c.EncodedBytes() != 82 {
+		t.Errorf("encoded bytes = %d, want 82", c.EncodedBytes())
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	c := codec(t)
+	p := DefaultParams(128 << 20)
+	m := SetMetadata{
+		State: State{3, 8},
+		Big:   make([]BigWayMeta, p.MaxBig()),
+		Small: make([]SmallWayMeta, p.MaxSmall()),
+	}
+	m.Big[0] = BigWayMeta{Valid: true, Tag: 0x3F, Dirty: 0b10101010}
+	m.Big[2] = BigWayMeta{Valid: true, Tag: 1<<c.BigTagBits() - 1}
+	m.Small[0] = SmallWayMeta{Valid: true, Dirty: true, Offset: 7, Tag: 0x11}
+	m.Small[7] = SmallWayMeta{Valid: true, Offset: 3, Tag: 0x22}
+
+	buf := make([]byte, c.EncodedBytes())
+	if err := c.Encode(m, buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Decode(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != m.State {
+		t.Errorf("state: %v != %v", got.State, m.State)
+	}
+	for i := range m.Big {
+		if got.Big[i] != m.Big[i] {
+			t.Errorf("big[%d]: %+v != %+v", i, got.Big[i], m.Big[i])
+		}
+	}
+	for i := range m.Small {
+		if got.Small[i] != m.Small[i] {
+			t.Errorf("small[%d]: %+v != %+v", i, got.Small[i], m.Small[i])
+		}
+	}
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	c := codec(t)
+	p := DefaultParams(128 << 20)
+	states := p.AllowedStates()
+	f := func(seed uint64) bool {
+		r := xrand.New(seed)
+		m := SetMetadata{
+			State: states[r.Intn(len(states))],
+			Big:   make([]BigWayMeta, p.MaxBig()),
+			Small: make([]SmallWayMeta, p.MaxSmall()),
+		}
+		for i := 0; i < m.State.X; i++ {
+			if r.Bool(0.8) {
+				m.Big[i] = BigWayMeta{
+					Valid: true,
+					Tag:   r.Uint64n(1 << c.BigTagBits()),
+					Dirty: uint32(r.Uint64n(256)),
+				}
+			}
+		}
+		for i := 0; i < m.State.Y; i++ {
+			if r.Bool(0.8) {
+				m.Small[i] = SmallWayMeta{
+					Valid:  true,
+					Dirty:  r.Bool(0.5),
+					Offset: uint8(r.Intn(8)),
+					Tag:    r.Uint64n(1 << c.BigTagBits()),
+				}
+			}
+		}
+		buf := make([]byte, c.EncodedBytes())
+		if c.Encode(m, buf) != nil {
+			return false
+		}
+		got, err := c.Decode(buf)
+		if err != nil || got.State != m.State {
+			return false
+		}
+		for i := range m.Big {
+			if got.Big[i] != m.Big[i] {
+				return false
+			}
+		}
+		for i := range m.Small {
+			if got.Small[i] != m.Small[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecRejectsOverflow(t *testing.T) {
+	c := codec(t)
+	p := DefaultParams(128 << 20)
+	mk := func() SetMetadata {
+		return SetMetadata{
+			State: State{4, 0},
+			Big:   make([]BigWayMeta, p.MaxBig()),
+			Small: make([]SmallWayMeta, p.MaxSmall()),
+		}
+	}
+	buf := make([]byte, c.EncodedBytes())
+
+	m := mk()
+	m.Big[0] = BigWayMeta{Valid: true, Tag: 1 << c.BigTagBits()}
+	if c.Encode(m, buf) == nil {
+		t.Error("oversized big tag accepted")
+	}
+	m = mk()
+	m.Big[0] = BigWayMeta{Valid: true, Dirty: 1 << 8}
+	if c.Encode(m, buf) == nil {
+		t.Error("oversized dirty mask accepted")
+	}
+	m = mk()
+	m.Small[0] = SmallWayMeta{Valid: true, Offset: 8}
+	if c.Encode(m, buf) == nil {
+		t.Error("oversized offset accepted")
+	}
+	m = mk()
+	m.State = State{1, 24}
+	if c.Encode(m, buf) == nil {
+		t.Error("illegal state accepted")
+	}
+	if err := c.Encode(mk(), make([]byte, 4)); err == nil {
+		t.Error("short buffer accepted")
+	}
+	if _, err := c.Decode(make([]byte, 4)); err == nil {
+		t.Error("short decode buffer accepted")
+	}
+	bad := make([]byte, c.EncodedBytes())
+	bad[0], bad[1] = 9, 9
+	if _, err := c.Decode(bad); err == nil {
+		t.Error("illegal decoded state accepted")
+	}
+}
+
+func TestCodecWrongSliceSizes(t *testing.T) {
+	c := codec(t)
+	m := SetMetadata{State: State{4, 0}, Big: make([]BigWayMeta, 1), Small: nil}
+	if c.Encode(m, make([]byte, c.EncodedBytes())) == nil {
+		t.Error("mis-sized way slices accepted")
+	}
+}
+
+func TestNewMetadataCodecValidation(t *testing.T) {
+	bad := DefaultParams(128 << 20)
+	bad.CacheBytes = 100
+	if _, err := NewMetadataCodec(bad, 32); err == nil {
+		t.Error("invalid params accepted")
+	}
+	// Address space too small for the index bits.
+	if _, err := NewMetadataCodec(DefaultParams(128<<20), 20); err == nil {
+		t.Error("tiny address space accepted")
+	}
+}
+
+func TestSnapshotRoundTripsThroughCodec(t *testing.T) {
+	p := DefaultParams(64 << 10)
+	p.AdaptInterval = 64
+	cache := NewCache(p, NewWayLocator(8, p.BigBlock))
+	r := xrand.New(3)
+	for i := 0; i < 5000; i++ {
+		cache.Access(addr.Phys(r.Uint64n(1<<21))&^63, r.Bool(0.3))
+	}
+	codec, err := NewMetadataCodec(p, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, codec.EncodedBytes())
+	for si := uint64(0); si < p.NumSets(); si++ {
+		m := cache.Snapshot(si)
+		if err := codec.Encode(m, buf); err != nil {
+			t.Fatalf("set %d: %v", si, err)
+		}
+		got, err := codec.Decode(buf)
+		if err != nil {
+			t.Fatalf("set %d decode: %v", si, err)
+		}
+		if got.State != m.State {
+			t.Fatalf("set %d state mismatch", si)
+		}
+	}
+}

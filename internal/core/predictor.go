@@ -1,0 +1,201 @@
+package core
+
+import (
+	"bimodal/internal/stats"
+)
+
+// SizePredictor implements Section III-B3: a table of 2^P two-bit
+// saturating counters indexed by bits of the block identity. Counters move
+// toward "11" (predict big) when the tracker observes highly-utilized
+// evicted ways and toward "00" (predict small) otherwise.
+type SizePredictor struct {
+	table []uint8
+	mask  uint64
+
+	// Statistics.
+	Predictions int64
+	PredBig     int64
+	Updates     int64
+	UpBig       int64
+}
+
+// NewSizePredictor builds a predictor with 2^p entries. Counters start at
+// weakly-big (2), matching the cache's all-big initialization.
+func NewSizePredictor(p uint) *SizePredictor {
+	t := make([]uint8, 1<<p)
+	for i := range t {
+		t[i] = 2
+	}
+	return &SizePredictor{table: t, mask: (1 << p) - 1}
+}
+
+// index hashes a big-block identity into the table.
+func (s *SizePredictor) index(blockID uint64) uint64 {
+	h := blockID * 0x9E3779B97F4A7C15
+	return (h >> 40) & s.mask
+}
+
+// Predict returns true when the block identified by blockID (its address
+// divided by the big block size) should be fetched big.
+func (s *SizePredictor) Predict(blockID uint64) bool {
+	s.Predictions++
+	big := s.table[s.index(blockID)] >= 2
+	if big {
+		s.PredBig++
+	}
+	return big
+}
+
+// Update trains the predictor with the tracker's classification of an
+// evicted way.
+func (s *SizePredictor) Update(blockID uint64, big bool) {
+	s.Updates++
+	i := s.index(blockID)
+	if big {
+		s.UpBig++
+		if s.table[i] < 3 {
+			s.table[i]++
+		}
+	} else if s.table[i] > 0 {
+		s.table[i]--
+	}
+}
+
+// StorageBits returns the predictor's SRAM cost (2 bits per entry).
+func (s *SizePredictor) StorageBits() int64 { return int64(len(s.table)) * 2 }
+
+// Tracker measures spatial utilization by set sampling (Section III-B3):
+// for sets whose index has the low SampleShift bits zero, it keeps the
+// utilization bit vector of every big way and trains the predictor when a
+// tracked way is evicted. It also feeds the Figure 2 utilization histogram.
+type Tracker struct {
+	sampleMask uint64
+	threshold  int
+	subBlocks  int
+	pred       *SizePredictor
+	// Utilization histogram over evicted tracked ways: bucket i counts
+	// ways whose utilization was i sub-blocks (index 0 unused for big
+	// blocks that were never touched after fill — possible under
+	// prediction-only fills).
+	Hist *stats.Histogram
+}
+
+// NewTracker builds a tracker sampling 1/2^sampleShift of sets.
+func NewTracker(p Params, pred *SizePredictor) *Tracker {
+	return &Tracker{
+		sampleMask: (1 << p.SampleShift) - 1,
+		threshold:  p.Threshold,
+		subBlocks:  p.SubBlocks(),
+		pred:       pred,
+		Hist:       stats.NewHistogram(p.SubBlocks() + 1),
+	}
+}
+
+// Sampled reports whether the tracker monitors the given set.
+func (t *Tracker) Sampled(set uint64) bool { return set&t.sampleMask == 0 }
+
+// OnEvict trains the predictor from the utilization mask of an evicted big
+// way in a sampled set. usedMask has one bit per sub-block.
+func (t *Tracker) OnEvict(blockID uint64, usedMask uint32) {
+	bits := popcount(usedMask)
+	t.Hist.Add(bits)
+	t.pred.Update(blockID, bits >= t.threshold)
+}
+
+// popcount counts set bits (the mask is at most 32 bits wide).
+func popcount(m uint32) int {
+	n := 0
+	for m != 0 {
+		m &= m - 1
+		n++
+	}
+	return n
+}
+
+// GlobalState implements Section III-B4: the cache-wide (X_glob, Y_glob)
+// target adapted from the demand counters D_big and D_small every
+// AdaptInterval accesses.
+type GlobalState struct {
+	params   Params
+	state    State
+	dBig     int64
+	dSmall   int64
+	accesses int64
+
+	// Transitions counts state changes, for the adaptivity studies.
+	Transitions int64
+}
+
+// NewGlobalState starts in the all-big state, as the paper initializes.
+func NewGlobalState(p Params) *GlobalState {
+	return &GlobalState{params: p, state: State{X: p.MaxBig(), Y: 0}}
+}
+
+// State returns the current global target.
+func (g *GlobalState) State() State { return g.state }
+
+// NoteMiss records demand for the predicted block size at a miss event.
+func (g *GlobalState) NoteMiss(predictedBig bool) {
+	if predictedBig {
+		g.dBig++
+	} else {
+		g.dSmall++
+	}
+}
+
+// NoteAccess advances the adaptation interval; it returns true when an
+// interval boundary triggered a (possible) state update.
+func (g *GlobalState) NoteAccess() bool {
+	g.accesses++
+	if g.accesses < g.params.AdaptInterval {
+		return false
+	}
+	g.accesses = 0
+	g.adapt()
+	return true
+}
+
+// adapt applies the paper's update rules:
+//
+//	R = W * Dsmall/Dbig
+//	R > Yglob/Xglob             -> one more small-way group
+//	R < (Yglob-f)/(Xglob+1)     -> one more big way
+//
+// where f is the number of small ways per big slot.
+func (g *GlobalState) adapt() {
+	defer func() { g.dBig, g.dSmall = 0, 0 }()
+	f := float64(g.params.SubBlocks())
+	var r float64
+	switch {
+	case g.dBig == 0 && g.dSmall == 0:
+		return
+	case g.dBig == 0:
+		r = 1e18 // unbounded preference for small
+	default:
+		r = g.params.Weight * float64(g.dSmall) / float64(g.dBig)
+	}
+	x, y := float64(g.state.X), float64(g.state.Y)
+	// Note one deviation from the literal text: with zero small demand the
+	// paper's strict inequality R < (Y-f)/(X+1) can never fire from the
+	// first non-all-big state (both sides are 0), stranding the cache away
+	// from (MaxBig, 0); we treat pure big demand as a grow-big signal.
+	switch {
+	case r > y/x && g.state.X > g.params.MinBig:
+		g.state.X--
+		g.state.Y += g.params.SubBlocks()
+		g.Transitions++
+	case (r < (y-f)/(x+1) || g.dSmall == 0) && g.state.Y > 0:
+		g.state.X++
+		g.state.Y -= g.params.SubBlocks()
+		g.Transitions++
+	}
+}
+
+// ForceState sets the global target directly (used by the ablation
+// configurations and tests). The state must be legal for the parameters.
+func (g *GlobalState) ForceState(s State) {
+	if !g.params.stateValid(s) {
+		panic("core: ForceState with illegal state " + s.String())
+	}
+	g.state = s
+}

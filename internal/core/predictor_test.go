@@ -1,0 +1,216 @@
+package core
+
+import "testing"
+
+func TestPredictorStartsBig(t *testing.T) {
+	p := NewSizePredictor(10)
+	if !p.Predict(42) {
+		t.Error("fresh predictor should predict big (counters start at 2)")
+	}
+}
+
+func TestPredictorLearnsSmall(t *testing.T) {
+	p := NewSizePredictor(10)
+	p.Update(42, false)
+	p.Update(42, false)
+	if p.Predict(42) {
+		t.Error("after two small updates the counter should be 0 -> small")
+	}
+	// One big update moves it to 1: still small.
+	p.Update(42, true)
+	if p.Predict(42) {
+		t.Error("counter 1 should predict small")
+	}
+	p.Update(42, true)
+	if !p.Predict(42) {
+		t.Error("counter 2 should predict big")
+	}
+}
+
+func TestPredictorSaturates(t *testing.T) {
+	p := NewSizePredictor(10)
+	for i := 0; i < 10; i++ {
+		p.Update(7, true)
+	}
+	// Saturated at 3: two small updates bring it to 1 (predict small).
+	p.Update(7, false)
+	if !p.Predict(7) {
+		t.Error("counter should be 2 after one down-update from saturation")
+	}
+	p.Update(7, false)
+	if p.Predict(7) {
+		t.Error("counter should be 1")
+	}
+	for i := 0; i < 10; i++ {
+		p.Update(7, false)
+	}
+	p.Update(7, true)
+	if p.Predict(7) {
+		t.Error("counter should be 1 after one up-update from 0")
+	}
+}
+
+func TestPredictorStorage(t *testing.T) {
+	// Paper: P=16 -> 2*2^16 bits = 16KB.
+	p := NewSizePredictor(16)
+	if p.StorageBits() != 2*65536 {
+		t.Errorf("storage = %d bits", p.StorageBits())
+	}
+}
+
+func TestPredictorStats(t *testing.T) {
+	p := NewSizePredictor(8)
+	p.Predict(1)
+	p.Update(1, true)
+	p.Update(2, false)
+	if p.Predictions != 1 || p.Updates != 2 || p.UpBig != 1 {
+		t.Errorf("stats: %d %d %d", p.Predictions, p.Updates, p.UpBig)
+	}
+}
+
+func TestTrackerSampling(t *testing.T) {
+	p := DefaultParams(128 << 20) // SampleShift 5
+	tr := NewTracker(p, NewSizePredictor(8))
+	sampled := 0
+	for s := uint64(0); s < 1024; s++ {
+		if tr.Sampled(s) {
+			sampled++
+		}
+	}
+	if sampled != 32 { // 1/32 of 1024
+		t.Errorf("sampled %d of 1024 sets, want 32", sampled)
+	}
+}
+
+func TestTrackerClassification(t *testing.T) {
+	p := DefaultParams(128 << 20) // threshold 5
+	pred := NewSizePredictor(8)
+	tr := NewTracker(p, pred)
+	// Utilization 6/8 >= 5 -> trains big.
+	tr.OnEvict(100, 0b00111111)
+	if pred.UpBig != 1 {
+		t.Error("6-bit mask should classify big")
+	}
+	// Utilization 4/8 < 5 -> trains small.
+	tr.OnEvict(100, 0b00001111)
+	if pred.Updates != 2 || pred.UpBig != 1 {
+		t.Errorf("4-bit mask should classify small: %d %d", pred.Updates, pred.UpBig)
+	}
+	// Histogram recorded both.
+	if tr.Hist.Total() != 2 || tr.Hist.Count(6) != 1 || tr.Hist.Count(4) != 1 {
+		t.Errorf("histogram wrong: total=%d", tr.Hist.Total())
+	}
+}
+
+func TestGlobalStateAdaptsTowardSmall(t *testing.T) {
+	p := DefaultParams(128 << 20)
+	p.AdaptInterval = 100
+	g := NewGlobalState(p)
+	if g.State() != (State{4, 0}) {
+		t.Fatalf("initial state = %v", g.State())
+	}
+	// Overwhelming small demand.
+	for i := 0; i < 99; i++ {
+		g.NoteMiss(false)
+		g.NoteAccess()
+	}
+	g.NoteMiss(false)
+	if !g.NoteAccess() {
+		t.Fatal("interval boundary should trigger")
+	}
+	if g.State() != (State{3, 8}) {
+		t.Errorf("state after small demand = %v, want (3,8)", g.State())
+	}
+	// Another interval of small demand: (2,16).
+	for i := 0; i < 100; i++ {
+		g.NoteMiss(false)
+		g.NoteAccess()
+	}
+	if g.State() != (State{2, 16}) {
+		t.Errorf("state = %v, want (2,16)", g.State())
+	}
+	// It must not go below MinBig.
+	for i := 0; i < 100; i++ {
+		g.NoteMiss(false)
+		g.NoteAccess()
+	}
+	if g.State() != (State{2, 16}) {
+		t.Errorf("state = %v, must stay at (2,16)", g.State())
+	}
+	if g.Transitions != 2 {
+		t.Errorf("transitions = %d", g.Transitions)
+	}
+}
+
+func TestGlobalStateAdaptsBackTowardBig(t *testing.T) {
+	p := DefaultParams(128 << 20)
+	p.AdaptInterval = 100
+	g := NewGlobalState(p)
+	g.ForceState(State{2, 16})
+	for i := 0; i < 100; i++ {
+		g.NoteMiss(true)
+		g.NoteAccess()
+	}
+	if g.State() != (State{3, 8}) {
+		t.Errorf("state = %v, want (3,8)", g.State())
+	}
+	for round := 0; round < 3; round++ {
+		for i := 0; i < 100; i++ {
+			g.NoteMiss(true)
+			g.NoteAccess()
+		}
+	}
+	if g.State() != (State{4, 0}) {
+		t.Errorf("state = %v, want (4,0) and stable", g.State())
+	}
+}
+
+func TestGlobalStateStableUnderBalance(t *testing.T) {
+	// With W = 0.75 and the paper's rules, a moderate mixture should keep
+	// the state in the hysteresis band once reached.
+	p := DefaultParams(128 << 20)
+	p.AdaptInterval = 1000
+	g := NewGlobalState(p)
+	g.ForceState(State{3, 8})
+	// Ratio Dsmall/Dbig such that R is inside ((Y-8)/(X+1), Y/X) = (0, 2.67):
+	// R = 0.75 * (1/1) = 0.75.
+	for i := 0; i < 1000; i++ {
+		g.NoteMiss(i%2 == 0)
+		g.NoteAccess()
+	}
+	if g.State() != (State{3, 8}) {
+		t.Errorf("balanced demand moved state to %v", g.State())
+	}
+}
+
+func TestGlobalStateNoDemandNoChange(t *testing.T) {
+	p := DefaultParams(128 << 20)
+	p.AdaptInterval = 10
+	g := NewGlobalState(p)
+	for i := 0; i < 50; i++ {
+		g.NoteAccess() // accesses but no misses
+	}
+	if g.State() != (State{4, 0}) || g.Transitions != 0 {
+		t.Errorf("state moved without demand: %v (%d transitions)", g.State(), g.Transitions)
+	}
+}
+
+func TestForceStatePanicsOnIllegal(t *testing.T) {
+	p := DefaultParams(128 << 20)
+	g := NewGlobalState(p)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	g.ForceState(State{1, 24})
+}
+
+func TestPopcount(t *testing.T) {
+	cases := map[uint32]int{0: 0, 1: 1, 0b1010: 2, 0xFF: 8, 0xFFFFFFFF: 32}
+	for m, want := range cases {
+		if got := popcount(m); got != want {
+			t.Errorf("popcount(%b) = %d, want %d", m, got, want)
+		}
+	}
+}

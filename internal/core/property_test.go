@@ -1,0 +1,171 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bimodal/internal/addr"
+	"bimodal/internal/xrand"
+)
+
+// TestWayLocatorNeverWrongProperty drives random insert/invalidate/lookup
+// sequences against a shadow map and verifies every locator hit agrees
+// with the shadow — the "never makes any wrong predictions" guarantee.
+func TestWayLocatorNeverWrongProperty(t *testing.T) {
+	type key struct {
+		big bool
+		id  uint64
+	}
+	f := func(seed uint64) bool {
+		wl := NewWayLocator(6, 512) // tiny table maximizes collisions
+		shadow := map[key]int{}
+		r := xrand.New(seed)
+		for op := 0; op < 2000; op++ {
+			p := addr.Phys(r.Uint64n(1<<20)) &^ 63
+			big := r.Bool(0.5)
+			id := uint64(p) >> 6
+			if big {
+				id = uint64(p) >> 9
+			}
+			k := key{big, id}
+			switch r.Intn(3) {
+			case 0:
+				way := r.Intn(18)
+				wl.Insert(p, big, way)
+				shadow[k] = way
+			case 1:
+				wl.Invalidate(p, big)
+				delete(shadow, k)
+			default:
+				if h, ok := wl.Lookup(p); ok {
+					// The locator may evict entries the shadow retains
+					// (2-way LRU), but a HIT must never disagree with the
+					// shadow entry of the granularity it matched.
+					hid := uint64(p) >> 6
+					if h.Big {
+						hid = uint64(p) >> 9
+					}
+					want, present := shadow[key{h.Big, hid}]
+					if !present || want != h.Way {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGlobalStateAlwaysLegalProperty: no demand sequence can drive the
+// global state outside the allowed set.
+func TestGlobalStateAlwaysLegalProperty(t *testing.T) {
+	p := DefaultParams(1 << 20)
+	p.AdaptInterval = 50
+	f := func(seed uint64) bool {
+		g := NewGlobalState(p)
+		r := xrand.New(seed)
+		for i := 0; i < 5000; i++ {
+			if r.Bool(0.7) {
+				g.NoteMiss(r.Bool(0.5))
+			}
+			g.NoteAccess()
+			if !p.stateValid(g.State()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestCacheCapacityProperty: resident data never exceeds the configured
+// capacity, under any mixture of big and small fills.
+func TestCacheCapacityProperty(t *testing.T) {
+	p := DefaultParams(64 << 10)
+	p.AdaptInterval = 500
+	p.SampleShift = 2
+	p.PredictorBits = 6
+	f := func(seed uint64) bool {
+		c := NewCache(p, NewWayLocator(8, p.BigBlock))
+		r := xrand.New(seed)
+		for i := 0; i < 3000; i++ {
+			c.Access(addr.Phys(r.Uint64n(1<<22))&^63, r.Bool(0.3))
+		}
+		if c.CheckInvariants() != nil {
+			return false
+		}
+		// Count resident bytes set by set.
+		var resident uint64
+		for si := uint64(0); si < p.NumSets(); si++ {
+			st := c.SetState(si)
+			if uint64(st.X)*p.BigBlock+uint64(st.Y)*SmallBlock != p.SetBytes {
+				return false
+			}
+		}
+		resident = p.NumSets() * p.SetBytes
+		return resident == p.CacheBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestDirtyNeverLostProperty: a written line is either resident or has
+// appeared in an eviction with its dirty bit set — dirty data is never
+// silently dropped.
+func TestDirtyNeverLostProperty(t *testing.T) {
+	p := DefaultParams(64 << 10)
+	p.AdaptInterval = 500
+	p.SampleShift = 2
+	p.PredictorBits = 6
+	f := func(seed uint64) bool {
+		c := NewCache(p, NewWayLocator(8, p.BigBlock))
+		r := xrand.New(seed)
+		dirty := map[addr.Phys]bool{} // line -> written and not yet written back
+		for i := 0; i < 4000; i++ {
+			a := addr.Phys(r.Uint64n(1<<21)) &^ 63
+			write := r.Bool(0.4)
+			out := c.Access(a, write)
+			for _, ev := range out.Evictions {
+				// Mark every dirty sub-block written back.
+				mask := ev.DirtyMask
+				for sub := 0; mask != 0; sub++ {
+					if mask&1 != 0 {
+						delete(dirty, ev.Addr+addr.Phys(sub*SmallBlock))
+					}
+					mask >>= 1
+				}
+				// A victim evicted clean must not be dirty in the shadow.
+				clean := ^ev.DirtyMask
+				span := 1
+				if ev.Big {
+					span = p.SubBlocks()
+				}
+				for sub := 0; sub < span; sub++ {
+					line := ev.Addr + addr.Phys(sub*SmallBlock)
+					if clean&(1<<sub) != 0 && dirty[line] {
+						return false
+					}
+				}
+			}
+			if write {
+				dirty[a] = true
+			}
+		}
+		// Every still-dirty line must be resident.
+		for line := range dirty {
+			if !c.Contains(line) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,203 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"bimodal/internal/addr"
+)
+
+func TestLocatorMissThenHit(t *testing.T) {
+	w := NewWayLocator(10, 512)
+	p := addr.Phys(0x12345000)
+	if _, ok := w.Lookup(p); ok {
+		t.Fatal("cold lookup should miss")
+	}
+	w.Insert(p, true, 2)
+	h, ok := w.Lookup(p)
+	if !ok || !h.Big || h.Way != 2 {
+		t.Fatalf("lookup after insert: %+v ok=%v", h, ok)
+	}
+	// Any line within the same 512B block hits a big entry.
+	h, ok = w.Lookup(p + 448)
+	if !ok || h.Way != 2 {
+		t.Errorf("intra-block lookup: %+v ok=%v", h, ok)
+	}
+	// A line in the next 512B block misses.
+	if _, ok := w.Lookup(p + 512); ok {
+		t.Error("next block should miss")
+	}
+}
+
+func TestLocatorSmallEntriesMatchLines(t *testing.T) {
+	w := NewWayLocator(10, 512)
+	p := addr.Phys(0x40000)
+	w.Insert(p, false, 7)
+	if h, ok := w.Lookup(p); !ok || h.Big || h.Way != 7 {
+		t.Fatalf("small lookup: %+v ok=%v", h, ok)
+	}
+	// A different 64B line of the same 512B block must MISS a small entry.
+	if _, ok := w.Lookup(p + 64); ok {
+		t.Error("adjacent line should miss a small entry")
+	}
+}
+
+func TestLocatorNeverWrong(t *testing.T) {
+	// Entries for different blocks mapping to the same index must not
+	// alias: the full identity comparison rejects them.
+	w := NewWayLocator(4, 512) // tiny table to force index collisions
+	a := addr.Phys(0)
+	b := addr.Phys(512 << 4) // same index (low K bits of block ID differ by exactly 1<<K)
+	w.Insert(a, true, 1)
+	if _, ok := w.Lookup(b); ok {
+		t.Error("lookup of different block must miss even on index collision")
+	}
+}
+
+func TestLocatorUpdateInPlace(t *testing.T) {
+	w := NewWayLocator(10, 512)
+	p := addr.Phys(0x1000)
+	w.Insert(p, true, 1)
+	w.Insert(p, true, 3) // block moved ways
+	h, ok := w.Lookup(p)
+	if !ok || h.Way != 3 {
+		t.Errorf("after update: %+v ok=%v", h, ok)
+	}
+}
+
+func TestLocatorInvalidate(t *testing.T) {
+	w := NewWayLocator(10, 512)
+	p := addr.Phys(0x2000)
+	w.Insert(p, true, 0)
+	w.Invalidate(p, true)
+	if _, ok := w.Lookup(p); ok {
+		t.Error("lookup after invalidate should miss")
+	}
+	// Invalidating an absent entry is a no-op.
+	w.Invalidate(addr.Phys(0x99000), false)
+}
+
+func TestLocatorTwoWayLRU(t *testing.T) {
+	w := NewWayLocator(6, 512)
+	// Three blocks with identical low-6 index bits (ids 0, 64, 128): the
+	// LRU one is displaced.
+	a, b, c := addr.Phys(0), addr.Phys(64*512), addr.Phys(128*512)
+	w.Insert(a, true, 0)
+	w.Insert(b, true, 1)
+	w.Lookup(a) // refresh a
+	w.Insert(c, true, 2)
+	if _, ok := w.Lookup(a); !ok {
+		t.Error("a should survive (recently used)")
+	}
+	if _, ok := w.Lookup(b); ok {
+		t.Error("b should have been displaced")
+	}
+	if _, ok := w.Lookup(c); !ok {
+		t.Error("c should be present")
+	}
+}
+
+func TestLocatorHitRateStats(t *testing.T) {
+	w := NewWayLocator(10, 512)
+	p := addr.Phys(0x3000)
+	w.Lookup(p) // miss
+	w.Insert(p, false, 0)
+	w.Lookup(p) // hit
+	if w.Lookups != 2 || w.HitsSml != 1 || w.HitsBig != 0 {
+		t.Errorf("stats: %d %d %d", w.Lookups, w.HitsBig, w.HitsSml)
+	}
+	if w.HitRate() != 0.5 {
+		t.Errorf("hit rate = %v", w.HitRate())
+	}
+	w.ResetStats()
+	if w.Lookups != 0 || w.HitRate() != 0 {
+		t.Error("ResetStats failed")
+	}
+}
+
+func TestProtectedWays(t *testing.T) {
+	w := NewWayLocator(10, 512)
+	// 128MB cache: 64K sets -> 16 set bits.
+	setBits := uint(16)
+	p := addr.Phys(0x12340000)
+	si := (uint64(p) >> 9) & (1<<setBits - 1)
+	w.Insert(p, true, 2)
+	bigMask, smallMask := w.ProtectedWays(p, setBits, si)
+	if bigMask != 1<<2 || smallMask != 0 {
+		t.Errorf("masks = %b %b", bigMask, smallMask)
+	}
+	// A small entry for the same set.
+	w.Insert(p+64, false, 5)
+	bigMask, smallMask = w.ProtectedWays(p, setBits, si)
+	if bigMask != 1<<2 || smallMask != 1<<5 {
+		t.Errorf("masks after small insert = %b %b", bigMask, smallMask)
+	}
+	// Entries for a different set are not protected.
+	_, smallMask = w.ProtectedWays(p, setBits, si+1)
+	if smallMask != 0 {
+		t.Error("wrong-set entry protected")
+	}
+}
+
+func TestStorageBitsMatchesTableIII(t *testing.T) {
+	// Table III: storage for (K, cache size/mem size) pairs, in KB.
+	cases := []struct {
+		k       uint
+		memBits uint
+		wantKB  float64
+	}{
+		{10, 32, 5.9},   // 128M cache, 4GB mem
+		{12, 32, 21.5},  // 8K entries
+		{14, 32, 77.8},  // 32K entries
+		{16, 32, 278.5}, // 128K entries
+		{10, 33, 6.14},  // 256M cache, 8GB mem
+		{14, 33, 81.9},
+		{16, 33, 294.9},
+		{10, 34, 6.4}, // 512M cache, 16GB mem
+		{14, 34, 86},
+		{16, 34, 311.3},
+	}
+	for _, c := range cases {
+		got := StorageKB(c.k, c.memBits)
+		if math.Abs(got-c.wantKB)/c.wantKB > 0.03 {
+			t.Errorf("StorageKB(K=%d, A=%d) = %.1f, want ~%.1f (within 3%%)", c.k, c.memBits, got, c.wantKB)
+		}
+	}
+}
+
+func TestLatencyCycles(t *testing.T) {
+	// Table III: every K<=14 table is 1 cycle; K=16 tables are 2 cycles.
+	for _, c := range []struct {
+		kb   float64
+		want int64
+	}{{5.9, 1}, {77.8, 1}, {86, 1}, {278.5, 2}, {311.3, 2}, {600, 3}} {
+		if got := LatencyCycles(c.kb); got != c.want {
+			t.Errorf("LatencyCycles(%.1fKB) = %d, want %d", c.kb, got, c.want)
+		}
+	}
+}
+
+func TestTagRAMLatency(t *testing.T) {
+	// Paper Section III-C2: 6 cycles for 1MB, 7 for 2MB, 9 for 4MB.
+	if TagRAMLatency(1<<20) != 6 || TagRAMLatency(2<<20) != 7 || TagRAMLatency(4<<20) != 9 {
+		t.Error("tag RAM latencies do not match the paper")
+	}
+	if TagRAMLatency(256<<10) != 5 {
+		t.Error("sub-1MB latency")
+	}
+}
+
+func TestLocatorPanicsOnBadK(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWayLocator(0, 512)
+}
+
+func TestStorageBitsDegenerate(t *testing.T) {
+	if StorageBits(30, 32) != 0 {
+		t.Error("oversized K should yield 0 bits")
+	}
+}

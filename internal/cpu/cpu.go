@@ -1,0 +1,326 @@
+// Package cpu provides the trace-driven core timing model and the
+// multi-core engine that drives DRAM cache schemes.
+//
+// Each core replays its benchmark's access stream (LLSC misses) with an
+// interval-style timing model: instruction gaps advance time at a base
+// CPI, independent misses overlap up to the MSHR limit, and dependent
+// accesses (pointer chases) serialize behind the previous miss. This is
+// the substitution for the paper's GEM5 out-of-order cores: ANTT needs
+// relative cycle counts, which this model provides while preserving the
+// memory-level-parallelism differences between benchmark types.
+package cpu
+
+import (
+	"container/heap"
+	"fmt"
+
+	"bimodal/internal/dramcache"
+	"bimodal/internal/trace"
+)
+
+// CoreConfig parameterizes the core model.
+type CoreConfig struct {
+	// CPIBase is cycles per instruction when not stalled on the DRAM
+	// cache (a 2-wide out-of-order core sustains ~0.5).
+	CPIBase float64
+	// MSHRs bounds outstanding misses per core.
+	MSHRs int
+	// ROBInsts is the reorder-buffer window: the core cannot retire past
+	// an outstanding miss by more than this many instructions, so misses
+	// farther apart than the window serialize (the interval-model
+	// behaviour of an out-of-order core). 0 disables the limit.
+	ROBInsts int64
+}
+
+// DefaultCoreConfig returns the model used throughout the evaluation
+// (3.2GHz OOO core, Table IV class: 2-wide sustained, 192-entry ROB).
+func DefaultCoreConfig() CoreConfig { return CoreConfig{CPIBase: 0.5, MSHRs: 8, ROBInsts: 192} }
+
+// Validate reports a configuration error.
+func (c CoreConfig) Validate() error {
+	if c.CPIBase <= 0 {
+		return fmt.Errorf("cpu: CPIBase must be positive")
+	}
+	if c.MSHRs <= 0 {
+		return fmt.Errorf("cpu: MSHRs must be positive")
+	}
+	return nil
+}
+
+// CoreResult summarizes one core's run.
+type CoreResult struct {
+	Core      int
+	Benchmark string
+	Cycles    int64
+	Insts     int64
+	Accesses  int64
+	Reads     int64
+	Hits      int64
+	// LatencySum accumulates demand-read latencies observed by this core.
+	LatencySum int64
+}
+
+// IPC returns instructions per cycle.
+func (r CoreResult) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// core is the per-core replay state.
+type core struct {
+	id   int
+	gen  trace.Generator
+	cfg  CoreConfig
+	time int64
+	// outstanding in-flight misses ordered by issue: done is the memory
+	// completion time, inst the instruction count at issue (for the ROB
+	// window).
+	outstanding []inflight
+	lastDone    int64
+	insts       int64 // total instructions replayed (incl. uncounted)
+	result      CoreResult
+	remaining   int64
+	// next is the primed upcoming access; key is its projected issue time
+	// (the heap priority, so requests reach memory in global time order).
+	next trace.Access
+	key  int64
+}
+
+// inflight is one outstanding miss.
+type inflight struct {
+	done int64
+	inst int64
+}
+
+// prime draws the upcoming access and computes its exact issue time (the
+// heap key). All stall sources — the instruction gap, a dependence on the
+// previous miss, a full MSHR file, the ROB window — are resolved here, so
+// requests reach the memory system in strictly non-decreasing time order
+// across cores (the busy-time DRAM model requires monotonic arrivals).
+func (c *core) prime() {
+	c.next = c.gen.Next()
+	t := c.time + int64(float64(c.next.Gap)*c.cfg.CPIBase)
+	instNow := c.insts + int64(c.next.Gap)
+	if c.next.Dep && c.lastDone > t {
+		t = c.lastDone
+	}
+	// ROB window: the core cannot issue an access more than ROBInsts
+	// instructions past a still-outstanding miss — it stalls until that
+	// miss returns. This is what serializes far-apart misses on a real
+	// out-of-order core.
+	if c.cfg.ROBInsts > 0 {
+		for len(c.outstanding) > 0 && instNow-c.outstanding[0].inst >= c.cfg.ROBInsts {
+			if c.outstanding[0].done > t {
+				t = c.outstanding[0].done
+			}
+			c.outstanding = c.outstanding[1:]
+		}
+	}
+	// Retire completed misses; a full MSHR file stalls until the oldest
+	// in-flight miss returns.
+	for len(c.outstanding) > 0 && c.outstanding[0].done <= t {
+		c.outstanding = c.outstanding[1:]
+	}
+	if len(c.outstanding) >= c.cfg.MSHRs {
+		t = c.outstanding[0].done
+		c.outstanding = c.outstanding[1:]
+	}
+	c.key = t
+}
+
+// step replays the primed access against the scheme at the issue time
+// prime computed. It returns true when this access completed the core's
+// measured quota (results freeze at that point; execution continues).
+func (c *core) step(s dramcache.Scheme, pf *Prefetcher) bool {
+	a := c.next
+	c.time = c.key
+	counted := c.remaining > 0
+	if counted {
+		c.result.Insts += int64(a.Gap)
+	}
+
+	req := dramcache.Request{Addr: a.Addr, Write: a.Write, Core: c.id}
+	res := s.Access(req, c.time)
+	if counted {
+		c.result.Accesses++
+		if res.Hit {
+			c.result.Hits++
+		}
+		if !a.Write {
+			c.result.Reads++
+			c.result.LatencySum += res.Done - c.time
+		}
+	}
+	c.insts += int64(a.Gap)
+	if !a.Write {
+		c.insertOutstanding(res.Done)
+		c.lastDone = res.Done
+	}
+	if pf != nil {
+		pf.onAccess(s, a, c.id, c.time)
+	}
+	if counted {
+		c.remaining--
+		return c.remaining == 0
+	}
+	return false
+}
+
+// insertOutstanding appends the miss in issue order (the ROB retires in
+// order, so the oldest-issued miss is the binding one for both the ROB
+// window and the MSHR stall).
+func (c *core) insertOutstanding(done int64) {
+	c.outstanding = append(c.outstanding, inflight{done: done, inst: c.insts})
+}
+
+// finish drains in-flight misses into the final cycle count.
+func (c *core) finish() {
+	t := c.time
+	for _, m := range c.outstanding {
+		if m.done > t {
+			t = m.done
+		}
+	}
+	c.result.Cycles = t
+}
+
+// coreHeap orders cores by current time so requests reach the memory
+// system in (approximately) global time order.
+type coreHeap []*core
+
+func (h coreHeap) Len() int            { return len(h) }
+func (h coreHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
+func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(*core)) }
+func (h *coreHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// Engine drives a set of cores against one scheme.
+type Engine struct {
+	cores  []*core
+	scheme dramcache.Scheme
+	pf     *Prefetcher
+}
+
+// NewEngine builds an engine. gens supplies one generator per core.
+func NewEngine(scheme dramcache.Scheme, gens []trace.Generator, cfg CoreConfig, pf *Prefetcher) *Engine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	e := &Engine{scheme: scheme, pf: pf}
+	for i, g := range gens {
+		e.cores = append(e.cores, &core{
+			id:  i,
+			gen: g,
+			cfg: cfg,
+			result: CoreResult{
+				Core:      i,
+				Benchmark: g.Name(),
+			},
+		})
+	}
+	return e
+}
+
+// Run replays accessesPerCore measured accesses on every core. A core that
+// reaches its quota freezes its results but continues executing (uncounted)
+// until every core has finished, exactly as the paper's methodology keeps
+// finished cores running to preserve shared-resource contention. Keeping
+// all cores in flight also keeps their clocks synchronized, which the
+// busy-time DRAM model requires.
+func (e *Engine) Run(accessesPerCore int64) []CoreResult {
+	h := make(coreHeap, 0, len(e.cores))
+	active := 0
+	for _, c := range e.cores {
+		c.remaining = accessesPerCore
+		if c.remaining > 0 {
+			active++
+			c.prime()
+			heap.Push(&h, c)
+		} else {
+			c.finish()
+		}
+	}
+	for active > 0 {
+		c := heap.Pop(&h).(*core)
+		if c.step(e.scheme, e.pf) {
+			c.finish()
+			active--
+		}
+		c.prime()
+		heap.Push(&h, c)
+	}
+	out := make([]CoreResult, len(e.cores))
+	for i, c := range e.cores {
+		out[i] = c.result
+	}
+	return out
+}
+
+// RunMeasured runs a warmup window of warmup accesses per core, resets the
+// scheme's statistics (cache state stays warm — the paper's fast-forward
+// methodology), then runs the measured window and returns per-core results
+// covering only the measured window.
+func (e *Engine) RunMeasured(warmup, measure int64) []CoreResult {
+	if warmup <= 0 {
+		return e.Run(measure)
+	}
+	pre := e.Run(warmup)
+	e.scheme.ResetStats()
+	post := e.Run(measure)
+	out := make([]CoreResult, len(post))
+	for i := range post {
+		out[i] = CoreResult{
+			Core:       post[i].Core,
+			Benchmark:  post[i].Benchmark,
+			Cycles:     post[i].Cycles - pre[i].Cycles,
+			Insts:      post[i].Insts - pre[i].Insts,
+			Accesses:   post[i].Accesses - pre[i].Accesses,
+			Reads:      post[i].Reads - pre[i].Reads,
+			Hits:       post[i].Hits - pre[i].Hits,
+			LatencySum: post[i].LatencySum - pre[i].LatencySum,
+		}
+	}
+	return out
+}
+
+// STP computes System Throughput (Eyerman & Eeckhout's companion metric to
+// ANTT): STP = sum(C_i^SP / C_i^MP). Higher is better; n equals perfect
+// scaling.
+func STP(multi, single []CoreResult) float64 {
+	if len(multi) != len(single) || len(multi) == 0 {
+		panic("cpu: STP needs matching non-empty result sets")
+	}
+	sum := 0.0
+	for i := range multi {
+		if multi[i].Cycles == 0 {
+			panic("cpu: multiprogrammed run with zero cycles")
+		}
+		sum += float64(single[i].Cycles) / float64(multi[i].Cycles)
+	}
+	return sum
+}
+
+// ANTT computes the Average Normalized Turnaround Time of a
+// multiprogrammed run against per-benchmark standalone runs:
+// ANTT = (1/n) * sum(C_i^MP / C_i^SP). Lower is better.
+func ANTT(multi, single []CoreResult) float64 {
+	if len(multi) != len(single) || len(multi) == 0 {
+		panic("cpu: ANTT needs matching non-empty result sets")
+	}
+	sum := 0.0
+	for i := range multi {
+		if single[i].Cycles == 0 {
+			panic("cpu: standalone run with zero cycles")
+		}
+		sum += float64(multi[i].Cycles) / float64(single[i].Cycles)
+	}
+	return sum / float64(len(multi))
+}

@@ -1,0 +1,71 @@
+package cpu
+
+import (
+	"bimodal/internal/addr"
+	"bimodal/internal/dramcache"
+	"bimodal/internal/trace"
+)
+
+// Prefetcher is the next-N-lines prefetcher of Section V-I: it observes
+// LLSC misses and issues prefetches for the next N spatially adjacent 64B
+// lines "if these blocks are not already present in the LLSC".
+//
+// The LLSC presence check is approximated with a per-core recent-line
+// filter (a direct-mapped table of recently seen or prefetched line IDs):
+// lines the core touched or prefetched recently would be LLSC-resident
+// and are not prefetched again.
+type Prefetcher struct {
+	// N is the prefetch depth (1 = conservative, 3 = aggressive).
+	N       int
+	filters [][]uint64
+
+	// Issued counts prefetch requests sent to the DRAM cache.
+	Issued int64
+	// Suppressed counts prefetches dropped by the recency filter.
+	Suppressed int64
+}
+
+// filterSize is the per-core recent-line filter size (entries).
+const filterSize = 1 << 14
+
+// NewPrefetcher builds a next-N-lines prefetcher for the given core count.
+func NewPrefetcher(n, cores int) *Prefetcher {
+	if n <= 0 || cores <= 0 {
+		panic("cpu: invalid prefetcher configuration")
+	}
+	p := &Prefetcher{N: n, filters: make([][]uint64, cores)}
+	for i := range p.filters {
+		p.filters[i] = make([]uint64, filterSize)
+	}
+	return p
+}
+
+// seen records a line and reports whether it was already present.
+func (p *Prefetcher) seen(coreID int, line uint64) bool {
+	f := p.filters[coreID]
+	idx := (line ^ line>>14) & (filterSize - 1)
+	if f[idx] == line+1 {
+		return true
+	}
+	f[idx] = line + 1
+	return false
+}
+
+// onAccess observes one demand access and issues the prefetches.
+func (p *Prefetcher) onAccess(s dramcache.Scheme, a trace.Access, coreID int, now int64) {
+	line := uint64(a.Addr) >> 6
+	p.seen(coreID, line) // the demand line is now "in the LLSC"
+	for i := 1; i <= p.N; i++ {
+		next := line + uint64(i)
+		if p.seen(coreID, next) {
+			p.Suppressed++
+			continue
+		}
+		p.Issued++
+		s.Access(dramcache.Request{
+			Addr:     addr.Phys(next << 6),
+			Core:     coreID,
+			Prefetch: true,
+		}, now)
+	}
+}

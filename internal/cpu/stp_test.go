@@ -1,0 +1,45 @@
+package cpu
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSTP(t *testing.T) {
+	multi := []CoreResult{{Cycles: 200}, {Cycles: 400}}
+	single := []CoreResult{{Cycles: 100}, {Cycles: 100}}
+	// 100/200 + 100/400 = 0.75
+	if got := STP(multi, single); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("STP = %v, want 0.75", got)
+	}
+}
+
+func TestSTPPerfectScaling(t *testing.T) {
+	multi := []CoreResult{{Cycles: 100}, {Cycles: 100}, {Cycles: 100}}
+	single := []CoreResult{{Cycles: 100}, {Cycles: 100}, {Cycles: 100}}
+	if got := STP(multi, single); got != 3 {
+		t.Errorf("STP = %v, want 3 (no interference)", got)
+	}
+}
+
+func TestSTPPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on mismatched inputs")
+		}
+	}()
+	STP([]CoreResult{{Cycles: 1}}, nil)
+}
+
+func TestANTTAndSTPAgreeOnDirection(t *testing.T) {
+	// More interference must raise ANTT and lower STP together.
+	single := []CoreResult{{Cycles: 100}, {Cycles: 100}}
+	light := []CoreResult{{Cycles: 110}, {Cycles: 120}}
+	heavy := []CoreResult{{Cycles: 200}, {Cycles: 250}}
+	if !(ANTT(heavy, single) > ANTT(light, single)) {
+		t.Error("ANTT should grow with interference")
+	}
+	if !(STP(heavy, single) < STP(light, single)) {
+		t.Error("STP should shrink with interference")
+	}
+}

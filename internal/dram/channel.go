@@ -1,0 +1,302 @@
+package dram
+
+import (
+	"fmt"
+
+	"bimodal/internal/addr"
+)
+
+// RowResult classifies how an access found the target bank's row buffer.
+type RowResult int
+
+// Row buffer outcomes.
+const (
+	RowHit      RowResult = iota // target row already open
+	RowEmpty                     // bank precharged, ACT needed
+	RowConflict                  // different row open, PRE + ACT needed
+)
+
+// String implements fmt.Stringer.
+func (r RowResult) String() string {
+	switch r {
+	case RowHit:
+		return "hit"
+	case RowEmpty:
+		return "empty"
+	case RowConflict:
+		return "conflict"
+	default:
+		return fmt.Sprintf("RowResult(%d)", int(r))
+	}
+}
+
+// Op is a DRAM operation kind.
+type Op int
+
+// Operation kinds.
+const (
+	OpRead Op = iota
+	OpWrite
+	OpOpen // activate the row only (speculative row open); no data transfer
+)
+
+// Stats aggregates channel activity for bandwidth, RBH and energy models.
+type Stats struct {
+	Reads     int64
+	Writes    int64
+	Opens     int64
+	Activates int64
+	Precharge int64
+	RowHits   int64 // row-buffer hits among reads+writes
+	RowMisses int64 // empty + conflict among reads+writes
+	Refreshes int64
+	BytesRead int64
+	BytesWrit int64
+	// BusyCPU accumulates data-bus occupancy in CPU cycles, for utilization.
+	BusyCPU int64
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Reads += other.Reads
+	s.Writes += other.Writes
+	s.Opens += other.Opens
+	s.Activates += other.Activates
+	s.Precharge += other.Precharge
+	s.RowHits += other.RowHits
+	s.RowMisses += other.RowMisses
+	s.Refreshes += other.Refreshes
+	s.BytesRead += other.BytesRead
+	s.BytesWrit += other.BytesWrit
+	s.BusyCPU += other.BusyCPU
+}
+
+// RowHitRate returns the fraction of read/write accesses that hit in a row
+// buffer.
+func (s *Stats) RowHitRate() float64 {
+	tot := s.RowHits + s.RowMisses
+	if tot == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(tot)
+}
+
+// bank is the per-bank timing state.
+type bank struct {
+	openRow   int64 // -1 when precharged
+	nextCAS   int64 // earliest CPU cycle for the next column command
+	nextACT   int64 // earliest CPU cycle for the next activate
+	actAt     int64 // time of the last activate (for tRAS)
+	wrRecover int64 // earliest CPU cycle a precharge may follow a write
+	lastEpoch int64 // refresh epoch of the last access (rows close across epochs)
+}
+
+// rankState tracks per-rank activate constraints: tRRD between any two
+// activates and the rolling four-activate window (tFAW).
+type rankState struct {
+	lastAct int64
+	// recentActs holds the times of the last four activates (ring).
+	recentActs [4]int64
+	actPos     int
+}
+
+// Channel models one DRAM channel: a grid of banks behind a shared data bus.
+type Channel struct {
+	timing Timing
+	banks  []bank // ranks*banksPerRank, flattened
+	ranks  []rankState
+	perRnk int
+	busAt  int64 // data bus free time (CPU cycles)
+	stats  Stats
+	// refresh period/duration in CPU cycles (0 disables)
+	refPeriod int64
+	refDur    int64
+}
+
+// NewChannel builds a channel with the given timing and geometry (ranks x
+// banks per rank).
+func NewChannel(t Timing, ranks, banksPerRank int) *Channel {
+	if err := t.Validate(); err != nil {
+		panic(err)
+	}
+	if ranks <= 0 || banksPerRank <= 0 {
+		panic(fmt.Sprintf("dram: invalid geometry ranks=%d banks=%d", ranks, banksPerRank))
+	}
+	c := &Channel{
+		timing: t,
+		banks:  make([]bank, ranks*banksPerRank),
+		ranks:  make([]rankState, ranks),
+		perRnk: banksPerRank,
+	}
+	for i := range c.banks {
+		c.banks[i].openRow = -1
+	}
+	// No activates have happened yet: seed the activate history far in the
+	// past so tRRD/tFAW do not constrain the first commands.
+	const longAgo = int64(-1) << 40
+	for r := range c.ranks {
+		c.ranks[r].lastAct = longAgo
+		for j := range c.ranks[r].recentActs {
+			c.ranks[r].recentActs[j] = longAgo
+		}
+	}
+	if t.REFI > 0 {
+		c.refPeriod = t.cpu(t.REFI)
+		c.refDur = t.cpu(t.RFC)
+	}
+	return c
+}
+
+// Timing returns the channel's timing parameters.
+func (c *Channel) Timing() Timing { return c.timing }
+
+// Stats returns a snapshot of accumulated statistics.
+func (c *Channel) Stats() Stats { return c.stats }
+
+// ResetStats zeroes the statistics (timing state is preserved).
+func (c *Channel) ResetStats() { c.stats = Stats{} }
+
+// bankOf returns the bank for a location. Rank/bank must be within the
+// channel's geometry.
+func (c *Channel) bankOf(l addr.Location) *bank {
+	idx := l.Rank*c.perRnk + l.Bank
+	return &c.banks[idx]
+}
+
+// refreshAdjust moves t out of any refresh blackout window and closes the
+// bank's row if a refresh happened since its last use.
+func (c *Channel) refreshAdjust(b *bank, t int64) int64 {
+	if c.refPeriod == 0 {
+		return t
+	}
+	epoch := t / c.refPeriod
+	if epoch != b.lastEpoch {
+		// A refresh occurred since this bank was last touched: the row
+		// buffer was closed by the refresh's implicit precharge-all.
+		if b.openRow != -1 {
+			b.openRow = -1
+			c.stats.Precharge++
+		}
+		b.lastEpoch = epoch
+		c.stats.Refreshes++
+	}
+	if off := t - epoch*c.refPeriod; off < c.refDur {
+		t = epoch*c.refPeriod + c.refDur
+	}
+	return t
+}
+
+// Access performs op on the location, arriving at CPU cycle now, moving the
+// given number of bytes (ignored for OpOpen). It returns the CPU cycle at
+// which the operation's data transfer completes (for OpOpen: when the row
+// is open and a column command may issue) and the row-buffer outcome.
+func (c *Channel) Access(op Op, l addr.Location, now int64, bytes int64) (done int64, rr RowResult) {
+	b := c.bankOf(l)
+	t := c.refreshAdjust(b, now)
+	tm := &c.timing
+
+	var casReady int64
+	switch {
+	case b.openRow == int64(l.Row):
+		rr = RowHit
+		casReady = max64(t, b.nextCAS)
+	case b.openRow == -1:
+		rr = RowEmpty
+		actAt := c.activate(l.Rank, b, max64(t, b.nextACT))
+		casReady = actAt + tm.cpu(tm.RCD)
+	default:
+		rr = RowConflict
+		preAt := max64(max64(t, b.actAt+tm.cpu(tm.RAS)), b.wrRecover)
+		c.stats.Precharge++
+		actAt := c.activate(l.Rank, b, max64(preAt+tm.cpu(tm.RP), b.nextACT))
+		casReady = actAt + tm.cpu(tm.RCD)
+	}
+	b.openRow = int64(l.Row)
+
+	if op == OpOpen {
+		c.stats.Opens++
+		if rr != RowHit {
+			// Row newly opened: the next CAS may issue at casReady.
+			b.nextCAS = max64(b.nextCAS, casReady)
+		}
+		return casReady, rr
+	}
+
+	burst := tm.BurstCPU(bytes)
+	var lat int64
+	if op == OpRead {
+		lat = tm.cpu(tm.CL)
+	} else {
+		lat = tm.cpu(tm.CWL)
+	}
+	dataStart := max64(casReady+lat, c.busAt)
+	busEnd := dataStart + burst
+	c.busAt = busEnd
+	c.stats.BusyCPU += burst
+	// Column commands pipeline at the burst rate (tCCD == burst length).
+	b.nextCAS = casReady + burst
+	if op == OpRead {
+		c.stats.Reads++
+		c.stats.BytesRead += bytes
+	} else {
+		c.stats.Writes++
+		c.stats.BytesWrit += bytes
+		b.wrRecover = busEnd + tm.cpu(tm.WR)
+	}
+	if rr == RowHit {
+		c.stats.RowHits++
+	} else {
+		c.stats.RowMisses++
+	}
+	return busEnd, rr
+}
+
+// PeekRowHit reports the row-buffer outcome an access to l at time now
+// would see, without modifying any state. Refresh-epoch row closure is
+// taken into account but not committed.
+func (c *Channel) PeekRowHit(l addr.Location, now int64) RowResult {
+	b := c.bankOf(l)
+	open := b.openRow
+	if c.refPeriod > 0 && now/c.refPeriod != b.lastEpoch {
+		open = -1
+	}
+	switch open {
+	case int64(l.Row):
+		return RowHit
+	case -1:
+		return RowEmpty
+	default:
+		return RowConflict
+	}
+}
+
+// activate issues an ACT to bank b of the given rank at the earliest time
+// >= earliest that honours tRRD (activate-to-activate within the rank) and
+// tFAW (at most four activates per rolling window). It returns the actual
+// activate time and updates all activate bookkeeping.
+func (c *Channel) activate(rank int, b *bank, earliest int64) int64 {
+	tm := &c.timing
+	rs := &c.ranks[rank]
+	at := earliest
+	if tm.RRD > 0 {
+		at = max64(at, rs.lastAct+tm.cpu(tm.RRD))
+	}
+	if tm.FAW > 0 {
+		// The oldest of the last four activates bounds the next one.
+		oldest := rs.recentActs[rs.actPos]
+		at = max64(at, oldest+tm.cpu(tm.FAW))
+	}
+	rs.lastAct = at
+	rs.recentActs[rs.actPos] = at
+	rs.actPos = (rs.actPos + 1) % len(rs.recentActs)
+	b.actAt = at
+	c.stats.Activates++
+	return at
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,114 @@
+// Package dram models DRAM device timing for both the stacked DRAM cache
+// and off-chip DDR3 main memory.
+//
+// The model is a deterministic busy-time simulation: every bank keeps the
+// earliest time it can accept its next command and which row its row buffer
+// holds; every channel keeps a data-bus timeline. Requests are presented in
+// (approximately) global time order by the trace-driven engine, and each
+// access computes its completion time from the open-page state machine:
+//
+//	row hit      : CAS                  -> CL + burst
+//	row empty    : ACT, CAS             -> tRCD + CL + burst
+//	row conflict : PRE, ACT, CAS        -> tRP + tRCD + CL + burst
+//
+// Refresh is modeled as periodic whole-rank blackout windows (tREFI/tRFC)
+// that also close open rows, matching the paper's "faithful refresh"
+// requirement without per-command refresh scheduling.
+//
+// All externally visible times are CPU cycles; Timing parameters are in
+// DRAM clocks and are converted via ClockRatio (CPU cycles per DRAM clock).
+package dram
+
+import "fmt"
+
+// Timing holds device timing parameters, in DRAM clocks except where noted.
+type Timing struct {
+	// ClockRatio is the number of CPU cycles per DRAM clock. The paper's
+	// CPU runs at 3.2 GHz; the stacked cache DRAM at 1.6 GHz (ratio 2) and
+	// the DDR3-1600 command clock at 800 MHz (ratio 4).
+	ClockRatio int64
+	CL         int64 // CAS (column read) latency
+	CWL        int64 // CAS write latency
+	RCD        int64 // ACT-to-CAS delay
+	RP         int64 // precharge latency
+	RAS        int64 // minimum ACT-to-PRE delay
+	RRD        int64 // minimum ACT-to-ACT delay between banks of a rank
+	FAW        int64 // four-activate window per rank (0 disables)
+	WR         int64 // write recovery before PRE after a write burst
+	// BytesPerClock is the data-bus throughput: bus width (bytes) x 2 for
+	// DDR. A 128-bit stacked bus moves 32B/clock; a 64-bit DDR3 bus 16B.
+	BytesPerClock int64
+	// REFI is the refresh interval and RFC the refresh cycle time, both in
+	// DRAM clocks. REFI == 0 disables refresh.
+	REFI int64
+	RFC  int64
+}
+
+// Validate reports a configuration error, if any.
+func (t Timing) Validate() error {
+	switch {
+	case t.ClockRatio <= 0:
+		return fmt.Errorf("dram: ClockRatio must be positive, got %d", t.ClockRatio)
+	case t.CL <= 0 || t.RCD <= 0 || t.RP <= 0:
+		return fmt.Errorf("dram: CL/RCD/RP must be positive: %+v", t)
+	case t.BytesPerClock <= 0:
+		return fmt.Errorf("dram: BytesPerClock must be positive, got %d", t.BytesPerClock)
+	case t.REFI != 0 && t.RFC <= 0:
+		return fmt.Errorf("dram: refresh enabled but RFC = %d", t.RFC)
+	}
+	return nil
+}
+
+// cpu converts DRAM clocks to CPU cycles.
+func (t Timing) cpu(clocks int64) int64 { return clocks * t.ClockRatio }
+
+// BurstClocks returns the number of DRAM clocks the data bus is occupied
+// transferring the given number of bytes (at least one clock).
+func (t Timing) BurstClocks(bytes int64) int64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return (bytes + t.BytesPerClock - 1) / t.BytesPerClock
+}
+
+// BurstCPU returns data-bus occupancy in CPU cycles for bytes.
+func (t Timing) BurstCPU(bytes int64) int64 { return t.cpu(t.BurstClocks(bytes)) }
+
+// StackedTiming returns the stacked DRAM cache timing from Table IV:
+// 1.6 GHz, 128-bit bus, CL-nRCD-nRP = 9-9-9, 2KB pages.
+func StackedTiming() Timing {
+	return Timing{
+		ClockRatio:    2, // 3.2 GHz CPU / 1.6 GHz DRAM
+		CL:            9,
+		CWL:           7,
+		RCD:           9,
+		RP:            9,
+		RAS:           24,
+		RRD:           4,
+		FAW:           20,
+		WR:            10,
+		BytesPerClock: 32,    // 128-bit DDR
+		REFI:          12480, // 7.8us at 1.6 GHz
+		RFC:           280,
+	}
+}
+
+// DDR31600H returns the off-chip DDR3-1600H timing from Table IV:
+// 800 MHz command clock, 64-bit bus, CL-nRCD-nRP = 9-9-9, BL = 4 clocks,
+// tREFI 7.8us, tRFC 280 clocks.
+func DDR31600H() Timing {
+	return Timing{
+		ClockRatio:    4, // 3.2 GHz CPU / 800 MHz DRAM clock
+		CL:            9,
+		CWL:           8,
+		RCD:           9,
+		RP:            9,
+		RAS:           28,
+		RRD:           5,
+		FAW:           24,
+		WR:            12,
+		BytesPerClock: 16,   // 64-bit DDR: 64B burst in 4 clocks (BL=4)
+		REFI:          6240, // 7.8us at 800 MHz
+		RFC:           280,
+	}
+}

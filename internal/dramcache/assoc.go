@@ -1,0 +1,92 @@
+package dramcache
+
+// assocArray is a minimal set-associative tag array with true-LRU used by
+// the baseline schemes (Loh-Hill's 29-way sets, ATCache's 16-way sets and
+// Footprint Cache's page array). Unlike internal/sram it permits arbitrary
+// (non-power-of-two) set counts, which the row-packed organizations need.
+type assocArray struct {
+	sets  int
+	assoc int
+	ways  []assocWay // sets*assoc, flattened
+	clock uint64
+}
+
+type assocWay struct {
+	valid   bool
+	tag     uint64
+	lastUse uint64
+	aux     uint64 // caller payload (dirty bits, footprint masks, ...)
+}
+
+func newAssocArray(sets, assoc int) *assocArray {
+	if sets <= 0 || assoc <= 0 {
+		panic("dramcache: invalid assocArray geometry")
+	}
+	return &assocArray{sets: sets, assoc: assoc, ways: make([]assocWay, sets*assoc)}
+}
+
+// lookup returns the way index of tag in set, or -1, updating recency on
+// hit when touch is true.
+func (a *assocArray) lookup(set int, tag uint64, touch bool) int {
+	base := set * a.assoc
+	for w := 0; w < a.assoc; w++ {
+		e := &a.ways[base+w]
+		if e.valid && e.tag == tag {
+			if touch {
+				a.clock++
+				e.lastUse = a.clock
+			}
+			return w
+		}
+	}
+	return -1
+}
+
+// aux returns the payload of (set, way).
+func (a *assocArray) aux(set, way int) uint64 { return a.ways[set*a.assoc+way].aux }
+
+// setAux stores the payload of (set, way).
+func (a *assocArray) setAux(set, way int, v uint64) { a.ways[set*a.assoc+way].aux = v }
+
+// victimTag describes a displaced entry.
+type victimTag struct {
+	valid bool
+	tag   uint64
+	aux   uint64
+	way   int
+}
+
+// insert fills tag into set (LRU victim), returning the displaced entry
+// and the way used.
+func (a *assocArray) insert(set int, tag uint64, aux uint64) (victimTag, int) {
+	base := set * a.assoc
+	a.clock++
+	vi := 0
+	for w := 0; w < a.assoc; w++ {
+		e := &a.ways[base+w]
+		if !e.valid {
+			*e = assocWay{valid: true, tag: tag, lastUse: a.clock, aux: aux}
+			return victimTag{}, w
+		}
+		if e.lastUse < a.ways[base+vi].lastUse {
+			vi = w
+		}
+	}
+	old := a.ways[base+vi]
+	a.ways[base+vi] = assocWay{valid: true, tag: tag, lastUse: a.clock, aux: aux}
+	return victimTag{valid: true, tag: old.tag, aux: old.aux, way: vi}, vi
+}
+
+// invalidate removes tag from set if present, returning its payload.
+func (a *assocArray) invalidate(set int, tag uint64) (uint64, bool) {
+	base := set * a.assoc
+	for w := 0; w < a.assoc; w++ {
+		e := &a.ways[base+w]
+		if e.valid && e.tag == tag {
+			aux := e.aux
+			*e = assocWay{}
+			return aux, true
+		}
+	}
+	return 0, false
+}

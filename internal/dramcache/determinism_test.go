@@ -1,0 +1,85 @@
+package dramcache
+
+import (
+	"testing"
+
+	"bimodal/internal/addr"
+	"bimodal/internal/trace"
+)
+
+// TestSchemesDeterministic: identical construction and identical input
+// streams must yield bit-identical reports for every scheme — the property
+// that makes experiments reproducible.
+func TestSchemesDeterministic(t *testing.T) {
+	build := func() []Scheme { return allSchemes() }
+	a, b := build(), build()
+	for i := range a {
+		ga := trace.NewSynthetic(trace.MustProfile("soplex"), 0, 41)
+		gb := trace.NewSynthetic(trace.MustProfile("soplex"), 0, 41)
+		now := int64(0)
+		for j := 0; j < 20000; j++ {
+			xa, xb := ga.Next(), gb.Next()
+			now += int64(xa.Gap)
+			pa := xa.Addr & (1<<23 - 1) &^ 63
+			pb := xb.Addr & (1<<23 - 1) &^ 63
+			ra := a[i].Access(Request{Addr: pa, Write: xa.Write}, now)
+			rb := b[i].Access(Request{Addr: pb, Write: xb.Write}, now)
+			if ra != rb {
+				t.Fatalf("%s diverged at access %d: %+v vs %+v", a[i].Name(), j, ra, rb)
+			}
+		}
+		if a[i].Report() != b[i].Report() {
+			t.Errorf("%s reports differ", a[i].Name())
+		}
+	}
+}
+
+// TestReportInternalConsistency: for every scheme after a mixed stream,
+// the report's derived quantities are internally consistent.
+func TestReportInternalConsistency(t *testing.T) {
+	for _, s := range allSchemes() {
+		runStream(s, "omnetpp", 30000, 43)
+		r := s.Report()
+		if r.Hits > r.Accesses {
+			t.Errorf("%s: hits %d > accesses %d", s.Name(), r.Hits, r.Accesses)
+		}
+		if r.LatencyN > r.Accesses {
+			t.Errorf("%s: latency samples %d > accesses %d", s.Name(), r.LatencyN, r.Accesses)
+		}
+		if r.LatencySum < 0 || r.AvgLatency() < 0 {
+			t.Errorf("%s: negative latency", s.Name())
+		}
+		if r.LocatorHits > r.LocatorLookups {
+			t.Errorf("%s: locator hits exceed lookups", s.Name())
+		}
+		if r.MetaRowHits > r.MetaReads {
+			t.Errorf("%s: meta row hits exceed reads", s.Name())
+		}
+		if r.OffchipReadBytes < 0 || r.OffchipWriteBytes < 0 {
+			t.Errorf("%s: negative traffic", s.Name())
+		}
+		if r.Stacked.RowHits+r.Stacked.RowMisses != r.Stacked.Reads+r.Stacked.Writes {
+			t.Errorf("%s: stacked row accounting inconsistent", s.Name())
+		}
+	}
+}
+
+// TestResetStatsPreservesWarmState: after a warmup and reset, the first
+// access to a warm line still hits (state survives, counters do not).
+func TestResetStatsPreservesWarmState(t *testing.T) {
+	for _, s := range allSchemes() {
+		p := addr.Phys(testWarmAddr)
+		r1 := s.Access(Request{Addr: p}, 5000)
+		s.ResetStats()
+		rep := s.Report()
+		if rep.Accesses != 0 {
+			t.Errorf("%s: counters survived reset", s.Name())
+		}
+		r2 := s.Access(Request{Addr: p}, r1.Done+100000)
+		if !r2.Hit {
+			t.Errorf("%s: warm state lost by ResetStats", s.Name())
+		}
+	}
+}
+
+const testWarmAddr = 0x40000

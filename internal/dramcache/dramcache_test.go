@@ -1,0 +1,422 @@
+package dramcache
+
+import (
+	"testing"
+
+	"bimodal/internal/addr"
+	"bimodal/internal/core"
+	"bimodal/internal/trace"
+)
+
+// tinyConfig keeps functional structures small enough for fast tests while
+// preserving the paper's shape (2 stacked channels, 1 off-chip channel).
+func tinyConfig() Config {
+	return Config{
+		Cores:           4,
+		CacheBytes:      1 << 20, // 1MB: 512 sets
+		StackedChannels: 2,
+		OffChannels:     1,
+		WayLocatorK:     10,
+		Seed:            1,
+	}
+}
+
+// allSchemes builds one of each organization at the tiny scale.
+func allSchemes() []Scheme {
+	cfg := tinyConfig()
+	return []Scheme{
+		NewBiModal(cfg),
+		NewBiModal(cfg, WithoutLocator()),
+		NewBiModal(cfg, FixedBigBlocks()),
+		NewBiModal(cfg, CoLocatedMetadata(), WithName("BiModalCoMeta")),
+		NewAlloy(cfg),
+		NewLohHill(cfg),
+		NewATCache(cfg),
+		NewFootprint(cfg),
+	}
+}
+
+func TestDefaultConfigPresets(t *testing.T) {
+	for _, cores := range []int{4, 8, 16} {
+		cfg := DefaultConfig(cores)
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("cores=%d: %v", cores, err)
+		}
+	}
+	c4 := DefaultConfig(4)
+	if c4.CacheBytes != 128<<20 || c4.StackedChannels != 2 || c4.OffChannels != 1 {
+		t.Errorf("4-core preset: %+v", c4)
+	}
+	c16 := DefaultConfig(16)
+	if c16.CacheBytes != 512<<20 || c16.StackedChannels != 8 {
+		t.Errorf("16-core preset: %+v", c16)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("DefaultConfig(3) should panic")
+		}
+	}()
+	DefaultConfig(3)
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := tinyConfig()
+	bad.CacheBytes = 100
+	if bad.Validate() == nil {
+		t.Error("non-pow2 cache accepted")
+	}
+	bad = tinyConfig()
+	bad.StackedChannels = 3
+	if bad.Validate() == nil {
+		t.Error("non-pow2 channels accepted")
+	}
+	bad = tinyConfig()
+	bad.WayLocatorK = 0
+	if bad.Validate() == nil {
+		t.Error("K=0 accepted")
+	}
+	bad = tinyConfig()
+	bad.OffChannels = 0
+	if bad.Validate() == nil {
+		t.Error("0 off-channels accepted")
+	}
+}
+
+func TestMemBits(t *testing.T) {
+	if DefaultConfig(4).memBits() != 32 || DefaultConfig(8).memBits() != 33 || DefaultConfig(16).memBits() != 34 {
+		t.Error("memBits presets wrong")
+	}
+}
+
+func TestColdMissThenHitEverywhere(t *testing.T) {
+	for _, s := range allSchemes() {
+		p := addr.Phys(0x40000)
+		r1 := s.Access(Request{Addr: p}, 0)
+		if r1.Hit {
+			t.Errorf("%s: cold access hit", s.Name())
+		}
+		if r1.Done <= 0 {
+			t.Errorf("%s: non-positive completion %d", s.Name(), r1.Done)
+		}
+		r2 := s.Access(Request{Addr: p}, r1.Done)
+		if !r2.Hit {
+			t.Errorf("%s: second access missed", s.Name())
+		}
+		if r2.Done <= r1.Done {
+			t.Errorf("%s: time did not advance", s.Name())
+		}
+		rep := s.Report()
+		if rep.Accesses != 2 || rep.Hits != 1 {
+			t.Errorf("%s: report %+v", s.Name(), rep)
+		}
+	}
+}
+
+func TestHitFasterThanMiss(t *testing.T) {
+	for _, s := range allSchemes() {
+		p := addr.Phys(0x80000)
+		r1 := s.Access(Request{Addr: p}, 0)
+		missLat := r1.Done - 0
+		start := r1.Done + 10000
+		r2 := s.Access(Request{Addr: p}, start)
+		hitLat := r2.Done - start
+		if hitLat >= missLat {
+			t.Errorf("%s: hit latency %d >= miss latency %d", s.Name(), hitLat, missLat)
+		}
+	}
+}
+
+func TestNamesDistinct(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range allSchemes() {
+		if seen[s.Name()] {
+			t.Errorf("duplicate scheme name %s", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+	if !seen["BiModal"] || !seen["AlloyCache"] || !seen["FootprintCache"] || !seen["LohHill"] || !seen["ATCache"] || !seen["BiModalOnly"] || !seen["WayLocatorOnly"] {
+		t.Errorf("missing expected names: %v", seen)
+	}
+}
+
+// runStream drives n accesses of a synthetic benchmark through a scheme,
+// advancing time by the request gaps, and returns the report.
+func runStream(s Scheme, bench string, n int, seed uint64) Report {
+	g := trace.NewSynthetic(trace.MustProfile(bench), 0, seed)
+	now := int64(0)
+	for i := 0; i < n; i++ {
+		a := g.Next()
+		now += int64(a.Gap)
+		// Fold the footprint so the tiny caches see reuse.
+		p := a.Addr & (1<<23 - 1) &^ 63
+		r := s.Access(Request{Addr: p, Write: a.Write}, now)
+		if r.Done < now {
+			panic("completion before arrival")
+		}
+	}
+	return s.Report()
+}
+
+func TestBigBlocksBeatAlloyOnStreamingHitRate(t *testing.T) {
+	// Figure 8b's shape: 512B blocks exploit spatial locality that 64B
+	// direct-mapped misses.
+	cfg := tinyConfig()
+	bm := NewBiModal(cfg)
+	al := NewAlloy(cfg)
+	rb := runStream(bm, "libquantum", 60000, 7)
+	ra := runStream(al, "libquantum", 60000, 7)
+	if rb.HitRate() <= ra.HitRate() {
+		t.Errorf("BiModal hit rate %.3f <= Alloy %.3f on streaming", rb.HitRate(), ra.HitRate())
+	}
+}
+
+func TestWayLocatorHighHitRateOnReuse(t *testing.T) {
+	cfg := tinyConfig()
+	bm := NewBiModal(cfg)
+	r := runStream(bm, "libquantum", 60000, 9)
+	if r.LocatorHitRate() < 0.7 {
+		t.Errorf("way locator hit rate %.3f too low on streaming workload", r.LocatorHitRate())
+	}
+}
+
+func TestSeparateMetadataImprovesRBH(t *testing.T) {
+	// Figure 9b's shape: the dedicated metadata bank sees more row-buffer
+	// hits than co-located tags. Use the no-locator variant so every
+	// access exercises the metadata path.
+	cfg := tinyConfig()
+	sep := NewBiModal(cfg, WithoutLocator())
+	col := NewBiModal(cfg, WithoutLocator(), CoLocatedMetadata(), WithName("co"))
+	rs := runStream(sep, "omnetpp", 60000, 11)
+	rc := runStream(col, "omnetpp", 60000, 11)
+	if rs.MetaRowHitRate() <= rc.MetaRowHitRate() {
+		t.Errorf("separate metadata RBH %.3f <= co-located %.3f", rs.MetaRowHitRate(), rc.MetaRowHitRate())
+	}
+}
+
+func TestBiModalReducesWasteVsFixed(t *testing.T) {
+	// Figure 9a's shape: on a sparse workload the bi-modal organization
+	// wastes much less fetched bandwidth than fixed 512B blocks.
+	cfg := tinyConfig()
+	// Shrink the adaptation interval, widen sampling and shrink the
+	// predictor table so the short test stream trains shared counters
+	// across leader and follower sets.
+	p := core.DefaultParams(cfg.CacheBytes)
+	p.AdaptInterval = 10000
+	p.SampleShift = 2
+	p.PredictorBits = 8
+	bm := NewBiModal(cfg, WithCoreParams(p))
+	fx := NewBiModal(cfg, FixedBigBlocks())
+	rb := runStream(bm, "mcf", 120000, 13)
+	rf := runStream(fx, "mcf", 120000, 13)
+	if rb.WastedFetchBytes >= rf.WastedFetchBytes {
+		t.Errorf("BiModal waste %d >= fixed-512 waste %d", rb.WastedFetchBytes, rf.WastedFetchBytes)
+	}
+	if rb.SmallFraction <= 0.05 {
+		t.Errorf("BiModal small fraction %.3f too low on sparse workload", rb.SmallFraction)
+	}
+}
+
+func TestLocatorReducesLatencyVsNoLocator(t *testing.T) {
+	// Figure 8a's shape: way location cuts average latency.
+	cfg := tinyConfig()
+	with := NewBiModal(cfg)
+	without := NewBiModal(cfg, WithoutLocator())
+	rw := runStream(with, "soplex", 60000, 17)
+	ro := runStream(without, "soplex", 60000, 17)
+	if rw.AvgLatency() >= ro.AvgLatency() {
+		t.Errorf("with locator %.1f >= without %.1f", rw.AvgLatency(), ro.AvgLatency())
+	}
+}
+
+func TestPrefetchBypassDoesNotFill(t *testing.T) {
+	cfg := tinyConfig()
+	bm := NewBiModal(cfg, WithPrefetchBypass())
+	p := addr.Phys(0x123440)
+	r := bm.Access(Request{Addr: p, Prefetch: true}, 0)
+	if r.Hit {
+		t.Fatal("cold prefetch hit")
+	}
+	if bm.Core().Contains(p) {
+		t.Error("bypassed prefetch filled the cache")
+	}
+	// Without bypass, prefetches fill normally.
+	bm2 := NewBiModal(cfg)
+	bm2.Access(Request{Addr: p, Prefetch: true}, 0)
+	if !bm2.Core().Contains(p) {
+		t.Error("normal prefetch did not fill")
+	}
+}
+
+func TestWritesArePosted(t *testing.T) {
+	for _, s := range allSchemes() {
+		start := int64(1000)
+		r := s.Access(Request{Addr: 0x7000, Write: true}, start)
+		if r.Done < start {
+			t.Errorf("%s: write completion %d before arrival", s.Name(), r.Done)
+		}
+		rep := s.Report()
+		if rep.LatencyN != 0 {
+			t.Errorf("%s: writes must not enter the demand latency average", s.Name())
+		}
+	}
+}
+
+func TestWritebackTrafficAppears(t *testing.T) {
+	// Dirty evictions must generate off-chip write bytes.
+	cfg := tinyConfig()
+	bm := NewBiModal(cfg)
+	r := runStream(bm, "lbm", 120000, 19) // high write fraction
+	if r.OffchipWriteBytes == 0 {
+		t.Error("no off-chip writeback traffic on a write-heavy workload")
+	}
+	if r.OffchipReadBytes == 0 {
+		t.Error("no off-chip read traffic")
+	}
+}
+
+func TestAlloyPredictorParallelProbe(t *testing.T) {
+	cfg := tinyConfig()
+	al := NewAlloy(cfg)
+	// Train the predictor to expect misses in a region by missing a lot.
+	for i := 0; i < 64; i++ {
+		al.Access(Request{Addr: addr.Phys(0x100000 + i*64)}, int64(i)*1000)
+	}
+	r := al.Report()
+	if r.Accesses != 64 {
+		t.Fatalf("accesses = %d", r.Accesses)
+	}
+	// After training, a fresh miss in the same region should have lower
+	// latency than the first (serial) miss — the parallel probe at work.
+	first := al2Latency(t, cfg, false)
+	trained := al2Latency(t, cfg, true)
+	if trained >= first {
+		t.Errorf("predicted-miss latency %d >= predicted-hit(serial) latency %d", trained, first)
+	}
+}
+
+// al2Latency measures one miss latency with the predictor either trained
+// toward miss or left at its hit-leaning initialization.
+func al2Latency(t *testing.T, cfg Config, trainMiss bool) int64 {
+	t.Helper()
+	al := NewAlloy(cfg)
+	now := int64(0)
+	if trainMiss {
+		for i := 0; i < 16; i++ {
+			res := al.Access(Request{Addr: addr.Phys(0x200000 + i*64)}, now)
+			now = res.Done + 500
+		}
+	}
+	probe := addr.Phys(0x203000)
+	res := al.Access(Request{Addr: probe}, now+10000)
+	return res.Done - (now + 10000)
+}
+
+func TestFootprintBypassSingletons(t *testing.T) {
+	cfg := tinyConfig()
+	fp := NewFootprint(cfg)
+	// Build a singleton history: touch one line of a page, evict it by
+	// filling its set, repeat; then a later page sharing the history entry
+	// bypasses. Simpler: drive the pointer-chase profile and check some
+	// bypasses occur.
+	runStream(fp, "mcf", 150000, 23)
+	if fp.Bypassed == 0 {
+		t.Error("no singleton bypasses on a pointer-chase workload")
+	}
+}
+
+func TestFootprintReducesFetchVsFullPages(t *testing.T) {
+	// The footprint predictor should fetch far less than 2KB per page
+	// miss once history warms on a sparse workload.
+	cfg := tinyConfig()
+	fp := NewFootprint(cfg)
+	r := runStream(fp, "mcf", 150000, 29)
+	missCount := r.Accesses - r.Hits
+	if missCount == 0 {
+		t.Fatal("no misses")
+	}
+	bytesPerMiss := float64(r.OffchipReadBytes) / float64(missCount)
+	if bytesPerMiss > fpcPageBytes/2 {
+		t.Errorf("%.0f bytes fetched per miss; predictor not constraining footprints", bytesPerMiss)
+	}
+}
+
+func TestWithCoreParamsOverride(t *testing.T) {
+	cfg := tinyConfig()
+	p := core.DefaultParams(cfg.CacheBytes)
+	p.BigBlock = 256
+	p.Threshold = 3
+	bm := NewBiModal(cfg, WithCoreParams(p))
+	if bm.Core().Params().BigBlock != 256 {
+		t.Error("core params override ignored")
+	}
+	r := bm.Access(Request{Addr: 0x5000}, 0)
+	if r.Hit {
+		t.Error("cold hit")
+	}
+}
+
+func TestMonotoneTimeUnderLoad(t *testing.T) {
+	// Completion times never precede arrivals even under bursty traffic.
+	for _, s := range allSchemes() {
+		g := trace.NewSynthetic(trace.MustProfile("milc"), 0, 31)
+		now := int64(0)
+		for i := 0; i < 5000; i++ {
+			a := g.Next()
+			p := a.Addr & (1<<22 - 1) &^ 63
+			r := s.Access(Request{Addr: p, Write: a.Write}, now)
+			if !a.Write && r.Done < now {
+				t.Fatalf("%s: done %d < now %d", s.Name(), r.Done, now)
+			}
+			now += 2 // deliberately bursty
+		}
+	}
+}
+
+func TestReportDerivedMetrics(t *testing.T) {
+	r := Report{Accesses: 10, Hits: 5, LatencySum: 700, LatencyN: 7,
+		LocatorLookups: 10, LocatorHits: 9, MetaReads: 4, MetaRowHits: 3,
+		OffchipReadBytes: 100, OffchipWriteBytes: 50}
+	if r.HitRate() != 0.5 || r.AvgLatency() != 100 || r.LocatorHitRate() != 0.9 || r.MetaRowHitRate() != 0.75 {
+		t.Errorf("derived metrics wrong: %+v", r)
+	}
+	if r.OffchipBytes() != 150 {
+		t.Error("OffchipBytes wrong")
+	}
+	var zero Report
+	if zero.HitRate() != 0 || zero.AvgLatency() != 0 || zero.LocatorHitRate() != 0 || zero.MetaRowHitRate() != 0 {
+		t.Error("zero report should yield zero metrics")
+	}
+}
+
+func TestAssocArray(t *testing.T) {
+	a := newAssocArray(4, 2)
+	if a.lookup(0, 42, true) != -1 {
+		t.Error("cold lookup should miss")
+	}
+	_, w := a.insert(0, 42, 7)
+	if a.lookup(0, 42, true) != w {
+		t.Error("lookup after insert failed")
+	}
+	if a.aux(0, w) != 7 {
+		t.Error("aux payload lost")
+	}
+	a.setAux(0, w, 9)
+	if a.aux(0, w) != 9 {
+		t.Error("setAux failed")
+	}
+	a.insert(0, 43, 0)
+	a.lookup(0, 42, true) // make 43 LRU
+	victim, _ := a.insert(0, 44, 0)
+	if !victim.valid || victim.tag != 43 {
+		t.Errorf("LRU victim = %+v, want tag 43", victim)
+	}
+	if aux, ok := a.invalidate(0, 44); !ok || aux != 0 {
+		t.Error("invalidate failed")
+	}
+	if a.lookup(0, 44, false) != -1 {
+		t.Error("entry survived invalidate")
+	}
+	if _, ok := a.invalidate(0, 999); ok {
+		t.Error("invalidate of absent tag reported ok")
+	}
+}

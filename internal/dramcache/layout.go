@@ -1,0 +1,89 @@
+package dramcache
+
+import (
+	"bimodal/internal/addr"
+	"bimodal/internal/core"
+)
+
+// setLayout maps cache sets onto the stacked DRAM geometry.
+//
+// With separate metadata (the paper's design, Figure 4), bank 0 of every
+// channel is the metadata bank and banks 1..B-1 hold data; the metadata
+// for the sets whose data lives on channel c is stored in the metadata
+// bank of channel (c+1) mod C, enabling concurrent tag and data access.
+//
+// With co-located metadata (the Figure 9b baseline), tags share the data
+// row: a metadata access goes to the same bank and row as the data, so it
+// competes for — and measures the row-buffer behaviour of — the data banks.
+type setLayout struct {
+	channels     int
+	banks        int // banks per channel
+	pageBytes    uint64
+	setBytes     uint64
+	rowsPerSet   uint64 // sets larger than a DRAM page span consecutive rows
+	metaBytes    int64  // metadata bytes per set (burst aligned)
+	separateMeta bool
+}
+
+func newSetLayout(channels, banksPerChannel int, pageBytes uint64, p core.Params, separate bool) setLayout {
+	rows := (p.SetBytes + pageBytes - 1) / pageBytes
+	return setLayout{
+		channels:     channels,
+		banks:        banksPerChannel,
+		pageBytes:    pageBytes,
+		setBytes:     p.SetBytes,
+		rowsPerSet:   rows,
+		metaBytes:    p.MetadataBytesPerSet(),
+		separateMeta: separate,
+	}
+}
+
+// dataBanks returns the number of banks per channel available for data.
+func (l setLayout) dataBanks() int {
+	if l.separateMeta {
+		return l.banks - 1
+	}
+	return l.banks
+}
+
+// dataLoc returns the DRAM location of the given byte column of a set's
+// data. Sets no larger than a DRAM page occupy one row; the 4KB-set
+// configurations of the Figure 12 sensitivity study span two consecutive
+// rows of the same bank (the extra-activation cost the paper's footnote 6
+// avoids in its main configuration is thus modeled faithfully).
+func (l setLayout) dataLoc(set uint64, column uint64) addr.Location {
+	ch := int(set % uint64(l.channels))
+	idx := set / uint64(l.channels)
+	db := uint64(l.dataBanks())
+	bank := int(idx % db)
+	if l.separateMeta {
+		bank++ // bank 0 is the metadata bank
+	}
+	return addr.Location{
+		Channel: ch,
+		Rank:    0,
+		Bank:    bank,
+		Row:     idx/db*l.rowsPerSet + column/l.pageBytes,
+		Column:  column % l.pageBytes,
+	}
+}
+
+// metaLoc returns the DRAM location of a set's metadata.
+func (l setLayout) metaLoc(set uint64) addr.Location {
+	if !l.separateMeta {
+		// Tags share the data row (column position after the data is a
+		// modelling simplification: what matters is bank/row identity).
+		return l.dataLoc(set, 0)
+	}
+	ch := int(set % uint64(l.channels))
+	mch := (ch + 1) % l.channels
+	idx := set / uint64(l.channels)
+	perRow := uint64(int64(l.pageBytes) / l.metaBytes)
+	return addr.Location{
+		Channel: mch,
+		Rank:    0,
+		Bank:    0,
+		Row:     idx / perRow,
+		Column:  (idx % perRow) * uint64(l.metaBytes),
+	}
+}

@@ -1,0 +1,57 @@
+package dramcache
+
+import (
+	"testing"
+
+	"bimodal/internal/core"
+)
+
+// TestLayout4KBSetsSpanTwoRows verifies the Figure 12 sensitivity
+// configurations: a 4KB set over 2KB DRAM pages occupies two consecutive
+// rows of one bank, and distinct sets never collide.
+func TestLayout4KBSetsSpanTwoRows(t *testing.T) {
+	p := core.DefaultParams(1 << 20)
+	p.SetBytes = 4096
+	p.MinBig = 4
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	l := newSetLayout(2, 8, 2048, p, true)
+	if l.rowsPerSet != 2 {
+		t.Fatalf("rowsPerSet = %d, want 2", l.rowsPerSet)
+	}
+	lo := l.dataLoc(0, 0)
+	hi := l.dataLoc(0, 4095)
+	if lo.Bank != hi.Bank || lo.Channel != hi.Channel {
+		t.Errorf("set halves in different banks: %+v vs %+v", lo, hi)
+	}
+	if hi.Row != lo.Row+1 {
+		t.Errorf("second half row = %d, want %d", hi.Row, lo.Row+1)
+	}
+	if hi.Column != 4095%2048 {
+		t.Errorf("second half column = %d", hi.Column)
+	}
+	// Distinct sets of the same bank use disjoint row pairs.
+	a := l.dataLoc(0, 0)
+	b := l.dataLoc(2*7, 0) // same channel, same bank (2 channels x 7 data banks)
+	if a.Bank != b.Bank || a.Channel != b.Channel {
+		t.Fatalf("expected same bank: %+v vs %+v", a, b)
+	}
+	if b.Row != a.Row+2 {
+		t.Errorf("next set's base row = %d, want %d", b.Row, a.Row+2)
+	}
+}
+
+// TestLayout2KBSetsSingleRow: the main configuration keeps each set in
+// exactly one row (the paper's footnote 6 constraint).
+func TestLayout2KBSetsSingleRow(t *testing.T) {
+	l := testLayout(true)
+	if l.rowsPerSet != 1 {
+		t.Fatalf("rowsPerSet = %d, want 1", l.rowsPerSet)
+	}
+	lo := l.dataLoc(5, 0)
+	hi := l.dataLoc(5, 2047)
+	if lo.Row != hi.Row || hi.Column != 2047 {
+		t.Errorf("2KB set split across rows: %+v vs %+v", lo, hi)
+	}
+}

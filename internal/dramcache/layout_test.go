@@ -1,0 +1,118 @@
+package dramcache
+
+import (
+	"testing"
+
+	"bimodal/internal/addr"
+	"bimodal/internal/core"
+)
+
+func testLayout(separate bool) setLayout {
+	p := core.DefaultParams(1 << 20)
+	return newSetLayout(2, 8, 2048, p, separate)
+}
+
+func TestLayoutSeparateMetadataBank(t *testing.T) {
+	l := testLayout(true)
+	if l.dataBanks() != 7 {
+		t.Errorf("data banks = %d, want 7 (bank 0 is metadata)", l.dataBanks())
+	}
+	for set := uint64(0); set < 512; set++ {
+		d := l.dataLoc(set, 0)
+		if d.Bank == 0 {
+			t.Fatalf("set %d data placed in the metadata bank", set)
+		}
+		m := l.metaLoc(set)
+		if m.Bank != 0 {
+			t.Fatalf("set %d metadata in bank %d", set, m.Bank)
+		}
+		// Metadata lives on the other channel, enabling concurrent access.
+		if m.Channel == d.Channel {
+			t.Fatalf("set %d metadata on same channel as data", set)
+		}
+	}
+}
+
+func TestLayoutCoLocatedMetadata(t *testing.T) {
+	l := testLayout(false)
+	if l.dataBanks() != 8 {
+		t.Errorf("data banks = %d, want 8", l.dataBanks())
+	}
+	for set := uint64(0); set < 64; set++ {
+		d := l.dataLoc(set, 0)
+		m := l.metaLoc(set)
+		if m.Channel != d.Channel || m.Bank != d.Bank || m.Row != d.Row {
+			t.Fatalf("set %d co-located metadata not in the data row", set)
+		}
+	}
+}
+
+func TestLayoutSetsSpreadAcrossChannelsAndBanks(t *testing.T) {
+	l := testLayout(true)
+	channels := map[int]bool{}
+	banks := map[[2]int]bool{}
+	for set := uint64(0); set < 64; set++ {
+		d := l.dataLoc(set, 0)
+		channels[d.Channel] = true
+		banks[[2]int{d.Channel, d.Bank}] = true
+	}
+	if len(channels) != 2 {
+		t.Errorf("sets use %d channels, want 2", len(channels))
+	}
+	if len(banks) != 14 {
+		t.Errorf("sets use %d (channel,bank) pairs, want 14", len(banks))
+	}
+}
+
+func TestLayoutDistinctSetsDistinctRowsWithinBank(t *testing.T) {
+	l := testLayout(true)
+	seen := map[[3]int64]uint64{}
+	for set := uint64(0); set < 4096; set++ {
+		d := l.dataLoc(set, 0)
+		key := [3]int64{int64(d.Channel), int64(d.Bank), int64(d.Row)}
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("sets %d and %d share a data row %v", prev, set, key)
+		}
+		seen[key] = set
+	}
+}
+
+func TestLayoutMetadataPacking(t *testing.T) {
+	l := testLayout(true)
+	// 2KB rows with 128B of metadata per set: 16 sets per metadata row.
+	perRow := map[uint64]int{}
+	for set := uint64(0); set < 1024; set += 2 { // channel-0 data sets
+		m := l.metaLoc(set)
+		perRow[m.Row]++
+	}
+	for row, n := range perRow {
+		if n > 16 {
+			t.Fatalf("metadata row %d packs %d sets, max 16", row, n)
+		}
+	}
+	// Consecutive same-channel sets pack into the same metadata row.
+	a, b := l.metaLoc(0), l.metaLoc(2)
+	if a.Row != b.Row || a.Column == b.Column {
+		t.Errorf("adjacent sets should share a row at distinct columns: %+v %+v", a, b)
+	}
+}
+
+func TestBiModalParallelTagDataBeatsSerial(t *testing.T) {
+	// The tag-path hit (locator miss, cache hit) must be faster than a
+	// serialized tags-then-data access would be: the data row opens in
+	// parallel with the metadata read (Figure 3).
+	cfg := tinyConfig()
+	bm := NewBiModal(cfg, WithoutLocator()) // all hits take the tag path
+	p := addr.Phys(0x40000)
+	r1 := bm.Access(Request{Addr: p}, 0)
+	start := r1.Done + 100000
+	r2 := bm.Access(Request{Addr: p}, start)
+	lat := r2.Done - start
+	// Serial bound: metadata access (closed row) followed by a full data
+	// access (closed row) would cost at least 2 x (RP/ACT+CAS) ~ 2x45.
+	tm := bm.stacked.Config().Timing
+	serial := 2 * (tm.ClockRatio*(tm.RCD+tm.CL) + tm.BurstCPU(128))
+	if lat >= serial {
+		t.Errorf("tag-path hit latency %d not better than serial bound %d", lat, serial)
+	}
+}

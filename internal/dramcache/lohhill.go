@@ -1,0 +1,194 @@
+package dramcache
+
+import (
+	"bimodal/internal/addr"
+	"bimodal/internal/dram"
+	"bimodal/internal/memctrl"
+)
+
+// lohHillWays is the paper-described organization: a 2KB row holds 29
+// 64B data blocks plus 3 blocks of tags, forming one 29-way set.
+const lohHillWays = 29
+
+// lohHillTagBytes is the tag storage read per lookup (two 64B bursts cover
+// 29 tags at ~4B each).
+const lohHillTagBytes = 128
+
+// LohHill implements the Loh-Hill baseline (MICRO 2011): 64B blocks,
+// 29-way sets co-located with their tags in a single DRAM row, accessed by
+// compound scheduling — activate the row once, read the tags, then (on a
+// hit) read the data with a column access to the open row.
+type LohHill struct {
+	baseStats
+	cfg     Config
+	stacked *memctrl.Controller
+	offchip *memctrl.Controller
+
+	numSets int
+	sets    *assocArray
+
+	// missMap, when enabled, tracks resident lines exactly (the paper's
+	// MissMap lives in the L3 and is consulted before the DRAM cache, so
+	// known misses skip the tags-then-data DRAM accesses entirely).
+	missMap     map[uint64]struct{}
+	missMapLat  int64
+	metaReads   int64
+	metaRowHits int64
+}
+
+// LohHillOption customizes NewLohHill.
+type LohHillOption func(*LohHill)
+
+// WithMissMap enables the Loh-Hill MissMap: an exact residency tracker
+// (held in the LLSC in their design) that lets predicted misses go
+// straight to off-chip memory without the compound DRAM tag access.
+func WithMissMap() LohHillOption {
+	return func(l *LohHill) {
+		l.missMap = make(map[uint64]struct{})
+		l.missMapLat = 6 // the MissMap shares the L3; a full L3-latency probe
+	}
+}
+
+// NewLohHill builds the scheme for cfg.
+func NewLohHill(cfg Config, opts ...LohHillOption) *LohHill {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	stacked, offchip := cfg.controllers()
+	n := int(cfg.CacheBytes / (lohHillWays * 64))
+	l := &LohHill{
+		cfg:     cfg,
+		stacked: stacked,
+		offchip: offchip,
+		numSets: n,
+		sets:    newAssocArray(n, lohHillWays),
+	}
+	for _, o := range opts {
+		o(l)
+	}
+	return l
+}
+
+// Name implements Scheme.
+func (l *LohHill) Name() string {
+	if l.missMap != nil {
+		return "LohHill+MissMap"
+	}
+	return "LohHill"
+}
+
+// setLoc maps a set to its DRAM row; column 0..191 hold the tags, data
+// block w sits at column 192 + 64w.
+func (l *LohHill) setLoc(set int, column uint64) addr.Location {
+	g := l.stacked.Config().Geometry
+	ch := set % g.Channels
+	i := set / g.Channels
+	bank := i % g.Banks()
+	return addr.Location{
+		Channel: ch,
+		Rank:    0,
+		Bank:    bank,
+		Row:     uint64(i / g.Banks()),
+		Column:  column,
+	}
+}
+
+const lohHillDataBase = 3 * 64 // data columns start after the 3 tag blocks
+
+// Access implements Scheme.
+func (l *LohHill) Access(req Request, now int64) Result {
+	line := req.Addr.Line64()
+	lineID := uint64(line) >> 6
+	set := int(lineID % uint64(l.numSets))
+	tag := lineID / uint64(l.numSets)
+
+	const ctrlLatency = 1
+	t0 := now + ctrlLatency
+
+	// MissMap short-circuit: a known-absent line skips the DRAM tag access.
+	if l.missMap != nil {
+		if _, resident := l.missMap[lineID]; !resident {
+			done, _ := l.offchip.Read(line, t0+l.missMapLat, 64)
+			if !req.Write {
+				l.fillAfterMiss(req, set, tag, now)
+				l.missMap[lineID] = struct{}{}
+			} else {
+				way := l.fillAfterMiss(req, set, tag, now)
+				l.stacked.WriteAt(l.setLoc(set, lohHillDataBase+uint64(way)*64), now, 64)
+				l.sets.setAux(set, way, 1)
+				l.missMap[lineID] = struct{}{}
+			}
+			l.note(req, false, now, done)
+			return Result{Done: done, Hit: false}
+		}
+		t0 += l.missMapLat
+	}
+
+	// Compound access: tag read opens the row; everything after is a row
+	// hit in the same bank.
+	tagsDone, rr := l.stacked.ReadAt(l.setLoc(set, 0), t0, lohHillTagBytes)
+	l.metaReads++
+	if rr == dram.RowHit {
+		l.metaRowHits++
+	}
+	way := l.sets.lookup(set, tag, true)
+	hit := way >= 0
+
+	var done int64
+	if req.Write {
+		if !hit {
+			way = l.fillAfterMiss(req, set, tag, now)
+		}
+		l.stacked.WriteAt(l.setLoc(set, lohHillDataBase+uint64(way)*64), now, 64)
+		l.sets.setAux(set, way, 1) // dirty
+		done = tagsDone + tagCompareCycles
+	} else if hit {
+		done, _ = l.stacked.ReadAt(l.setLoc(set, lohHillDataBase+uint64(way)*64), tagsDone+tagCompareCycles, 64)
+		// Recency update (LRU bits rewritten into the tag blocks; posted).
+		l.stacked.WriteAt(l.setLoc(set, 0), now, 64)
+	} else {
+		offDone, _ := l.offchip.Read(line, tagsDone+tagCompareCycles, 64)
+		done = offDone
+		l.fillAfterMiss(req, set, tag, now)
+	}
+	l.note(req, hit, now, done)
+	return Result{Done: done, Hit: hit}
+}
+
+// fillAfterMiss installs the line (posted), writing back a dirty victim.
+func (l *LohHill) fillAfterMiss(req Request, set int, tag uint64, at int64) int {
+	victim, way := l.sets.insert(set, tag, 0)
+	if l.missMap != nil && victim.valid {
+		delete(l.missMap, victim.tag*uint64(l.numSets)+uint64(set))
+	}
+	if victim.valid && victim.aux != 0 {
+		vaddr := addr.Phys((victim.tag*uint64(l.numSets) + uint64(set)) << 6)
+		rd, _ := l.stacked.ReadAt(l.setLoc(set, lohHillDataBase+uint64(victim.way)*64), at, 64)
+		l.offchip.Write(vaddr, rd, 64)
+	}
+	l.stacked.WriteAt(l.setLoc(set, lohHillDataBase+uint64(way)*64), at, 64)
+	l.stacked.WriteAt(l.setLoc(set, 0), at, 64) // tag install
+	return way
+}
+
+// ResetStats implements Scheme.
+func (l *LohHill) ResetStats() {
+	l.baseStats.reset()
+	l.metaReads, l.metaRowHits = 0, 0
+	l.stacked.ResetStats()
+	l.offchip.ResetStats()
+}
+
+// Report implements Scheme.
+func (l *LohHill) Report() Report {
+	r := Report{Scheme: l.Name()}
+	l.fill(&r)
+	r.MetaReads = l.metaReads
+	r.MetaRowHits = l.metaRowHits
+	off := l.offchip.Stats()
+	r.OffchipReadBytes = off.BytesRead
+	r.OffchipWriteBytes = off.BytesWrit
+	r.Stacked = l.stacked.Stats()
+	r.Offchip = off
+	return r
+}

@@ -1,0 +1,48 @@
+package dramcache
+
+import "bimodal/internal/addr"
+
+// regionPredictor is a region-indexed 3-bit counter hit/miss predictor
+// (1KB class, the budget of the MAP-I predictor it substitutes for —
+// traces carry no PCs, so counters are indexed by per-core hashed memory
+// region instead of instruction address).
+//
+// AlloyCache uses it as designed (Table IV); for Bi-Modal it is the
+// optional orthogonal extension the paper points at in footnote 11: on a
+// predicted miss the off-chip access is issued in parallel with the tag
+// access, hiding most of the miss-detection latency at the cost of a
+// wasted off-chip read when the prediction is wrong.
+type regionPredictor struct {
+	counters [4096]uint8
+}
+
+func (p *regionPredictor) index(core int, a addr.Phys) int {
+	h := (uint64(a)>>13 ^ uint64(a)>>21) + uint64(core)*0x9E37
+	return int(h & 4095)
+}
+
+// predictHit returns true when the access is predicted to hit.
+func (p *regionPredictor) predictHit(core int, a addr.Phys) bool {
+	return p.counters[p.index(core, a)] >= 4
+}
+
+func (p *regionPredictor) update(core int, a addr.Phys, hit bool) {
+	i := p.index(core, a)
+	if hit {
+		if p.counters[i] < 7 {
+			p.counters[i]++
+		}
+	} else if p.counters[i] > 0 {
+		p.counters[i]--
+	}
+}
+
+// newHitLeaning returns a predictor initialized toward "hit" so a cold
+// stream does not flood the off-chip bus with parallel probes.
+func newHitLeaning() *regionPredictor {
+	p := &regionPredictor{}
+	for i := range p.counters {
+		p.counters[i] = 4
+	}
+	return p
+}

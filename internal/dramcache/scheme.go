@@ -1,0 +1,209 @@
+// Package dramcache implements the DRAM cache organizations evaluated in
+// the paper as timing-aware schemes over the stacked-DRAM and off-chip
+// memory controllers:
+//
+//   - BiModal       — the paper's proposal (internal/core) with the way
+//     locator, separate metadata banks and parallel tag+data
+//   - BiModalOnly   — ablation: bi-modal blocks, no way locator
+//   - WayLocatorOnly — ablation: fixed 512B blocks with the way locator
+//   - Alloy         — AlloyCache: direct-mapped 64B TADs, one big burst
+//   - LohHill       — 29-way sets, compound tag-then-data accesses
+//   - ATCache       — tags in DRAM plus an SRAM tag cache with prefetch
+//   - Footprint     — 2KB pages, tags in SRAM, footprint-predicted fetch
+//
+// Every scheme consumes Requests (64B-line demand/prefetch accesses) and
+// returns the CPU cycle at which the line is available to the LLSC,
+// scheduling all secondary traffic (fills, writebacks, metadata updates)
+// as posted operations on the same controllers so bank and bus contention
+// is fully accounted.
+package dramcache
+
+import (
+	"fmt"
+
+	"bimodal/internal/addr"
+	"bimodal/internal/dram"
+	"bimodal/internal/memctrl"
+)
+
+// Request is one 64B-line access presented to a DRAM cache.
+type Request struct {
+	Addr     addr.Phys
+	Write    bool
+	Core     int
+	Prefetch bool
+}
+
+// Result reports the serviced access.
+type Result struct {
+	// Done is the CPU cycle at which the critical 64B is available.
+	Done int64
+	// Hit reports a DRAM cache hit.
+	Hit bool
+}
+
+// Scheme is a DRAM cache organization.
+type Scheme interface {
+	// Name identifies the scheme.
+	Name() string
+	// Access services one request arriving at CPU cycle now.
+	Access(req Request, now int64) Result
+	// Report returns accumulated metrics.
+	Report() Report
+	// ResetStats clears accumulated metrics while keeping all cache state
+	// warm — called at the end of the warmup window.
+	ResetStats()
+}
+
+// Report carries the metrics every experiment consumes.
+type Report struct {
+	Scheme     string
+	Accesses   int64
+	Hits       int64
+	LatencySum int64 // sum over demand reads of (Done - arrival)
+	LatencyN   int64 // number of demand reads in LatencySum
+	// Way locator / tag cache behaviour (zero for schemes without one).
+	LocatorLookups int64
+	LocatorHits    int64
+	// Metadata-bank row buffer behaviour (tags-in-DRAM schemes).
+	MetaReads   int64
+	MetaRowHits int64
+	// Off-chip traffic.
+	OffchipReadBytes  int64
+	OffchipWriteBytes int64
+	// WastedFetchBytes counts fetched-but-unused bytes measured at
+	// eviction (wasted off-chip bandwidth).
+	WastedFetchBytes int64
+	// SmallFraction is the fraction of accesses served at 64B granularity
+	// (Bi-Modal only).
+	SmallFraction float64
+	// Stacked and off-chip controller statistics for energy accounting.
+	Stacked dram.Stats
+	Offchip dram.Stats
+}
+
+// HitRate returns the DRAM cache hit rate.
+func (r Report) HitRate() float64 {
+	if r.Accesses == 0 {
+		return 0
+	}
+	return float64(r.Hits) / float64(r.Accesses)
+}
+
+// AvgLatency returns the mean demand-read latency in CPU cycles (the
+// paper's average LLSC miss penalty).
+func (r Report) AvgLatency() float64 {
+	if r.LatencyN == 0 {
+		return 0
+	}
+	return float64(r.LatencySum) / float64(r.LatencyN)
+}
+
+// LocatorHitRate returns the way locator (or tag cache) hit rate.
+func (r Report) LocatorHitRate() float64 {
+	if r.LocatorLookups == 0 {
+		return 0
+	}
+	return float64(r.LocatorHits) / float64(r.LocatorLookups)
+}
+
+// MetaRowHitRate returns the metadata-access row-buffer hit rate.
+func (r Report) MetaRowHitRate() float64 {
+	if r.MetaReads == 0 {
+		return 0
+	}
+	return float64(r.MetaRowHits) / float64(r.MetaReads)
+}
+
+// OffchipBytes returns total off-chip traffic.
+func (r Report) OffchipBytes() int64 { return r.OffchipReadBytes + r.OffchipWriteBytes }
+
+// Config sizes a scheme per Table IV.
+type Config struct {
+	// Cores selects the preset scale (4, 8 or 16).
+	Cores int
+	// CacheBytes is the DRAM cache data capacity.
+	CacheBytes uint64
+	// StackedChannels / OffChannels size the two memory systems.
+	StackedChannels int
+	OffChannels     int
+	// WayLocatorK is the locator index width (Table III; 14 by default).
+	WayLocatorK uint
+	// Seed feeds scheme-internal randomness.
+	Seed uint64
+}
+
+// DefaultConfig returns the Table IV configuration for 4, 8 or 16 cores.
+func DefaultConfig(cores int) Config {
+	c := Config{Cores: cores, WayLocatorK: 14, Seed: 1}
+	switch cores {
+	case 4:
+		c.CacheBytes = 128 << 20
+		c.StackedChannels = 2
+		c.OffChannels = 1
+	case 8:
+		c.CacheBytes = 256 << 20
+		c.StackedChannels = 4
+		c.OffChannels = 2
+	case 16:
+		c.CacheBytes = 512 << 20
+		c.StackedChannels = 8
+		c.OffChannels = 4
+	default:
+		panic(fmt.Sprintf("dramcache: no preset for %d cores", cores))
+	}
+	return c
+}
+
+// Validate reports a configuration error.
+func (c Config) Validate() error {
+	switch {
+	case c.CacheBytes == 0 || !addr.IsPow2(c.CacheBytes):
+		return fmt.Errorf("dramcache: CacheBytes %d must be a power of two", c.CacheBytes)
+	case c.StackedChannels <= 0 || !addr.IsPow2(uint64(c.StackedChannels)):
+		return fmt.Errorf("dramcache: StackedChannels %d must be a positive power of two", c.StackedChannels)
+	case c.OffChannels <= 0 || !addr.IsPow2(uint64(c.OffChannels)):
+		return fmt.Errorf("dramcache: OffChannels %d must be a positive power of two", c.OffChannels)
+	case c.WayLocatorK == 0 || c.WayLocatorK > 24:
+		return fmt.Errorf("dramcache: WayLocatorK %d out of range", c.WayLocatorK)
+	}
+	return nil
+}
+
+// controllers builds the stacked and off-chip memory controllers for c.
+func (c Config) controllers() (stacked, offchip *memctrl.Controller) {
+	return memctrl.New(memctrl.StackedConfig(c.StackedChannels)),
+		memctrl.New(memctrl.OffChipConfig(c.OffChannels))
+}
+
+// baseStats is embedded by schemes for the common counters.
+type baseStats struct {
+	accesses   int64
+	hits       int64
+	latencySum int64
+	latencyN   int64
+}
+
+// note records one serviced access; demand-read latencies enter the
+// latency average (writes are posted, prefetches are not demand).
+func (b *baseStats) note(req Request, hit bool, arrived, done int64) {
+	b.accesses++
+	if hit {
+		b.hits++
+	}
+	if !req.Write && !req.Prefetch {
+		b.latencySum += done - arrived
+		b.latencyN++
+	}
+}
+
+// reset zeroes the common counters.
+func (b *baseStats) reset() { *b = baseStats{} }
+
+// fill copies the common counters into a Report.
+func (b *baseStats) fill(r *Report) {
+	r.Accesses = b.accesses
+	r.Hits = b.hits
+	r.LatencySum = b.latencySum
+	r.LatencyN = b.latencyN
+}

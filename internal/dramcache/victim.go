@@ -1,0 +1,51 @@
+package dramcache
+
+import "bimodal/internal/addr"
+
+// victimReadCycles is the latency of serving a fill from the victim
+// buffer (an SRAM structure holding whole big blocks).
+const victimReadCycles = 4
+
+// victimBuffer is a small FIFO of recently evicted big blocks, probed on
+// misses when the WithVictimCache extension is enabled.
+type victimBuffer struct {
+	ring    []addr.Phys
+	pos     int
+	present map[addr.Phys]bool
+}
+
+func newVictimBuffer(n int) *victimBuffer {
+	return &victimBuffer{
+		ring:    make([]addr.Phys, n),
+		present: make(map[addr.Phys]bool, n),
+	}
+}
+
+// put records an evicted block base address.
+func (v *victimBuffer) put(base addr.Phys) {
+	if v.present[base] {
+		return
+	}
+	if old := v.ring[v.pos]; old != 0 {
+		delete(v.present, old)
+	}
+	v.ring[v.pos] = base
+	v.present[base] = true
+	v.pos = (v.pos + 1) % len(v.ring)
+}
+
+// take removes and reports the block if buffered (a victim hit consumes
+// the entry — the block moves back into the cache).
+func (v *victimBuffer) take(base addr.Phys) bool {
+	if !v.present[base] {
+		return false
+	}
+	delete(v.present, base)
+	for i, a := range v.ring {
+		if a == base {
+			v.ring[i] = 0
+			break
+		}
+	}
+	return true
+}

@@ -1,0 +1,77 @@
+// Package energy estimates memory-system energy from the event counts the
+// simulator collects, following the paper's Section V-H methodology: the
+// energy model consumes the number of accesses, row activations, row
+// buffer hits, and the amount of data transferred in the DRAM cache and
+// main memory.
+//
+// The per-event constants are representative 22nm-era values from the
+// DRAM-power literature (Micron power model class); the experiments
+// compare schemes under the same constants, so only the relative energies
+// matter — exactly as in the paper.
+package energy
+
+import "bimodal/internal/dramcache"
+
+// Params holds per-event energies in nanojoules.
+type Params struct {
+	// StackedActNJ is the activate+precharge energy of a stacked DRAM row.
+	StackedActNJ float64
+	// StackedByteNJ is stacked DRAM access+transfer energy per byte (TSV
+	// I/O is cheap relative to board-level signaling).
+	StackedByteNJ float64
+	// OffActNJ is the activate+precharge energy of an off-chip DDR3 row.
+	OffActNJ float64
+	// OffByteNJ is off-chip access+transfer energy per byte, dominated by
+	// board-level I/O.
+	OffByteNJ float64
+	// RefreshNJ is the per-refresh-event energy (whole rank).
+	RefreshNJ float64
+	// SRAMLookupNJ is the way-locator / tag-cache / predictor lookup
+	// energy.
+	SRAMLookupNJ float64
+}
+
+// Default returns the constants used by the evaluation.
+func Default() Params {
+	return Params{
+		StackedActNJ:  1.2,
+		StackedByteNJ: 0.004, // 4 pJ/byte-class internal transfer
+		OffActNJ:      3.8,
+		OffByteNJ:     0.07, // ~70 pJ/byte board-level I/O + array access
+		RefreshNJ:     28,
+		SRAMLookupNJ:  0.01,
+	}
+}
+
+// Breakdown is the estimated energy split, in nanojoules.
+type Breakdown struct {
+	StackedNJ float64
+	OffchipNJ float64
+	SRAMNJ    float64
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() float64 { return b.StackedNJ + b.OffchipNJ + b.SRAMNJ }
+
+// Compute derives the energy breakdown of a scheme run from its report.
+func Compute(r dramcache.Report, p Params) Breakdown {
+	var b Breakdown
+	b.StackedNJ = float64(r.Stacked.Activates)*p.StackedActNJ +
+		float64(r.Stacked.BytesRead+r.Stacked.BytesWrit)*p.StackedByteNJ +
+		float64(r.Stacked.Refreshes)*p.RefreshNJ
+	b.OffchipNJ = float64(r.Offchip.Activates)*p.OffActNJ +
+		float64(r.Offchip.BytesRead+r.Offchip.BytesWrit)*p.OffByteNJ +
+		float64(r.Offchip.Refreshes)*p.RefreshNJ
+	b.SRAMNJ = float64(r.LocatorLookups) * p.SRAMLookupNJ
+	return b
+}
+
+// PerAccess normalizes a breakdown by the access count, returning
+// nanojoules per DRAM cache access (the comparable quantity across schemes
+// with identical workloads).
+func PerAccess(b Breakdown, accesses int64) float64 {
+	if accesses == 0 {
+		return 0
+	}
+	return b.Total() / float64(accesses)
+}

@@ -1,0 +1,73 @@
+package energy
+
+import (
+	"testing"
+
+	"bimodal/internal/dram"
+	"bimodal/internal/dramcache"
+)
+
+func report(stackedActs, stackedBytes, offActs, offBytes, lookups int64) dramcache.Report {
+	return dramcache.Report{
+		Stacked:        dram.Stats{Activates: stackedActs, BytesRead: stackedBytes},
+		Offchip:        dram.Stats{Activates: offActs, BytesRead: offBytes},
+		LocatorLookups: lookups,
+	}
+}
+
+func TestComputeComponents(t *testing.T) {
+	p := Params{StackedActNJ: 1, StackedByteNJ: 0.5, OffActNJ: 2, OffByteNJ: 1, SRAMLookupNJ: 0.1}
+	b := Compute(report(10, 100, 5, 50, 20), p)
+	if b.StackedNJ != 10+50 {
+		t.Errorf("stacked = %v", b.StackedNJ)
+	}
+	if b.OffchipNJ != 10+50 {
+		t.Errorf("offchip = %v", b.OffchipNJ)
+	}
+	if b.SRAMNJ != 2 {
+		t.Errorf("sram = %v", b.SRAMNJ)
+	}
+	if b.Total() != 122 {
+		t.Errorf("total = %v", b.Total())
+	}
+}
+
+func TestRefreshCounted(t *testing.T) {
+	p := Default()
+	r := dramcache.Report{Offchip: dram.Stats{Refreshes: 10}}
+	b := Compute(r, p)
+	if b.OffchipNJ != 10*p.RefreshNJ {
+		t.Errorf("refresh energy = %v", b.OffchipNJ)
+	}
+}
+
+func TestOffchipCostlierPerByte(t *testing.T) {
+	p := Default()
+	// The same traffic volume must cost more off-chip than stacked — the
+	// physical basis for the paper's energy savings.
+	stacked := Compute(dramcache.Report{Stacked: dram.Stats{Activates: 100, BytesRead: 1 << 20}}, p)
+	off := Compute(dramcache.Report{Offchip: dram.Stats{Activates: 100, BytesRead: 1 << 20}}, p)
+	if off.Total() <= stacked.Total() {
+		t.Errorf("off-chip energy %v <= stacked %v", off.Total(), stacked.Total())
+	}
+}
+
+func TestPerAccess(t *testing.T) {
+	b := Breakdown{StackedNJ: 50, OffchipNJ: 50}
+	if PerAccess(b, 100) != 1 {
+		t.Errorf("per access = %v", PerAccess(b, 100))
+	}
+	if PerAccess(b, 0) != 0 {
+		t.Error("zero accesses should yield 0")
+	}
+}
+
+func TestDefaultsSane(t *testing.T) {
+	p := Default()
+	if p.OffByteNJ <= p.StackedByteNJ {
+		t.Error("off-chip per-byte energy must exceed stacked")
+	}
+	if p.OffActNJ <= 0 || p.StackedActNJ <= 0 || p.RefreshNJ <= 0 {
+		t.Error("energies must be positive")
+	}
+}

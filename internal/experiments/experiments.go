@@ -1,0 +1,121 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation. Each experiment is a named driver that runs the required
+// simulations and renders the same rows/series the paper reports; the
+// registry powers cmd/paper and the root-level benchmark harness.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"bimodal/internal/stats"
+	"bimodal/internal/workloads"
+)
+
+// Options scales an experiment run.
+type Options struct {
+	// AccessesPerCore is the per-core replay quota for timing runs.
+	AccessesPerCore int64
+	// StreamAccesses is the total access count for functional stream
+	// studies (Figures 1, 2, 5).
+	StreamAccesses int64
+	// Seed decorrelates reruns.
+	Seed uint64
+	// MaxMixes bounds the number of workload mixes per core count
+	// (0 = all) so quick runs and benchmarks stay cheap.
+	MaxMixes int
+}
+
+// DefaultOptions returns full-scale settings for cmd/paper.
+func DefaultOptions() Options {
+	return Options{
+		AccessesPerCore: 300_000,
+		StreamAccesses:  2_000_000,
+		Seed:            1,
+	}
+}
+
+// QuickOptions returns reduced settings for tests and benchmarks.
+func QuickOptions() Options {
+	return Options{
+		AccessesPerCore: 8_000,
+		StreamAccesses:  120_000,
+		Seed:            1,
+		MaxMixes:        3,
+	}
+}
+
+// normalize fills defaults.
+func (o Options) normalize() Options {
+	d := DefaultOptions()
+	if o.AccessesPerCore == 0 {
+		o.AccessesPerCore = d.AccessesPerCore
+	}
+	if o.StreamAccesses == 0 {
+		o.StreamAccesses = d.StreamAccesses
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+// mixes returns up to MaxMixes workloads for the core count.
+func (o Options) mixes(cores int) []workloads.Mix {
+	ms, err := workloads.ForCores(cores)
+	if err != nil {
+		panic(err)
+	}
+	if o.MaxMixes > 0 && len(ms) > o.MaxMixes {
+		ms = ms[:o.MaxMixes]
+	}
+	return ms
+}
+
+// Experiment is one reproducible table or figure.
+type Experiment struct {
+	// ID is the registry key (fig1, table3, ...).
+	ID string
+	// Title describes the paper artifact.
+	Title string
+	// Run executes the experiment and renders its table.
+	Run func(Options) *stats.Table
+}
+
+var registry = map[string]Experiment{}
+
+// register adds an experiment at init time.
+func register(e Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// ByID returns a registered experiment.
+func ByID(id string) (Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return Experiment{}, fmt.Errorf("experiments: unknown experiment %q (known: %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// IDs lists registered experiment IDs in a stable order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// All returns all experiments in ID order.
+func All() []Experiment {
+	var out []Experiment
+	for _, id := range IDs() {
+		out = append(out, registry[id])
+	}
+	return out
+}

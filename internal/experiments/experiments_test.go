@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{"fig1", "fig2", "fig3", "fig5", "fig7", "fig8a", "fig8b", "fig8c",
+		"fig9a", "fig9b", "fig9c", "fig10", "fig11", "fig12", "table3", "table5", "table6",
+		"ext-misspred", "ext-victim", "sweep-threshold", "sweep-weight", "sweep-predictor"}
+	for _, id := range want {
+		if _, err := ByID(id); err != nil {
+			t.Errorf("missing experiment %s: %v", id, err)
+		}
+	}
+	if len(IDs()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d: %v", len(IDs()), len(want), IDs())
+	}
+	if len(All()) != len(want) {
+		t.Error("All() size mismatch")
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestOptionsNormalize(t *testing.T) {
+	o := Options{}.normalize()
+	if o.AccessesPerCore == 0 || o.StreamAccesses == 0 || o.Seed == 0 {
+		t.Errorf("normalize left zeros: %+v", o)
+	}
+	if len(Options{MaxMixes: 2}.mixes(4)) != 2 {
+		t.Error("MaxMixes not applied")
+	}
+	if len(Options{}.mixes(8)) != 16 {
+		t.Error("full mix table not returned")
+	}
+}
+
+// run executes an experiment with quick options and returns its rendering.
+func run(t *testing.T, id string) string {
+	t.Helper()
+	e, err := ByID(id)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := e.Run(QuickOptions())
+	if tbl == nil || tbl.NumRows() == 0 {
+		t.Fatalf("%s produced no rows", id)
+	}
+	return tbl.String()
+}
+
+func TestFig1MissRateFallsWithBlockSize(t *testing.T) {
+	out := run(t, "fig1")
+	if !strings.Contains(out, "average") || !strings.Contains(out, "4096B") {
+		t.Errorf("unexpected fig1 output:\n%s", out)
+	}
+}
+
+func TestFig2Renders(t *testing.T) {
+	out := run(t, "fig2")
+	if !strings.Contains(out, "fully-used") {
+		t.Errorf("fig2 output:\n%s", out)
+	}
+}
+
+func TestFig3AnalyticShape(t *testing.T) {
+	out := run(t, "fig3")
+	// The paper's comparative ordering: the way-locator hit path must be
+	// the fastest DRAM-touching path, and Loh-Hill the slowest hit path.
+	if !strings.Contains(out, "BiModal(WL-hit)") || !strings.Contains(out, "LohHill") {
+		t.Fatalf("fig3 output:\n%s", out)
+	}
+}
+
+func TestFig5Renders(t *testing.T) {
+	out := run(t, "fig5")
+	if !strings.Contains(out, "top2") {
+		t.Errorf("fig5 output:\n%s", out)
+	}
+}
+
+func TestTable3MatchesPaperShape(t *testing.T) {
+	out := run(t, "table3")
+	for _, want := range []string{"K=10", "K=14", "K=16", "cycle"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table3 missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTable5ListsAllMixes(t *testing.T) {
+	out := run(t, "table5")
+	for _, want := range []string{"Q1", "Q24", "E16", "S8", "mcf"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table5 missing %q", want)
+		}
+	}
+}
+
+func TestFig8bRuns(t *testing.T) {
+	out := run(t, "fig8b")
+	if !strings.Contains(out, "avg gain vs alloy") {
+		t.Errorf("fig8b output:\n%s", out)
+	}
+}
+
+func TestFig9cRuns(t *testing.T) {
+	out := run(t, "fig9c")
+	if !strings.Contains(out, "K=14") {
+		t.Errorf("fig9c output:\n%s", out)
+	}
+}
+
+func TestFig10Runs(t *testing.T) {
+	out := run(t, "fig10")
+	if !strings.Contains(out, "small fraction") {
+		t.Errorf("fig10 output:\n%s", out)
+	}
+}

@@ -1,0 +1,336 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bimodal/internal/dramcache"
+	"bimodal/internal/energy"
+	"bimodal/internal/sim"
+	"bimodal/internal/stats"
+)
+
+func init() {
+	register(Experiment{ID: "fig7", Title: "Figure 7: ANTT improvement of BiModal over AlloyCache (4/8/16-core)", Run: fig7})
+	register(Experiment{ID: "fig8a", Title: "Figure 8a: ANTT improvement of the ablations (8-core)", Run: fig8a})
+	register(Experiment{ID: "fig8b", Title: "Figure 8b: DRAM cache hit rates (quad-core)", Run: fig8b})
+	register(Experiment{ID: "fig8c", Title: "Figure 8c: average access latency across schemes (quad-core)", Run: fig8c})
+	register(Experiment{ID: "fig9a", Title: "Figure 9a: wasted off-chip bandwidth, fixed-512B vs BiModal (8-core)", Run: fig9a})
+	register(Experiment{ID: "fig9b", Title: "Figure 9b: metadata row-buffer hit rate, separate vs co-located (quad-core)", Run: fig9b})
+	register(Experiment{ID: "fig9c", Title: "Figure 9c: way locator hit rate vs table size K (quad-core)", Run: fig9c})
+	register(Experiment{ID: "fig10", Title: "Figure 10: fraction of accesses to small blocks (quad-core)", Run: fig10})
+	register(Experiment{ID: "fig11", Title: "Figure 11: memory energy savings over AlloyCache (8-core)", Run: fig11})
+	register(Experiment{ID: "table6", Title: "Table VI: ANTT improvement over prefetch-enabled baseline (quad-core)", Run: table6})
+	register(Experiment{ID: "fig12", Title: "Figure 12: sensitivity to cache size, block size and associativity (quad-core)", Run: fig12})
+}
+
+// simOpts converts experiment options to sim options. Capacity is scaled
+// to 1/4 of the Table IV presets so the short replays reach eviction
+// steady state (see sim.Options.CacheDivisor).
+func simOpts(o Options) sim.Options {
+	return sim.Options{AccessesPerCore: o.AccessesPerCore, Seed: o.Seed, CacheDivisor: 4}
+}
+
+// mustFactory resolves a scheme factory by name.
+func mustFactory(name string) sim.Factory {
+	f, err := sim.SchemeFactory(name)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// fig7 compares ANTT of BiModal against the AlloyCache baseline across
+// core counts.
+func fig7(o Options) *stats.Table {
+	o = o.normalize()
+	tbl := stats.NewTable("Figure 7: ANTT improvement over AlloyCache",
+		"mix", "alloy ANTT", "bimodal ANTT", "improvement")
+	so := simOpts(o)
+	alloy := mustFactory("alloy")
+	for _, cores := range []int{4, 8, 16} {
+		var imps []float64
+		for _, mix := range o.mixes(cores) {
+			bm := sim.BiModalFactory(cores, so)
+			aANTT, _ := sim.ANTT(mix, alloy, so)
+			bANTT, _ := sim.ANTT(mix, bm, so)
+			imp := stats.Improvement(aANTT, bANTT)
+			imps = append(imps, imp)
+			tbl.AddRow(mix.Name, fmt.Sprintf("%.3f", aANTT), fmt.Sprintf("%.3f", bANTT), stats.FmtPct(imp))
+		}
+		tbl.AddRow(fmt.Sprintf("average(%d-core)", cores), "", "", stats.FmtPct(stats.MeanOf(imps)))
+	}
+	return tbl
+}
+
+// fig8a isolates the two mechanisms: bi-modality alone, way location
+// alone, and the full design, all against AlloyCache on 8-core mixes.
+func fig8a(o Options) *stats.Table {
+	o = o.normalize()
+	tbl := stats.NewTable("Figure 8a: ablation ANTT improvement over AlloyCache (8-core)",
+		"mix", "bimodal-only", "waylocator-only", "bimodal")
+	so := simOpts(o)
+	alloy := mustFactory("alloy")
+	var iOnly, iWL, iFull []float64
+	for _, mix := range o.mixes(8) {
+		aANTT, _ := sim.ANTT(mix, alloy, so)
+		bOnly, _ := sim.ANTT(mix, sim.BiModalFactory(8, so, dramcache.WithoutLocator()), so)
+		bWL, _ := sim.ANTT(mix, sim.BiModalFactory(8, so, dramcache.FixedBigBlocks()), so)
+		bFull, _ := sim.ANTT(mix, sim.BiModalFactory(8, so), so)
+		i1, i2, i3 := stats.Improvement(aANTT, bOnly), stats.Improvement(aANTT, bWL), stats.Improvement(aANTT, bFull)
+		iOnly, iWL, iFull = append(iOnly, i1), append(iWL, i2), append(iFull, i3)
+		tbl.AddRow(mix.Name, stats.FmtPct(i1), stats.FmtPct(i2), stats.FmtPct(i3))
+	}
+	tbl.AddRow("average", stats.FmtPct(stats.MeanOf(iOnly)), stats.FmtPct(stats.MeanOf(iWL)), stats.FmtPct(stats.MeanOf(iFull)))
+	return tbl
+}
+
+// fig8b compares cache hit rates: AlloyCache, fixed-512B, BiModal.
+func fig8b(o Options) *stats.Table {
+	o = o.normalize()
+	tbl := stats.NewTable("Figure 8b: DRAM cache hit rate (quad-core)",
+		"mix", "alloy", "fixed-512B", "bimodal")
+	so := simOpts(o)
+	var gFixed, gBM []float64
+	for _, mix := range o.mixes(4) {
+		ra := sim.Run(mix, mustFactory("alloy"), so).Report
+		rf := sim.Run(mix, sim.BiModalFactory(4, so, dramcache.FixedBigBlocks()), so).Report
+		rb := sim.Run(mix, sim.BiModalFactory(4, so), so).Report
+		if ra.HitRate() > 0 {
+			gFixed = append(gFixed, rf.HitRate()/ra.HitRate()-1)
+			gBM = append(gBM, rb.HitRate()/ra.HitRate()-1)
+		}
+		tbl.AddRow(mix.Name, stats.FmtPct(ra.HitRate()), stats.FmtPct(rf.HitRate()), stats.FmtPct(rb.HitRate()))
+	}
+	tbl.AddRow("avg gain vs alloy", "", stats.FmtPct(stats.MeanOf(gFixed)), stats.FmtPct(stats.MeanOf(gBM)))
+	return tbl
+}
+
+// fig8c compares the average LLSC miss penalty (DRAM cache access latency)
+// across all schemes.
+func fig8c(o Options) *stats.Table {
+	o = o.normalize()
+	schemes := []struct {
+		label   string
+		factory func() sim.Factory
+	}{
+		{"bimodal", func() sim.Factory { return sim.BiModalFactory(4, simOpts(o)) }},
+		{"alloy", func() sim.Factory { return mustFactory("alloy") }},
+		{"lohhill", func() sim.Factory { return mustFactory("lohhill") }},
+		{"atcache", func() sim.Factory { return mustFactory("atcache") }},
+		{"footprint", func() sim.Factory { return mustFactory("footprint") }},
+	}
+	header := []string{"mix"}
+	for _, s := range schemes {
+		header = append(header, s.label)
+	}
+	tbl := stats.NewTable("Figure 8c: average access latency in CPU cycles (quad-core)", header...)
+	so := simOpts(o)
+	lat := make(map[string][]float64)
+	for _, mix := range o.mixes(4) {
+		row := []string{mix.Name}
+		for _, s := range schemes {
+			r := sim.Run(mix, s.factory(), so).Report
+			lat[s.label] = append(lat[s.label], r.AvgLatency())
+			row = append(row, fmt.Sprintf("%.1f", r.AvgLatency()))
+		}
+		tbl.AddRow(row...)
+	}
+	avg := []string{"average"}
+	for _, s := range schemes {
+		avg = append(avg, fmt.Sprintf("%.1f", stats.MeanOf(lat[s.label])))
+	}
+	tbl.AddRow(avg...)
+	bm := stats.MeanOf(lat["bimodal"])
+	tbl.AddRow("bimodal reduction", "",
+		stats.FmtPct(stats.Improvement(stats.MeanOf(lat["alloy"]), bm)),
+		stats.FmtPct(stats.Improvement(stats.MeanOf(lat["lohhill"]), bm)),
+		stats.FmtPct(stats.Improvement(stats.MeanOf(lat["atcache"]), bm)),
+		stats.FmtPct(stats.Improvement(stats.MeanOf(lat["footprint"]), bm)))
+	return tbl
+}
+
+// fig9a compares wasted off-chip fetch bytes between the fixed-512B
+// organization and BiModal.
+func fig9a(o Options) *stats.Table {
+	o = o.normalize()
+	tbl := stats.NewTable("Figure 9a: wasted off-chip bandwidth (8-core)",
+		"mix", "fixed-512B", "bimodal", "savings")
+	so := simOpts(o)
+	var savings []float64
+	for _, mix := range o.mixes(8) {
+		rf := sim.Run(mix, sim.BiModalFactory(8, so, dramcache.FixedBigBlocks()), so).Report
+		rb := sim.Run(mix, sim.BiModalFactory(8, so), so).Report
+		s := stats.Improvement(float64(rf.WastedFetchBytes), float64(rb.WastedFetchBytes))
+		savings = append(savings, s)
+		tbl.AddRow(mix.Name, stats.FmtBytes(float64(rf.WastedFetchBytes)), stats.FmtBytes(float64(rb.WastedFetchBytes)), stats.FmtPct(s))
+	}
+	tbl.AddRow("average", "", "", stats.FmtPct(stats.MeanOf(savings)))
+	return tbl
+}
+
+// fig9b compares the metadata-access row-buffer hit rate with the
+// dedicated metadata bank against co-located tags.
+func fig9b(o Options) *stats.Table {
+	o = o.normalize()
+	tbl := stats.NewTable("Figure 9b: metadata row-buffer hit rate (quad-core)",
+		"mix", "co-located", "separate bank", "gain")
+	so := simOpts(o)
+	var gains []float64
+	for _, mix := range o.mixes(4) {
+		rc := sim.Run(mix, sim.BiModalFactory(4, so, dramcache.CoLocatedMetadata(), dramcache.WithName("BiModalCoMeta")), so).Report
+		rs := sim.Run(mix, sim.BiModalFactory(4, so), so).Report
+		var gain float64
+		if rc.MetaRowHitRate() > 0 {
+			gain = rs.MetaRowHitRate()/rc.MetaRowHitRate() - 1
+		}
+		gains = append(gains, gain)
+		tbl.AddRow(mix.Name, stats.FmtPct(rc.MetaRowHitRate()), stats.FmtPct(rs.MetaRowHitRate()), stats.FmtPct(gain))
+	}
+	tbl.AddRow("average", "", "", stats.FmtPct(stats.MeanOf(gains)))
+	return tbl
+}
+
+// fig9c sweeps the way locator table size K.
+func fig9c(o Options) *stats.Table {
+	o = o.normalize()
+	ks := []uint{10, 12, 14, 16}
+	header := []string{"mix"}
+	for _, k := range ks {
+		header = append(header, fmt.Sprintf("K=%d", k))
+	}
+	tbl := stats.NewTable("Figure 9c: way locator hit rate vs K (quad-core)", header...)
+	so := simOpts(o)
+	sums := make([][]float64, len(ks))
+	for _, mix := range o.mixes(4) {
+		row := []string{mix.Name}
+		for ki, k := range ks {
+			k := k
+			factory := func(c dramcache.Config) dramcache.Scheme {
+				c.WayLocatorK = k
+				p := sim.ScaledCoreParams(c.CacheBytes, mix.Cores(), so.AccessesPerCore)
+				return dramcache.NewBiModal(c, dramcache.WithCoreParams(p))
+			}
+			r := sim.Run(mix, factory, so).Report
+			sums[ki] = append(sums[ki], r.LocatorHitRate())
+			row = append(row, stats.FmtPct(r.LocatorHitRate()))
+		}
+		tbl.AddRow(row...)
+	}
+	avg := []string{"average"}
+	for _, s := range sums {
+		avg = append(avg, stats.FmtPct(stats.MeanOf(s)))
+	}
+	tbl.AddRow(avg...)
+	return tbl
+}
+
+// fig10 reports the fraction of accesses served at 64B granularity.
+func fig10(o Options) *stats.Table {
+	o = o.normalize()
+	tbl := stats.NewTable("Figure 10: fraction of accesses to small blocks (quad-core)",
+		"mix", "small fraction", "global state")
+	so := simOpts(o)
+	for _, mix := range o.mixes(4) {
+		res := sim.Run(mix, sim.BiModalFactory(4, so), so)
+		bm := res.Scheme.(*dramcache.BiModal)
+		tbl.AddRow(mix.Name, stats.FmtPct(res.Report.SmallFraction), bm.Core().GlobalState().String())
+	}
+	return tbl
+}
+
+// fig11 compares memory energy (DRAM cache + main memory) per access.
+func fig11(o Options) *stats.Table {
+	o = o.normalize()
+	tbl := stats.NewTable("Figure 11: memory energy per access, nJ (8-core)",
+		"mix", "alloy", "bimodal", "savings")
+	so := simOpts(o)
+	var savings []float64
+	for _, mix := range o.mixes(8) {
+		ra := sim.Run(mix, mustFactory("alloy"), so)
+		rb := sim.Run(mix, sim.BiModalFactory(8, so), so)
+		ea := energy.PerAccess(ra.Energy, ra.Report.Accesses)
+		eb := energy.PerAccess(rb.Energy, rb.Report.Accesses)
+		s := stats.Improvement(ea, eb)
+		savings = append(savings, s)
+		tbl.AddRow(mix.Name, fmt.Sprintf("%.1f", ea), fmt.Sprintf("%.1f", eb), stats.FmtPct(s))
+	}
+	tbl.AddRow("average", "", "", stats.FmtPct(stats.MeanOf(savings)))
+	return tbl
+}
+
+// table6 evaluates BiModal against a prefetch-enabled baseline for
+// next-N-lines prefetchers with N in {1, 3}, with prefetches either
+// treated as normal accesses or bypassing on miss.
+func table6(o Options) *stats.Table {
+	o = o.normalize()
+	tbl := stats.NewTable("Table VI: ANTT improvement over prefetch-enabled AlloyCache (quad-core)",
+		"N", "PREF_NORMAL", "PREF_BYPASS")
+	mixes := o.mixes(4)
+	if len(mixes) > 8 {
+		mixes = mixes[:8]
+	}
+	for _, n := range []int{1, 3} {
+		so := simOpts(o)
+		so.PrefetchN = n
+		var normal, bypass []float64
+		for _, mix := range mixes {
+			aANTT, _ := sim.ANTT(mix, mustFactory("alloy"), so)
+			nANTT, _ := sim.ANTT(mix, sim.BiModalFactory(4, so), so)
+			bANTT, _ := sim.ANTT(mix, sim.BiModalFactory(4, so, dramcache.WithPrefetchBypass()), so)
+			normal = append(normal, stats.Improvement(aANTT, nANTT))
+			bypass = append(bypass, stats.Improvement(aANTT, bANTT))
+		}
+		tbl.AddRow(fmt.Sprint(n), stats.FmtPct(stats.MeanOf(normal)), stats.FmtPct(stats.MeanOf(bypass)))
+	}
+	return tbl
+}
+
+// fig12 sweeps cache size, big block size and associativity; every
+// configuration is compared to an AlloyCache of the same capacity.
+// The notation BiModal(X-Y-Z) is cache size X, big block Y, big-block
+// associativity Z.
+func fig12(o Options) *stats.Table {
+	o = o.normalize()
+	tbl := stats.NewTable("Figure 12: sensitivity (quad-core, ANTT improvement vs same-size AlloyCache)",
+		"config", "improvement")
+	type cfg struct {
+		label      string
+		cacheBytes uint64
+		setBytes   uint64
+		bigBlock   uint64
+		minBig     int
+		threshold  int
+	}
+	cfgs := []cfg{
+		{"BiModal(64M-512-4)", 64 << 20, 2048, 512, 2, 5},
+		{"BiModal(128M-512-4)", 128 << 20, 2048, 512, 2, 5},
+		{"BiModal(512M-512-4)", 512 << 20, 2048, 512, 2, 5},
+		{"BiModal(128M-256-8)", 128 << 20, 2048, 256, 4, 3},
+		{"BiModal(128M-1024-4)", 128 << 20, 4096, 1024, 2, 10},
+		{"BiModal(128M-512-8)", 128 << 20, 4096, 512, 4, 5},
+	}
+	mixes := o.mixes(4)
+	if len(mixes) > 6 {
+		mixes = mixes[:6]
+	}
+	for _, c := range cfgs {
+		so := simOpts(o)
+		so.CacheBytes = c.cacheBytes / 4 // same capacity scaling as simOpts
+		var imps []float64
+		for _, mix := range mixes {
+			factory := func(dc dramcache.Config) dramcache.Scheme {
+				p := sim.ScaledCoreParams(dc.CacheBytes, mix.Cores(), so.AccessesPerCore)
+				p.SetBytes = c.setBytes
+				p.BigBlock = c.bigBlock
+				p.MinBig = c.minBig
+				p.Threshold = c.threshold
+				return dramcache.NewBiModal(dc, dramcache.WithCoreParams(p))
+			}
+			aANTT, _ := sim.ANTT(mix, mustFactory("alloy"), so)
+			bANTT, _ := sim.ANTT(mix, factory, so)
+			imps = append(imps, stats.Improvement(aANTT, bANTT))
+		}
+		tbl.AddRow(c.label, stats.FmtPct(stats.MeanOf(imps)))
+	}
+	return tbl
+}

@@ -1,0 +1,117 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"bimodal/internal/core"
+	"bimodal/internal/dram"
+	"bimodal/internal/stats"
+	"bimodal/internal/workloads"
+)
+
+func init() {
+	register(Experiment{
+		ID:    "fig3",
+		Title: "Figure 3: per-access latency breakdown by scheme (analytic)",
+		Run:   fig3,
+	})
+	register(Experiment{
+		ID:    "table3",
+		Title: "Table III: way locator storage and latency",
+		Run:   table3,
+	})
+	register(Experiment{
+		ID:    "table5",
+		Title: "Table V: workload mixes",
+		Run:   table5,
+	})
+}
+
+// fig3 reproduces the latency-breakdown comparison analytically from the
+// Table IV timing parameters (all values in 3.2GHz CPU cycles, worst-case
+// closed-row DRAM state as drawn in the figure).
+func fig3(Options) *stats.Table {
+	t := dram.StackedTiming()
+	cpu := func(clocks int64) int64 { return clocks * t.ClockRatio }
+	rowOpen := cpu(t.RP + t.RCD) // PRE + ACT
+	col := cpu(t.CL)
+	xfer := func(bytes int64) int64 { return t.BurstCPU(bytes) }
+	const cmp = 2 // tag compare
+
+	tbl := stats.NewTable("Figure 3: latency breakdown (CPU cycles, closed-row case)",
+		"scheme", "sram", "dram-tag", "dram-data", "total")
+
+	add := func(name string, sram, tag, data int64) {
+		tbl.AddRow(name, fmt.Sprint(sram), fmt.Sprint(tag), fmt.Sprint(data), fmt.Sprint(sram+tag+data))
+	}
+
+	// AlloyCache: predictor, then one access with a 72B burst (tag+data
+	// together; no separate tag phase).
+	add("AlloyCache", 1, 0, rowOpen+col+xfer(72)+cmp)
+	// Footprint Cache: large SRAM tag store (serial), then one 64B access.
+	add("FootprintCache", core.TagRAMLatency(1<<20), 0, rowOpen+col+xfer(64))
+	// ATCache tag-cache hit: small SRAM, then one 64B access.
+	add("ATCache(tag-hit)", 2, 0, rowOpen+col+xfer(64))
+	// ATCache tag-cache miss: SRAM, DRAM tag read, compare, then data
+	// column on the open row.
+	add("ATCache(tag-miss)", 2, rowOpen+col+xfer(64)+cmp, col+xfer(64))
+	// Loh-Hill: compound access — tags (2 bursts) then data on open row.
+	add("LohHill", 1, rowOpen+col+xfer(128)+cmp, col+xfer(64))
+	// BiModal way-locator hit: 1-cycle SRAM, single 64B access, no tags.
+	add("BiModal(WL-hit)", 1, 0, rowOpen+col+xfer(64))
+	// BiModal way-locator miss, metadata row hit: tag read (2 bursts, row
+	// hit in the metadata bank) runs in parallel with the data row open;
+	// the data column issues when both are ready.
+	tagHit := col + xfer(128) + cmp
+	dataReady := rowOpen
+	serial := max64(tagHit, dataReady)
+	add("BiModal(WL-miss,tag-row-hit)", 1, serial, col+xfer(64))
+	// BiModal way-locator miss, metadata row miss: the tag access also
+	// pays PRE+ACT, still in parallel with the data row open.
+	tagMiss := rowOpen + col + xfer(128) + cmp
+	add("BiModal(WL-miss,tag-row-miss)", 1, max64(tagMiss, dataReady), col+xfer(64))
+	return tbl
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// table3 regenerates the way locator storage/latency table for every
+// (K, cache size) pair of Table III.
+func table3(Options) *stats.Table {
+	tbl := stats.NewTable("Table III: way locator storage and latency",
+		"entries", "128M cache / 4GB mem", "256M / 8GB", "512M / 16GB")
+	for _, k := range []uint{10, 12, 14, 16} {
+		row := []string{fmt.Sprintf("K=%d, %d entries", k, 2<<k)}
+		for _, memBits := range []uint{32, 33, 34} {
+			kb := core.StorageKB(k, memBits)
+			row = append(row, fmt.Sprintf("%.1fKB / %d cycle(s)", kb, core.LatencyCycles(kb)))
+		}
+		tbl.AddRow(row...)
+	}
+	return tbl
+}
+
+// table5 lists the workload mixes (the Table V analogue); starred mixes
+// are high memory intensity.
+func table5(Options) *stats.Table {
+	tbl := stats.NewTable("Table V: workloads", "mix", "benchmarks", "footprint")
+	addAll := func(ms []workloads.Mix) {
+		for _, m := range ms {
+			name := m.Name
+			if m.HighIntensity {
+				name += "*"
+			}
+			tbl.AddRow(name, strings.Join(m.Benchmarks, ","), stats.FmtBytes(float64(m.FootprintBytes())))
+		}
+	}
+	addAll(workloads.QuadCore())
+	addAll(workloads.EightCore())
+	addAll(workloads.SixteenCore())
+	return tbl
+}

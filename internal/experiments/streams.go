@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bimodal/internal/addr"
+	"bimodal/internal/core"
+	"bimodal/internal/sram"
+	"bimodal/internal/stats"
+	"bimodal/internal/trace"
+	"bimodal/internal/workloads"
+)
+
+// roundRobin interleaves the mix's per-core generators into one stream,
+// approximating the arrival interleaving a shared DRAM cache sees.
+type roundRobin struct {
+	gens []trace.Generator
+	next int
+}
+
+func newRoundRobin(mix workloads.Mix, seed uint64) *roundRobin {
+	return &roundRobin{gens: mix.Generators(seed)}
+}
+
+func (r *roundRobin) Next() (trace.Access, int) {
+	c := r.next
+	r.next = (r.next + 1) % len(r.gens)
+	return r.gens[c].Next(), c
+}
+
+func init() {
+	register(Experiment{
+		ID:    "fig1",
+		Title: "Figure 1: LLSC miss rates fall with increasing block size (quad-core)",
+		Run:   fig1,
+	})
+	register(Experiment{
+		ID:    "fig2",
+		Title: "Figure 2: distribution of 512B-block utilization (quad-core)",
+		Run:   fig2,
+	})
+	register(Experiment{
+		ID:    "fig5",
+		Title: "Figure 5: fraction of hits at top MRU positions, 8-way cache (8-core)",
+		Run:   fig5,
+	})
+}
+
+// fig1BlockSizes are the seven block sizes the paper sweeps.
+var fig1BlockSizes = []uint64{64, 128, 256, 512, 1024, 2048, 4096}
+
+// fig1 measures DRAM cache miss rate versus block size with a functional
+// 8-way LRU cache of the Table IV quad-core capacity (128MB).
+func fig1(o Options) *stats.Table {
+	o = o.normalize()
+	header := []string{"mix"}
+	for _, b := range fig1BlockSizes {
+		header = append(header, fmt.Sprintf("%dB", b))
+	}
+	tbl := stats.NewTable("Figure 1: miss rate vs block size", header...)
+	const cacheBytes = 128 << 20
+
+	ratios := make([][]float64, len(fig1BlockSizes))
+	for _, mix := range o.mixes(4) {
+		row := []string{mix.Name}
+		for bi, block := range fig1BlockSizes {
+			c := sram.New(sram.Config{SizeBytes: cacheBytes, BlockSize: block, Assoc: 8, Seed: o.Seed})
+			rr := newRoundRobin(mix, o.Seed)
+			for i := int64(0); i < o.StreamAccesses; i++ {
+				a, _ := rr.Next()
+				if hit, _ := c.Access(a.Addr, a.Write); !hit {
+					c.Insert(a.Addr, a.Write, 0)
+				}
+			}
+			miss := 1 - c.HitRate()
+			ratios[bi] = append(ratios[bi], miss)
+			row = append(row, fmt.Sprintf("%.3f", miss))
+		}
+		tbl.AddRow(row...)
+	}
+	avg := []string{"average"}
+	for _, r := range ratios {
+		avg = append(avg, fmt.Sprintf("%.3f", stats.MeanOf(r)))
+	}
+	tbl.AddRow(avg...)
+	return tbl
+}
+
+// fig2 measures, per mix, the fraction of evicted 512B blocks at each
+// utilization level, using a fixed-512B cache with every set tracked.
+func fig2(o Options) *stats.Table {
+	o = o.normalize()
+	header := []string{"mix"}
+	for i := 1; i <= 8; i++ {
+		header = append(header, fmt.Sprintf("%d/8", i))
+	}
+	header = append(header, "fully-used")
+	tbl := stats.NewTable("Figure 2: 512B block utilization distribution", header...)
+
+	for _, mix := range o.mixes(4) {
+		p := core.DefaultParams(128 << 20)
+		p.MinBig = p.MaxBig() // fixed 512B blocks
+		p.SampleShift = 0     // track every set
+		c := core.NewCache(p, nil)
+		rr := newRoundRobin(mix, o.Seed)
+		for i := int64(0); i < o.StreamAccesses; i++ {
+			a, _ := rr.Next()
+			c.Access(a.Addr, a.Write)
+		}
+		h := c.TrackerHist().Hist
+		row := []string{mix.Name}
+		for i := 1; i <= 8; i++ {
+			row = append(row, stats.FmtPct(h.Fraction(i)))
+		}
+		row = append(row, stats.FmtPct(h.Fraction(8)))
+		tbl.AddRow(row...)
+	}
+	return tbl
+}
+
+// fig5 measures the fraction of hits at each MRU position in an 8-way
+// 512B-block cache for the 8-core mixes: the observation motivating the
+// top-2 way locator.
+func fig5(o Options) *stats.Table {
+	o = o.normalize()
+	tbl := stats.NewTable("Figure 5: hits by MRU position (8-way, 512B blocks)",
+		"mix", "mru0", "mru1", "mru2-3", "mru4-7", "top2")
+	var top2s []float64
+	for _, mix := range o.mixes(8) {
+		c := sram.New(sram.Config{SizeBytes: 256 << 20, BlockSize: 512, Assoc: 8, Seed: o.Seed})
+		hist := stats.NewHistogram(8)
+		rr := newRoundRobin(mix, o.Seed)
+		for i := int64(0); i < o.StreamAccesses; i++ {
+			a, _ := rr.Next()
+			if pos := c.MRUIndex(a.Addr); pos >= 0 {
+				hist.Add(pos)
+			}
+			if hit, _ := c.Access(a.Addr, a.Write); !hit {
+				c.Insert(a.Addr, a.Write, 0)
+			}
+		}
+		top2 := hist.CumFraction(1)
+		top2s = append(top2s, top2)
+		tbl.AddRow(mix.Name,
+			stats.FmtPct(hist.Fraction(0)),
+			stats.FmtPct(hist.Fraction(1)),
+			stats.FmtPct(hist.Fraction(2)+hist.Fraction(3)),
+			stats.FmtPct(hist.CumFraction(7)-hist.CumFraction(3)),
+			stats.FmtPct(top2))
+	}
+	tbl.AddRow("average", "", "", "", "", stats.FmtPct(stats.MeanOf(top2s)))
+	return tbl
+}
+
+// foldTo keeps an address inside a bounded region (used by tiny-scale
+// tests; exported stream experiments use full footprints).
+func foldTo(p addr.Phys, bytes uint64) addr.Phys { return p & addr.Phys(bytes-1) &^ 63 }

@@ -1,0 +1,132 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bimodal/internal/core"
+	"bimodal/internal/dramcache"
+	"bimodal/internal/sim"
+	"bimodal/internal/stats"
+	"bimodal/internal/workloads"
+)
+
+// The paper's trace-driven simulator "facilitated a comprehensive analysis
+// ... across a wide range of DRAM cache parameters including cache size,
+// block size, associativity, predictor table size and thresholds"
+// (Section IV). These sweeps reproduce that design-space exploration and
+// the specific claims attached to it: T = 5 balances hit rate against
+// over-fetch (Section III-B3), W = 0.75 "provided a good tradeoff"
+// (Section III-B4), and a modest predictor table suffices.
+
+func init() {
+	register(Experiment{
+		ID:    "sweep-threshold",
+		Title: "Design sweep: utilization threshold T (Section III-B3; paper picks T=5)",
+		Run:   sweepThreshold,
+	})
+	register(Experiment{
+		ID:    "sweep-weight",
+		Title: "Design sweep: demand weight W (Section III-B4; paper picks W=0.75)",
+		Run:   sweepWeight,
+	})
+	register(Experiment{
+		ID:    "sweep-predictor",
+		Title: "Design sweep: size predictor table bits P",
+		Run:   sweepPredictor,
+	})
+}
+
+// sweepMixes picks a small balanced set of mixes: streaming, mixed and
+// irregular, so the sweeps expose both failure directions.
+func sweepMixes(o Options) []string {
+	names := []string{"Q2", "Q6", "Q7", "Q23"}
+	if o.MaxMixes > 0 && o.MaxMixes < len(names) {
+		names = names[:o.MaxMixes]
+	}
+	return names
+}
+
+// sweepBiModal runs BiModal with one core-parameter mutation applied.
+func sweepBiModal(o Options, mixName string, mutate func(*simCoreParams)) dramcache.Report {
+	so := simOpts(o)
+	factory := func(cfg dramcache.Config) dramcache.Scheme {
+		p := sim.ScaledCoreParams(cfg.CacheBytes, 4, so.AccessesPerCore)
+		mutate(&p)
+		return dramcache.NewBiModal(cfg, dramcache.WithCoreParams(p))
+	}
+	return runMixByName(mixName, factory, so)
+}
+
+// sweepThreshold varies T: low thresholds classify almost everything big
+// (more over-fetch), high thresholds starve big blocks (more misses on
+// streaming data).
+func sweepThreshold(o Options) *stats.Table {
+	o = o.normalize()
+	tbl := stats.NewTable("Design sweep: threshold T",
+		"T", "avg latency", "wasted bytes", "small fraction")
+	for _, T := range []int{2, 3, 4, 5, 6, 7, 8} {
+		var lat, small []float64
+		var wasted int64
+		for _, mixName := range sweepMixes(o) {
+			r := sweepBiModal(o, mixName, func(p *simCoreParams) { p.Threshold = T })
+			lat = append(lat, r.AvgLatency())
+			small = append(small, r.SmallFraction)
+			wasted += r.WastedFetchBytes
+		}
+		tbl.AddRow(fmt.Sprint(T),
+			fmt.Sprintf("%.1f", stats.MeanOf(lat)),
+			stats.FmtBytes(float64(wasted)),
+			stats.FmtPct(stats.MeanOf(small)))
+	}
+	return tbl
+}
+
+// sweepWeight varies W, which biases the global-state adaptation toward
+// big (W < 1) or small blocks.
+func sweepWeight(o Options) *stats.Table {
+	o = o.normalize()
+	tbl := stats.NewTable("Design sweep: weight W",
+		"W", "avg latency", "hit rate", "small fraction")
+	for _, W := range []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0} {
+		var lat, hit, small []float64
+		for _, mixName := range sweepMixes(o) {
+			r := sweepBiModal(o, mixName, func(p *simCoreParams) { p.Weight = W })
+			lat = append(lat, r.AvgLatency())
+			hit = append(hit, r.HitRate())
+			small = append(small, r.SmallFraction)
+		}
+		tbl.AddRow(fmt.Sprintf("%.2f", W),
+			fmt.Sprintf("%.1f", stats.MeanOf(lat)),
+			stats.FmtPct(stats.MeanOf(hit)),
+			stats.FmtPct(stats.MeanOf(small)))
+	}
+	return tbl
+}
+
+// sweepPredictor varies the predictor table size.
+func sweepPredictor(o Options) *stats.Table {
+	o = o.normalize()
+	tbl := stats.NewTable("Design sweep: predictor bits P",
+		"P", "entries", "avg latency", "wasted bytes")
+	for _, P := range []uint{6, 8, 10, 12, 14} {
+		var lat []float64
+		var wasted int64
+		for _, mixName := range sweepMixes(o) {
+			r := sweepBiModal(o, mixName, func(p *simCoreParams) { p.PredictorBits = P })
+			lat = append(lat, r.AvgLatency())
+			wasted += r.WastedFetchBytes
+		}
+		tbl.AddRow(fmt.Sprint(P), fmt.Sprint(1<<P),
+			fmt.Sprintf("%.1f", stats.MeanOf(lat)),
+			stats.FmtBytes(float64(wasted)))
+	}
+	return tbl
+}
+
+// simCoreParams aliases the core cache parameters for the sweep mutators.
+type simCoreParams = core.Params
+
+// runMixByName runs one named mix on a factory and returns its report.
+func runMixByName(name string, f sim.Factory, so sim.Options) dramcache.Report {
+	return sim.Run(workloads.MustByName(name), f, so).Report
+}

@@ -1,0 +1,104 @@
+package memctrl
+
+import (
+	"testing"
+	"testing/quick"
+
+	"bimodal/internal/addr"
+	"bimodal/internal/dram"
+	"bimodal/internal/xrand"
+)
+
+// TestReadCompletionNeverPrecedesArrival: for monotonically arriving
+// requests, completions are causal and the controller never loses or
+// invents accesses.
+func TestReadCompletionNeverPrecedesArrival(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := New(StackedConfig(2))
+		r := xrand.New(seed)
+		now := int64(0)
+		n := int64(0)
+		for i := 0; i < 1000; i++ {
+			now += int64(r.Intn(200))
+			p := addr.Phys(r.Uint64n(1<<30)) &^ 63
+			if r.Bool(0.3) {
+				c.Write(p, now, 64)
+			} else {
+				done, _ := c.Read(p, now, 64)
+				if done < now {
+					return false
+				}
+				n++
+			}
+		}
+		return c.Stats().Reads == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRowHitRateImprovesWithLocality: a sequential stream must see a much
+// higher row-buffer hit rate than a random stream — the property behind
+// the paper's RBH arguments.
+func TestRowHitRateImprovesWithLocality(t *testing.T) {
+	run := func(sequential bool) float64 {
+		c := New(StackedConfig(2))
+		r := xrand.New(7)
+		now := int64(0)
+		p := addr.Phys(0)
+		for i := 0; i < 20000; i++ {
+			now += 50
+			if sequential {
+				p += 64
+			} else {
+				p = addr.Phys(r.Uint64n(1<<30)) &^ 63
+			}
+			c.Read(p, now, 64)
+		}
+		st := c.Stats()
+		return st.RowHitRate()
+	}
+	seq, rnd := run(true), run(false)
+	if seq < 0.8 {
+		t.Errorf("sequential RBH = %.2f, want > 0.8", seq)
+	}
+	if rnd > 0.3 {
+		t.Errorf("random RBH = %.2f, want < 0.3", rnd)
+	}
+	if seq <= rnd {
+		t.Errorf("sequential RBH %.2f <= random %.2f", seq, rnd)
+	}
+}
+
+// TestBandwidthAccountingExact: bytes counted must equal bytes requested.
+func TestBandwidthAccountingExact(t *testing.T) {
+	c := New(OffChipConfig(1))
+	var want int64
+	r := xrand.New(9)
+	now := int64(0)
+	for i := 0; i < 500; i++ {
+		now += 100
+		bytes := int64(64 * (1 + r.Intn(8)))
+		c.Read(addr.Phys(r.Uint64n(1<<28))&^63, now, bytes)
+		want += bytes
+	}
+	if got := c.Stats().BytesRead; got != want {
+		t.Errorf("bytes read = %d, want %d", got, want)
+	}
+}
+
+// TestOpenIsIdempotentOnOpenRow: re-opening an already-open row costs
+// nothing and reports a row hit.
+func TestOpenIsIdempotentOnOpenRow(t *testing.T) {
+	c := New(StackedConfig(2))
+	p := addr.Phys(0x5000)
+	ready1, _ := c.Open(p, 5000)
+	ready2, rr := c.Open(p, ready1)
+	if rr != dram.RowHit {
+		t.Errorf("second open rr = %v", rr)
+	}
+	if ready2 > ready1+c.Config().FixedLatency {
+		t.Errorf("re-open cost cycles: %d -> %d", ready1, ready2)
+	}
+}

@@ -1,0 +1,133 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"bimodal/internal/addr"
+)
+
+// Binary trace format: a magic header followed by fixed-size little-endian
+// records. This lets long synthetic traces be generated once and replayed,
+// mirroring the paper's collect-then-simulate flow.
+//
+//	header: "BMT1" (4 bytes)
+//	record: addr uint64 | gap uint32 | flags uint8 (bit0 write, bit1 dep)
+const magic = "BMT1"
+
+const recordSize = 8 + 4 + 1
+
+// Writer serializes accesses to a binary trace stream.
+type Writer struct {
+	w   *bufio.Writer
+	n   int64
+	err error
+}
+
+// NewWriter creates a Writer and emits the header.
+func NewWriter(w io.Writer) (*Writer, error) {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return nil, fmt.Errorf("trace: writing header: %w", err)
+	}
+	return &Writer{w: bw}, nil
+}
+
+// Write appends one access.
+func (w *Writer) Write(a Access) error {
+	if w.err != nil {
+		return w.err
+	}
+	var rec [recordSize]byte
+	binary.LittleEndian.PutUint64(rec[0:8], uint64(a.Addr))
+	binary.LittleEndian.PutUint32(rec[8:12], a.Gap)
+	var flags byte
+	if a.Write {
+		flags |= 1
+	}
+	if a.Dep {
+		flags |= 2
+	}
+	rec[12] = flags
+	if _, err := w.w.Write(rec[:]); err != nil {
+		w.err = fmt.Errorf("trace: writing record %d: %w", w.n, err)
+		return w.err
+	}
+	w.n++
+	return nil
+}
+
+// Count returns the number of records written.
+func (w *Writer) Count() int64 { return w.n }
+
+// Flush drains buffered output.
+func (w *Writer) Flush() error {
+	if w.err != nil {
+		return w.err
+	}
+	return w.w.Flush()
+}
+
+// Reader deserializes a binary trace stream and implements Generator by
+// cycling when the underlying data is exhausted (matching SliceGen
+// semantics). For strict one-pass reading use Read directly.
+type Reader struct {
+	records []Access
+	pos     int
+	label   string
+}
+
+// NewReader reads an entire trace stream into memory.
+func NewReader(r io.Reader, label string) (*Reader, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	if string(head) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q", head)
+	}
+	var out []Access
+	var rec [recordSize]byte
+	for {
+		_, err := io.ReadFull(br, rec[:])
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: reading record %d: %w", len(out), err)
+		}
+		out = append(out, decode(rec))
+	}
+	return &Reader{records: out, label: label}, nil
+}
+
+func decode(rec [recordSize]byte) Access {
+	return Access{
+		Addr:  addr.Phys(binary.LittleEndian.Uint64(rec[0:8])),
+		Gap:   binary.LittleEndian.Uint32(rec[8:12]),
+		Write: rec[12]&1 != 0,
+		Dep:   rec[12]&2 != 0,
+	}
+}
+
+// Len returns the number of records.
+func (r *Reader) Len() int { return len(r.records) }
+
+// Next implements Generator, cycling through the records.
+func (r *Reader) Next() Access {
+	if len(r.records) == 0 {
+		return Access{}
+	}
+	a := r.records[r.pos]
+	r.pos = (r.pos + 1) % len(r.records)
+	return a
+}
+
+// Name implements Generator.
+func (r *Reader) Name() string { return r.label }
+
+// Records returns the backing slice (not a copy).
+func (r *Reader) Records() []Access { return r.records }

@@ -1,0 +1,121 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewSynthetic(MustProfile("astar"), 0, 29)
+	want := Collect(g, 1000)
+	for _, a := range want {
+		if err := w.Write(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != 1000 {
+		t.Errorf("count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewReader(&buf, "astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 1000 {
+		t.Fatalf("read %d records", r.Len())
+	}
+	for i, a := range r.Records() {
+		if a != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, a, want[i])
+		}
+	}
+	if r.Name() != "astar" {
+		t.Error("reader name wrong")
+	}
+}
+
+func TestReaderCycles(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Access{Addr: 64})
+	w.Write(Access{Addr: 128})
+	w.Flush()
+	r, err := NewReader(&buf, "two")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Next().Addr != 64 || r.Next().Addr != 128 || r.Next().Addr != 64 {
+		t.Error("reader should cycle")
+	}
+}
+
+func TestReaderBadMagic(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("NOPE....."), "x"); err == nil {
+		t.Error("expected error for bad magic")
+	}
+}
+
+func TestReaderTruncatedHeader(t *testing.T) {
+	if _, err := NewReader(strings.NewReader("BM"), "x"); err == nil {
+		t.Error("expected error for truncated header")
+	}
+}
+
+func TestReaderTruncatedRecord(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Write(Access{Addr: 64})
+	w.Flush()
+	data := buf.Bytes()[:buf.Len()-3] // chop the record
+	if _, err := NewReader(bytes.NewReader(data), "x"); err == nil {
+		t.Error("expected error for truncated record")
+	}
+}
+
+func TestEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	w.Flush()
+	r, err := NewReader(&buf, "empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 0 {
+		t.Errorf("len = %d", r.Len())
+	}
+	if r.Next() != (Access{}) {
+		t.Error("empty reader should return zero Access")
+	}
+}
+
+func TestFlagsRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	cases := []Access{
+		{Addr: 0, Write: false, Dep: false, Gap: 1},
+		{Addr: 64, Write: true, Dep: false, Gap: 2},
+		{Addr: 128, Write: false, Dep: true, Gap: 3},
+		{Addr: 192, Write: true, Dep: true, Gap: 4},
+	}
+	for _, c := range cases {
+		w.Write(c)
+	}
+	w.Flush()
+	r, err := NewReader(&buf, "flags")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range r.Records() {
+		if got != cases[i] {
+			t.Errorf("record %d = %+v, want %+v", i, got, cases[i])
+		}
+	}
+}

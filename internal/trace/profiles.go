@@ -1,0 +1,85 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Intensity labels (Table V groups workloads by LLSC miss intensity).
+const (
+	IntensityHigh     = "high"
+	IntensityModerate = "moderate"
+	IntensityLow      = "low"
+)
+
+// pages converts megabytes to 4KB pages (callers pass powers of two).
+func pages(mb uint64) uint64 { return mb * 1024 * 1024 / PageBytes }
+
+// profiles is the catalogue of SPEC-like synthetic benchmarks. The knob
+// settings encode the qualitative behaviour of each program as described in
+// the memory-systems literature: streaming codes (lbm, libquantum, swim,
+// leslie3d) have long sequential runs and near-full 512B-block utilization;
+// pointer codes (mcf, art, twolf) are dependent and sparse; strided codes
+// (milc, GemsFDTD, zeusmp) use a fraction of each block; the rest mix.
+var profiles = map[string]Profile{
+	// Streaming, high intensity: near-perfect spatial locality.
+	"lbm":        {Name: "lbm", FootprintPages: pages(512), ZipfS: 0.80, SeqFrac: 0.95, RunLines: 256, StrideFrac: 0, PointerFrac: 0, WriteFrac: 0.45, RevisitFrac: 0.60, GapMean: 270, Intensity: IntensityHigh},
+	"libquantum": {Name: "libquantum", FootprintPages: pages(128), ZipfS: 0.60, SeqFrac: 0.97, RunLines: 512, WriteFrac: 0.25, RevisitFrac: 0.60, GapMean: 330, Intensity: IntensityHigh},
+	"swim":       {Name: "swim", FootprintPages: pages(256), ZipfS: 0.70, SeqFrac: 0.92, RunLines: 192, WriteFrac: 0.35, RevisitFrac: 0.65, GapMean: 300, Intensity: IntensityHigh},
+	"leslie3d":   {Name: "leslie3d", FootprintPages: pages(256), ZipfS: 0.80, SeqFrac: 0.88, RunLines: 128, StrideFrac: 0.06, Stride: 2, WriteFrac: 0.3, RevisitFrac: 0.65, GapMean: 390, Intensity: IntensityHigh},
+	"applu":      {Name: "applu", FootprintPages: pages(128), ZipfS: 0.80, SeqFrac: 0.85, RunLines: 96, StrideFrac: 0.1, Stride: 2, WriteFrac: 0.3, RevisitFrac: 0.70, GapMean: 450, Intensity: IntensityModerate},
+
+	// Irregular / pointer-chasing: poor spatial locality, dependent loads.
+	"mcf":    {Name: "mcf", FootprintPages: pages(1024), ZipfS: 1.05, SeqFrac: 0.05, RunLines: 16, PointerFrac: 0.55, ChaseLen: 24, WriteFrac: 0.2, RevisitFrac: 0.55, GapMean: 210, Intensity: IntensityHigh},
+	"art":    {Name: "art", FootprintPages: pages(64), ZipfS: 0.90, SeqFrac: 0.15, RunLines: 24, PointerFrac: 0.45, ChaseLen: 12, WriteFrac: 0.25, RevisitFrac: 0.70, GapMean: 240, Intensity: IntensityHigh},
+	"twolf":  {Name: "twolf", FootprintPages: pages(32), ZipfS: 1.10, SeqFrac: 0.1, RunLines: 8, PointerFrac: 0.4, ChaseLen: 8, WriteFrac: 0.3, RevisitFrac: 0.80, GapMean: 900, Intensity: IntensityModerate},
+	"parser": {Name: "parser", FootprintPages: pages(64), ZipfS: 1.15, SeqFrac: 0.12, RunLines: 8, PointerFrac: 0.35, ChaseLen: 10, WriteFrac: 0.25, RevisitFrac: 0.80, GapMean: 1200, Intensity: IntensityModerate},
+	"vpr":    {Name: "vpr", FootprintPages: pages(32), ZipfS: 1.10, SeqFrac: 0.1, RunLines: 8, PointerFrac: 0.3, ChaseLen: 6, WriteFrac: 0.3, RevisitFrac: 0.80, GapMean: 1350, Intensity: IntensityLow},
+
+	// Strided scientific codes: partial block utilization.
+	"milc":      {Name: "milc", FootprintPages: pages(512), ZipfS: 0.85, SeqFrac: 0.2, RunLines: 32, StrideFrac: 0.6, Stride: 2, WriteFrac: 0.3, RevisitFrac: 0.65, GapMean: 360, Intensity: IntensityHigh},
+	"GemsFDTD":  {Name: "GemsFDTD", FootprintPages: pages(512), ZipfS: 0.80, SeqFrac: 0.25, RunLines: 48, StrideFrac: 0.55, Stride: 4, WriteFrac: 0.35, RevisitFrac: 0.65, GapMean: 330, Intensity: IntensityHigh},
+	"zeusmp":    {Name: "zeusmp", FootprintPages: pages(256), ZipfS: 0.85, SeqFrac: 0.3, RunLines: 48, StrideFrac: 0.5, Stride: 2, WriteFrac: 0.3, RevisitFrac: 0.70, GapMean: 525, Intensity: IntensityModerate},
+	"cactusADM": {Name: "cactusADM", FootprintPages: pages(128), ZipfS: 0.80, SeqFrac: 0.35, RunLines: 64, StrideFrac: 0.45, Stride: 4, WriteFrac: 0.35, RevisitFrac: 0.75, GapMean: 600, Intensity: IntensityModerate},
+	"wupwise":   {Name: "wupwise", FootprintPages: pages(128), ZipfS: 0.90, SeqFrac: 0.4, RunLines: 64, StrideFrac: 0.35, Stride: 2, WriteFrac: 0.3, RevisitFrac: 0.80, GapMean: 825, Intensity: IntensityLow},
+
+	// Mixed behaviour.
+	"soplex":  {Name: "soplex", FootprintPages: pages(256), ZipfS: 1.00, SeqFrac: 0.45, RunLines: 48, StrideFrac: 0.15, Stride: 2, PointerFrac: 0.2, ChaseLen: 6, WriteFrac: 0.25, RevisitFrac: 0.75, GapMean: 300, Intensity: IntensityHigh},
+	"omnetpp": {Name: "omnetpp", FootprintPages: pages(128), ZipfS: 1.15, SeqFrac: 0.25, RunLines: 16, PointerFrac: 0.35, ChaseLen: 8, WriteFrac: 0.35, RevisitFrac: 0.80, GapMean: 420, Intensity: IntensityHigh},
+	"astar":   {Name: "astar", FootprintPages: pages(128), ZipfS: 1.10, SeqFrac: 0.3, RunLines: 16, PointerFrac: 0.3, ChaseLen: 8, WriteFrac: 0.25, RevisitFrac: 0.80, GapMean: 675, Intensity: IntensityModerate},
+	"sphinx3": {Name: "sphinx3", FootprintPages: pages(64), ZipfS: 1.00, SeqFrac: 0.55, RunLines: 40, StrideFrac: 0.1, Stride: 2, WriteFrac: 0.15, RevisitFrac: 0.80, GapMean: 525, Intensity: IntensityModerate},
+	"gcc":     {Name: "gcc", FootprintPages: pages(64), ZipfS: 1.20, SeqFrac: 0.4, RunLines: 24, PointerFrac: 0.15, ChaseLen: 4, WriteFrac: 0.3, RevisitFrac: 0.80, GapMean: 1050, Intensity: IntensityLow},
+	"bzip2":   {Name: "bzip2", FootprintPages: pages(64), ZipfS: 1.05, SeqFrac: 0.6, RunLines: 48, WriteFrac: 0.35, RevisitFrac: 0.80, GapMean: 1275, Intensity: IntensityLow},
+	"hmmer":   {Name: "hmmer", FootprintPages: pages(32), ZipfS: 1.10, SeqFrac: 0.65, RunLines: 32, WriteFrac: 0.2, RevisitFrac: 0.80, GapMean: 1650, Intensity: IntensityLow},
+	"gobmk":   {Name: "gobmk", FootprintPages: pages(32), ZipfS: 1.15, SeqFrac: 0.35, RunLines: 16, PointerFrac: 0.2, ChaseLen: 4, WriteFrac: 0.25, RevisitFrac: 0.80, GapMean: 1800, Intensity: IntensityLow},
+	"equake":  {Name: "equake", FootprintPages: pages(128), ZipfS: 0.90, SeqFrac: 0.5, RunLines: 64, StrideFrac: 0.25, Stride: 2, WriteFrac: 0.3, RevisitFrac: 0.75, GapMean: 450, Intensity: IntensityModerate},
+}
+
+// ProfileByName returns the named benchmark profile.
+func ProfileByName(name string) (Profile, error) {
+	p, ok := profiles[name]
+	if !ok {
+		return Profile{}, fmt.Errorf("trace: unknown benchmark %q", name)
+	}
+	return p, nil
+}
+
+// MustProfile is ProfileByName that panics on unknown names (for the static
+// workload tables).
+func MustProfile(name string) Profile {
+	p, err := ProfileByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// ProfileNames returns all benchmark names, sorted.
+func ProfileNames() []string {
+	names := make([]string, 0, len(profiles))
+	for n := range profiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,350 @@
+// Package trace defines the access-stream model consumed by the simulator
+// and the synthetic benchmark generators that stand in for the paper's SPEC
+// 2000/2006 traces.
+//
+// The paper drives its DRAM-cache studies with traces of last-level SRAM
+// cache (LLSC) misses collected from GEM5. We do not have those traces, so
+// each benchmark is modeled as an episode-based address-stream generator
+// whose knobs map directly onto the stream statistics the paper's results
+// depend on:
+//
+//   - page popularity skew (Zipf)       -> DRAM cache hit rate vs capacity
+//   - sequential/strided/random episode  -> spatial utilization of 512B
+//     mix and run lengths                  blocks (Figure 2), miss rate vs
+//     block size (Figure 1)
+//   - instruction gap distribution       -> memory intensity (Table V)
+//   - dependence fraction                -> memory-level parallelism
+//   - write fraction                     -> writeback traffic
+//
+// Generators are deterministic given a seed.
+package trace
+
+import (
+	"fmt"
+	"math"
+
+	"bimodal/internal/addr"
+	"bimodal/internal/xrand"
+)
+
+// LineBytes is the CPU cache line size; every access in a trace is one
+// 64-byte line (an LLSC miss granule).
+const LineBytes = 64
+
+// PageBytes is the granularity of the synthetic footprint model (a 4KB
+// OS-page-sized region; distinct from DRAM row "pages").
+const PageBytes = 4096
+
+// LinesPerPage is the number of 64B lines per footprint page.
+const LinesPerPage = PageBytes / LineBytes
+
+// Access is one memory access presented to the DRAM cache.
+type Access struct {
+	// Addr is the physical address of the 64B line.
+	Addr addr.Phys
+	// Write marks a write (an LLSC writeback or store miss).
+	Write bool
+	// Gap is the number of instructions executed since the previous
+	// access of the same core.
+	Gap uint32
+	// Dep marks the access as data-dependent on the previous one
+	// (pointer-chase): the core cannot overlap it with the previous miss.
+	Dep bool
+}
+
+// Generator produces an infinite access stream.
+type Generator interface {
+	// Next returns the next access.
+	Next() Access
+	// Name identifies the stream (benchmark name).
+	Name() string
+}
+
+// SliceGen replays a fixed slice, cycling; useful in tests.
+type SliceGen struct {
+	Accs []Access
+	Lab  string
+	pos  int
+}
+
+// Next implements Generator.
+func (s *SliceGen) Next() Access {
+	if len(s.Accs) == 0 {
+		return Access{}
+	}
+	a := s.Accs[s.pos]
+	s.pos = (s.pos + 1) % len(s.Accs)
+	return a
+}
+
+// Name implements Generator.
+func (s *SliceGen) Name() string { return s.Lab }
+
+// Profile parameterizes a synthetic benchmark.
+type Profile struct {
+	// Name is the SPEC-like benchmark name.
+	Name string
+	// FootprintPages is the working footprint in 4KB pages; must be a
+	// power of two (the page permutation relies on it).
+	FootprintPages uint64
+	// ZipfS is the page-popularity skew (0 = uniform).
+	ZipfS float64
+	// SeqFrac / StrideFrac / PointerFrac select episode kinds; the
+	// remainder is single random lines. Must sum to <= 1.
+	SeqFrac     float64
+	StrideFrac  float64
+	PointerFrac float64
+	// RunLines is the mean sequential episode length in 64B lines.
+	RunLines int
+	// Stride is the line stride for strided episodes (>= 2).
+	Stride int
+	// ChaseLen is the mean dependent-chain length for pointer episodes.
+	ChaseLen int
+	// WriteFrac is the per-access write probability.
+	WriteFrac float64
+	// GapMean is the mean instruction gap between accesses; smaller means
+	// more memory-intensive.
+	GapMean int
+	// RevisitFrac is the probability that an episode revisits a recently
+	// touched page instead of drawing a fresh one — the loop-level
+	// temporal reuse real programs exhibit within any trace window.
+	RevisitFrac float64
+	// RevisitWindow is the size of the recent-page history (default 64).
+	RevisitWindow int
+	// Intensity is a coarse label used by the workload tables.
+	Intensity string
+}
+
+// Validate reports a configuration error.
+func (p Profile) Validate() error {
+	switch {
+	case p.FootprintPages == 0 || !addr.IsPow2(p.FootprintPages):
+		return fmt.Errorf("trace: %s footprint %d pages must be a power of two", p.Name, p.FootprintPages)
+	case p.SeqFrac+p.StrideFrac+p.PointerFrac > 1+1e-9:
+		return fmt.Errorf("trace: %s episode fractions sum > 1", p.Name)
+	case p.SeqFrac > 0 && p.RunLines <= 0:
+		return fmt.Errorf("trace: %s sequential episodes need RunLines > 0", p.Name)
+	case p.StrideFrac > 0 && p.Stride < 2:
+		return fmt.Errorf("trace: %s strided episodes need Stride >= 2", p.Name)
+	case p.GapMean <= 0:
+		return fmt.Errorf("trace: %s GapMean must be positive", p.Name)
+	case p.RevisitFrac < 0 || p.RevisitFrac > 1:
+		return fmt.Errorf("trace: %s RevisitFrac out of [0,1]", p.Name)
+	}
+	return nil
+}
+
+// FootprintBytes returns the benchmark footprint in bytes.
+func (p Profile) FootprintBytes() uint64 { return p.FootprintPages * PageBytes }
+
+// Synthetic generates a stream from a Profile. Create with NewSynthetic.
+type Synthetic struct {
+	prof Profile
+	base addr.Phys
+	rng  *xrand.Rand
+	zipf *xrand.Zipf
+	// pending holds the remainder of the current episode.
+	pending []Access
+	// permMul is an odd multiplier giving a bijective page permutation so
+	// popular pages are scattered across the address space.
+	permMul uint64
+	// recent is the revisit history ring of episode page bases.
+	recent []addr.Phys
+	rpos   int
+}
+
+// NewSynthetic builds a generator for prof, placing its footprint at base
+// (each core of a multiprogrammed mix gets a disjoint base) and drawing all
+// randomness from seed.
+func NewSynthetic(prof Profile, base addr.Phys, seed uint64) *Synthetic {
+	if err := prof.Validate(); err != nil {
+		panic(err)
+	}
+	rng := xrand.New(seed)
+	window := prof.RevisitWindow
+	if window <= 0 {
+		window = 64
+	}
+	return &Synthetic{
+		prof:    prof,
+		base:    base,
+		rng:     rng,
+		zipf:    xrand.NewZipf(rng.Fork(), int(prof.FootprintPages), prof.ZipfS),
+		permMul: 0x9E3779B97F4A7C15 | 1,
+		recent:  make([]addr.Phys, 0, window),
+	}
+}
+
+// Name implements Generator.
+func (g *Synthetic) Name() string { return g.prof.Name }
+
+// Profile returns the generating profile.
+func (g *Synthetic) Profile() Profile { return g.prof }
+
+// pageAddr maps a popularity rank to the base address of its page.
+func (g *Synthetic) pageAddr(rank int) addr.Phys {
+	page := (uint64(rank) * g.permMul) & (g.prof.FootprintPages - 1)
+	return g.base + addr.Phys(page*PageBytes)
+}
+
+// gap draws an instruction gap (geometric-ish via exponential, min 1).
+func (g *Synthetic) gap() uint32 {
+	u := g.rng.Float64()
+	v := -float64(g.prof.GapMean) * math.Log(1-u)
+	if v < 1 {
+		v = 1
+	}
+	if v > math.MaxUint32 {
+		v = math.MaxUint32
+	}
+	return uint32(v)
+}
+
+// episodeLen draws a geometric length with the given mean (min 1).
+func (g *Synthetic) episodeLen(mean int) int {
+	if mean <= 1 {
+		return 1
+	}
+	u := g.rng.Float64()
+	v := int(-float64(mean) * math.Log(1-u))
+	if v < 1 {
+		v = 1
+	}
+	// Clamp to a multiple of the footprint walk so episodes stay bounded.
+	if v > 16*mean {
+		v = 16 * mean
+	}
+	return v
+}
+
+// Next implements Generator.
+func (g *Synthetic) Next() Access {
+	for len(g.pending) == 0 {
+		g.refill()
+	}
+	a := g.pending[0]
+	g.pending = g.pending[1:]
+	return a
+}
+
+// episodePage picks the page for the next episode: usually a fresh
+// Zipf-popularity draw, sometimes a revisit of a recent page. Revisits are
+// biased toward the most recently touched pages (loop-level locality), the
+// behaviour behind the paper's Figure 5 observation that cache hits
+// concentrate in the top MRU ways.
+func (g *Synthetic) episodePage() addr.Phys {
+	if len(g.recent) > 0 && g.rng.Bool(g.prof.RevisitFrac) {
+		if g.rng.Bool(0.6) {
+			// Hot loop: one of the last few pages (newest entries sit just
+			// behind the ring cursor).
+			span := 8
+			if span > len(g.recent) {
+				span = len(g.recent)
+			}
+			back := 1 + g.rng.Intn(span)
+			idx := (g.rpos - back + len(g.recent)) % len(g.recent)
+			if len(g.recent) < cap(g.recent) {
+				// Ring not full yet: newest entries are at the end.
+				idx = len(g.recent) - back
+			}
+			return g.recent[idx]
+		}
+		return g.recent[g.rng.Intn(len(g.recent))]
+	}
+	page := g.pageAddr(g.zipf.Next())
+	if cap(g.recent) > 0 {
+		if len(g.recent) < cap(g.recent) {
+			g.recent = append(g.recent, page)
+		} else {
+			g.recent[g.rpos] = page
+			g.rpos = (g.rpos + 1) % cap(g.recent)
+		}
+	}
+	return page
+}
+
+// refill synthesizes the next episode into pending.
+func (g *Synthetic) refill() {
+	p := &g.prof
+	page := g.episodePage()
+	u := g.rng.Float64()
+	switch {
+	case u < p.SeqFrac:
+		g.seqEpisode(page)
+	case u < p.SeqFrac+p.StrideFrac:
+		g.strideEpisode(page)
+	case u < p.SeqFrac+p.StrideFrac+p.PointerFrac:
+		g.chaseEpisode(page)
+	default:
+		g.randomEpisode(page)
+	}
+}
+
+// emit appends one access.
+func (g *Synthetic) emit(a addr.Phys, dep bool) {
+	g.pending = append(g.pending, Access{
+		Addr:  a,
+		Write: g.rng.Bool(g.prof.WriteFrac),
+		Gap:   g.gap(),
+		Dep:   dep,
+	})
+}
+
+// seqEpisode walks consecutive 64B lines starting at the page base,
+// continuing into following pages of the footprint when the run is long.
+func (g *Synthetic) seqEpisode(page addr.Phys) {
+	n := g.episodeLen(g.prof.RunLines)
+	span := addr.Phys(g.prof.FootprintBytes())
+	for i := 0; i < n; i++ {
+		off := addr.Phys(uint64(i)*LineBytes) % span
+		g.emit(g.base+(page-g.base+off)%span, false)
+	}
+}
+
+// strideEpisode touches every Stride-th line of the page.
+func (g *Synthetic) strideEpisode(page addr.Phys) {
+	start := g.rng.Intn(g.prof.Stride)
+	for i := start; i < LinesPerPage; i += g.prof.Stride {
+		g.emit(page+addr.Phys(i*LineBytes), false)
+	}
+}
+
+// chaseEpisode emits a chain of dependent random lines. Each step lands on
+// a page drawn with the same revisit bias as episode starts: pointer
+// structures wander within hot regions, which is what concentrates cache
+// hits in the recently used ways (Figure 5) even for irregular programs.
+func (g *Synthetic) chaseEpisode(page addr.Phys) {
+	n := g.episodeLen(max(g.prof.ChaseLen, 1))
+	prev := page + addr.Phys(g.rng.Intn(LinesPerPage)*LineBytes)
+	g.emit(prev, false)
+	const linesPerBlock = 512 / LineBytes
+	for i := 1; i < n; i++ {
+		var next addr.Phys
+		if g.rng.Bool(0.3) {
+			// Pool-allocated neighbours: the next node shares the previous
+			// node's 512B block.
+			next = prev.Block(512) + addr.Phys(g.rng.Intn(linesPerBlock)*LineBytes)
+		} else {
+			next = g.episodePage() + addr.Phys(g.rng.Intn(LinesPerPage)*LineBytes)
+		}
+		g.emit(next, true)
+		prev = next
+	}
+}
+
+// randomEpisode emits one or two independent random lines within the page.
+func (g *Synthetic) randomEpisode(page addr.Phys) {
+	n := 1 + g.rng.Intn(2)
+	for i := 0; i < n; i++ {
+		g.emit(page+addr.Phys(g.rng.Intn(LinesPerPage)*LineBytes), false)
+	}
+}
+
+// Collect drains n accesses from gen into a slice (test/analysis helper).
+func Collect(gen Generator, n int) []Access {
+	out := make([]Access, n)
+	for i := range out {
+		out[i] = gen.Next()
+	}
+	return out
+}

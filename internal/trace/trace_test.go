@@ -1,0 +1,241 @@
+package trace
+
+import (
+	"testing"
+
+	"bimodal/internal/addr"
+)
+
+func TestProfilesValid(t *testing.T) {
+	for _, name := range ProfileNames() {
+		p := MustProfile(name)
+		if err := p.Validate(); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+		if p.Name != name {
+			t.Errorf("profile %q has Name %q", name, p.Name)
+		}
+	}
+	if len(ProfileNames()) < 20 {
+		t.Errorf("catalogue has %d profiles, want >= 20", len(ProfileNames()))
+	}
+}
+
+func TestProfileByNameUnknown(t *testing.T) {
+	if _, err := ProfileByName("nonexistent"); err == nil {
+		t.Error("expected error for unknown benchmark")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustProfile should panic")
+		}
+	}()
+	MustProfile("nonexistent")
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := []Profile{
+		{Name: "a", FootprintPages: 3, GapMean: 10},                                                  // non-pow2
+		{Name: "b", FootprintPages: 4, GapMean: 10, SeqFrac: 0.6, StrideFrac: 0.6},                   // frac sum
+		{Name: "c", FootprintPages: 4, GapMean: 10, SeqFrac: 0.5, RunLines: 0},                       // no run length
+		{Name: "d", FootprintPages: 4, GapMean: 10, StrideFrac: 0.5, Stride: 1},                      // stride < 2
+		{Name: "e", FootprintPages: 4, GapMean: 0},                                                   // gap
+		{Name: "f", FootprintPages: 0, GapMean: 10},                                                  // zero footprint
+		{Name: "g", FootprintPages: 4, GapMean: 10, SeqFrac: 0.4, PointerFrac: 0.4, StrideFrac: 0.3}, // sum > 1
+	}
+	for _, p := range bad {
+		if p.Validate() == nil {
+			t.Errorf("profile %s should be invalid", p.Name)
+		}
+	}
+}
+
+func TestSyntheticDeterminism(t *testing.T) {
+	p := MustProfile("soplex")
+	a := NewSynthetic(p, 0, 1)
+	b := NewSynthetic(p, 0, 1)
+	for i := 0; i < 5000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("streams diverged at access %d", i)
+		}
+	}
+}
+
+func TestSyntheticStaysInFootprint(t *testing.T) {
+	p := MustProfile("mcf")
+	base := addr.Phys(1) << 34
+	g := NewSynthetic(p, base, 7)
+	span := addr.Phys(p.FootprintBytes())
+	for i := 0; i < 20000; i++ {
+		a := g.Next()
+		if a.Addr < base || a.Addr >= base+span {
+			t.Fatalf("access %d at %x outside [%x,%x)", i, a.Addr, base, base+span)
+		}
+		if a.Addr%LineBytes != 0 {
+			t.Fatalf("access %d at %x not line-aligned", i, a.Addr)
+		}
+		if a.Gap == 0 {
+			t.Fatalf("access %d has zero gap", i)
+		}
+	}
+}
+
+func TestStreamingHasHighSpatialUtilization(t *testing.T) {
+	util := blockUtilization(t, "libquantum", 200000)
+	if util < 0.85 {
+		t.Errorf("libquantum 512B utilization = %.2f, want > 0.85", util)
+	}
+	irregular := blockUtilization(t, "mcf", 200000)
+	if irregular > 0.55 {
+		t.Errorf("mcf 512B utilization = %.2f, want < 0.55", irregular)
+	}
+	if util <= irregular {
+		t.Errorf("streaming utilization (%.2f) should exceed irregular (%.2f)", util, irregular)
+	}
+}
+
+// blockUtilization measures the mean fraction of 64B sub-blocks touched per
+// referenced 512B block.
+func blockUtilization(t *testing.T, bench string, n int) float64 {
+	t.Helper()
+	g := NewSynthetic(MustProfile(bench), 0, 3)
+	touched := map[addr.Phys]uint8{}
+	for i := 0; i < n; i++ {
+		a := g.Next()
+		blk := a.Addr.Block(512)
+		sub := (a.Addr - blk) / 64
+		touched[blk] |= 1 << sub
+	}
+	var total, bits int
+	for _, mask := range touched {
+		total += 8
+		for b := 0; b < 8; b++ {
+			if mask&(1<<b) != 0 {
+				bits++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no blocks touched")
+	}
+	return float64(bits) / float64(total)
+}
+
+func TestPointerProfileEmitsDependentAccesses(t *testing.T) {
+	g := NewSynthetic(MustProfile("mcf"), 0, 11)
+	dep := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		if g.Next().Dep {
+			dep++
+		}
+	}
+	frac := float64(dep) / n
+	if frac < 0.2 {
+		t.Errorf("mcf dependent fraction = %.2f, want >= 0.2", frac)
+	}
+	g2 := NewSynthetic(MustProfile("libquantum"), 0, 11)
+	dep = 0
+	for i := 0; i < n; i++ {
+		if g2.Next().Dep {
+			dep++
+		}
+	}
+	if float64(dep)/n > 0.05 {
+		t.Errorf("libquantum dependent fraction = %.2f, want ~0", float64(dep)/n)
+	}
+}
+
+func TestWriteFractionRoughlyMatches(t *testing.T) {
+	p := MustProfile("lbm")
+	g := NewSynthetic(p, 0, 13)
+	writes := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if g.Next().Write {
+			writes++
+		}
+	}
+	frac := float64(writes) / n
+	if frac < p.WriteFrac-0.05 || frac > p.WriteFrac+0.05 {
+		t.Errorf("write fraction = %.3f, profile says %.3f", frac, p.WriteFrac)
+	}
+}
+
+func TestGapMeanRoughlyMatches(t *testing.T) {
+	p := MustProfile("hmmer")
+	g := NewSynthetic(p, 0, 17)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += float64(g.Next().Gap)
+	}
+	mean := sum / n
+	if mean < float64(p.GapMean)*0.8 || mean > float64(p.GapMean)*1.2 {
+		t.Errorf("gap mean = %.1f, profile says %d", mean, p.GapMean)
+	}
+}
+
+func TestIntensityOrdering(t *testing.T) {
+	// High-intensity profiles must have smaller gaps than low-intensity.
+	var hi, lo float64
+	var nHi, nLo int
+	for _, name := range ProfileNames() {
+		p := MustProfile(name)
+		switch p.Intensity {
+		case IntensityHigh:
+			hi += float64(p.GapMean)
+			nHi++
+		case IntensityLow:
+			lo += float64(p.GapMean)
+			nLo++
+		}
+	}
+	if nHi == 0 || nLo == 0 {
+		t.Fatal("need both high and low intensity profiles")
+	}
+	if hi/float64(nHi) >= lo/float64(nLo) {
+		t.Errorf("high-intensity mean gap %.0f >= low-intensity %.0f", hi/float64(nHi), lo/float64(nLo))
+	}
+}
+
+func TestSliceGen(t *testing.T) {
+	s := &SliceGen{Accs: []Access{{Addr: 1}, {Addr: 2}}, Lab: "x"}
+	if s.Name() != "x" {
+		t.Error("name")
+	}
+	if s.Next().Addr != 1 || s.Next().Addr != 2 || s.Next().Addr != 1 {
+		t.Error("SliceGen should cycle")
+	}
+	empty := &SliceGen{}
+	if empty.Next() != (Access{}) {
+		t.Error("empty SliceGen should return zero Access")
+	}
+}
+
+func TestCollect(t *testing.T) {
+	g := NewSynthetic(MustProfile("gcc"), 0, 19)
+	accs := Collect(g, 100)
+	if len(accs) != 100 {
+		t.Fatalf("len = %d", len(accs))
+	}
+}
+
+func TestSequentialRunsHitWithinBigBlocks(t *testing.T) {
+	// For a streaming benchmark, consecutive accesses frequently fall in
+	// the same 512B block — the property behind Figure 1.
+	g := NewSynthetic(MustProfile("libquantum"), 0, 23)
+	prev := g.Next().Addr.Block(512)
+	same := 0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		b := g.Next().Addr.Block(512)
+		if b == prev {
+			same++
+		}
+		prev = b
+	}
+	if frac := float64(same) / n; frac < 0.7 {
+		t.Errorf("same-512B-block fraction = %.2f, want > 0.7", frac)
+	}
+}

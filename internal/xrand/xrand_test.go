@@ -1,0 +1,119 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("generators diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d collisions between differently-seeded streams", same)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(13)
+		if v < 0 || v >= 13 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(9)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolProbability(t *testing.T) {
+	r := New(13)
+	hits := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	frac := float64(hits) / n
+	if math.Abs(frac-0.25) > 0.01 {
+		t.Errorf("Bool(0.25) frequency = %v", frac)
+	}
+}
+
+func TestForkIndependence(t *testing.T) {
+	r := New(99)
+	f1 := r.Fork()
+	f2 := r.Fork()
+	if f1.Uint64() == f2.Uint64() {
+		t.Error("forked streams start identically")
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	r := New(5)
+	z := NewZipf(r, 100, 1.0)
+	counts := make([]int, 100)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	if counts[0] <= counts[50] {
+		t.Errorf("zipf not skewed: c0=%d c50=%d", counts[0], counts[50])
+	}
+	// Item 0 under s=1, n=100 should get roughly 1/H(100) ~ 19% of draws.
+	frac := float64(counts[0]) / n
+	if frac < 0.10 || frac > 0.30 {
+		t.Errorf("head fraction = %v, want ~0.19", frac)
+	}
+}
+
+func TestZipfUniformWhenSZero(t *testing.T) {
+	r := New(6)
+	z := NewZipf(r, 10, 0)
+	counts := make([]int, 10)
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[z.Next()]++
+	}
+	for i, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.1) > 0.02 {
+			t.Errorf("bucket %d frac %v, want ~0.1", i, frac)
+		}
+	}
+}
