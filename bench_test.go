@@ -7,6 +7,7 @@
 package bimodal_test
 
 import (
+	"context"
 	"testing"
 
 	bimodal "bimodal"
@@ -40,7 +41,11 @@ func benchExperiment(b *testing.B, id string) {
 	o := benchOptions()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if tbl := e.Run(o); tbl.NumRows() == 0 {
+		tbl, err := e.Run(context.Background(), o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tbl.NumRows() == 0 {
 			b.Fatalf("%s produced no rows", id)
 		}
 	}

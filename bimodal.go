@@ -17,15 +17,30 @@
 //
 // Quick start:
 //
-//	mix := bimodal.Workload("Q7")
+//	mix, err := bimodal.WorkloadByName("Q7")
+//	if err != nil { ... }
 //	opts := bimodal.Options{AccessesPerCore: 100_000}
 //	res := bimodal.RunBiModal(mix, opts)
 //	fmt.Println(res.Report.HitRate(), res.Report.AvgLatency())
 //
-// See the examples directory and cmd/paper for complete programs.
+// Schemes are identified by the typed SchemeID constants (SchemeBiModal,
+// SchemeAlloy, ...); ParseScheme converts CLI-style names. Long runs take
+// the context-aware entry points, which stop within a few thousand
+// simulated accesses of cancellation:
+//
+//	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+//	defer cancel()
+//	res, err := bimodal.RunSchemeContext(ctx, bimodal.SchemeAlloy, mix, opts)
+//
+// Simulation results are a pure function of (mix, scheme, Options) — never
+// of timing, worker counts or cancellation — so concurrent sweeps over
+// these entry points reproduce serial output exactly. See the examples
+// directory and cmd/paper for complete programs.
 package bimodal
 
 import (
+	"context"
+
 	"bimodal/internal/dramcache"
 	"bimodal/internal/sim"
 	"bimodal/internal/workloads"
@@ -40,8 +55,38 @@ type RunResult = sim.RunResult
 // Mix aliases workloads.Mix.
 type Mix = workloads.Mix
 
+// SchemeID identifies a DRAM cache scheme; it aliases sim.SchemeID. Use
+// the Scheme* constants or ParseScheme — the typed IDs replace
+// stringly-typed scheme names in library code.
+type SchemeID = sim.SchemeID
+
+// Typed scheme identifiers in the paper's comparison order.
+const (
+	SchemeBiModal       = sim.SchemeBiModal
+	SchemeBiModalOnly   = sim.SchemeBiModalOnly
+	SchemeWLOnly        = sim.SchemeWLOnly
+	SchemeBiModalCoMeta = sim.SchemeBiModalCoMeta
+	SchemeBiModalBypass = sim.SchemeBiModalBypass
+	SchemeAlloy         = sim.SchemeAlloy
+	SchemeLohHill       = sim.SchemeLohHill
+	SchemeATCache       = sim.SchemeATCache
+	SchemeFootprint     = sim.SchemeFootprint
+)
+
+// ParseScheme resolves a scheme name ("bimodal", "alloy", ...) to its
+// typed ID.
+func ParseScheme(name string) (SchemeID, error) { return sim.ParseScheme(name) }
+
+// SchemeNames lists every scheme name in comparison order.
+func SchemeNames() []string { return sim.SchemeNames() }
+
+// WorkloadByName returns a named workload mix (Q1..Q24, E1..E16, S1..S8),
+// or an error for unknown names.
+func WorkloadByName(name string) (Mix, error) { return workloads.ByName(name) }
+
 // Workload returns a named workload mix (Q1..Q24, E1..E16, S1..S8); it
-// panics on unknown names.
+// panics on unknown names. It is the convenience wrapper over
+// WorkloadByName for literals known to exist ("must" semantics).
 func Workload(name string) Mix { return workloads.MustByName(name) }
 
 // Workloads returns the mix table for a core count (4, 8 or 16).
@@ -53,30 +98,50 @@ func RunBiModal(mix Mix, o Options) RunResult {
 	return sim.Run(mix, sim.BiModalFactory(mix.Cores(), o), o)
 }
 
-// RunScheme runs the mix on a named scheme: bimodal, bimodal-only,
-// wl-only, alloy, lohhill, atcache or footprint.
+// RunBiModalContext is RunBiModal with cancellation: when ctx ends
+// mid-run the simulation stops promptly and ctx.Err() is returned.
+func RunBiModalContext(ctx context.Context, mix Mix, o Options) (RunResult, error) {
+	return sim.RunContext(ctx, mix, sim.BiModalFactory(mix.Cores(), o), o)
+}
+
+// RunScheme runs the mix on a named scheme (see SchemeNames). Prefer
+// RunSchemeContext with a typed SchemeID in library code.
 func RunScheme(name string, mix Mix, o Options) (RunResult, error) {
-	f, err := sim.SchemeFactory(name)
+	id, err := sim.ParseScheme(name)
 	if err != nil {
 		return RunResult{}, err
 	}
-	return sim.Run(mix, f, o), nil
+	return sim.Run(mix, id.Factory(), o), nil
+}
+
+// RunSchemeContext runs the mix on a scheme with cancellation. Invalid
+// IDs (from casting rather than ParseScheme) panic.
+func RunSchemeContext(ctx context.Context, id SchemeID, mix Mix, o Options) (RunResult, error) {
+	return sim.RunContext(ctx, mix, id.Factory(), o)
 }
 
 // ANTT runs the mix multiprogrammed and standalone on a named scheme and
 // returns the Average Normalized Turnaround Time (lower is better).
 func ANTT(name string, mix Mix, o Options) (float64, error) {
+	id, err := sim.ParseScheme(name)
+	if err != nil {
+		return 0, err
+	}
+	antt, _, err := ANTTContext(context.Background(), id, mix, o)
+	return antt, err
+}
+
+// ANTTContext computes ANTT on a typed scheme with cancellation; the
+// standalone baseline runs fan out over o.Workers goroutines. It also
+// returns the multiprogrammed result.
+func ANTTContext(ctx context.Context, id SchemeID, mix Mix, o Options) (float64, RunResult, error) {
 	var f sim.Factory
-	if name == "bimodal" {
+	if id == sim.SchemeBiModal {
 		f = sim.BiModalFactory(mix.Cores(), o)
 	} else {
-		var err error
-		if f, err = sim.SchemeFactory(name); err != nil {
-			return 0, err
-		}
+		f = id.Factory()
 	}
-	antt, _ := sim.ANTT(mix, f, o)
-	return antt, nil
+	return sim.ANTTContext(ctx, mix, f, o)
 }
 
 // NewBiModalScheme builds a standalone Bi-Modal scheme instance for direct

@@ -1,6 +1,10 @@
 package bimodal_test
 
 import (
+	"context"
+	"errors"
+	"reflect"
+	"runtime"
 	"testing"
 
 	bimodal "bimodal"
@@ -57,6 +61,80 @@ func TestANTTFacade(t *testing.T) {
 	antt2, err := bimodal.ANTT("alloy", bimodal.Workload("Q13"), facadeOptions())
 	if err != nil || antt2 <= 0 {
 		t.Errorf("alloy ANTT: %v %v", antt2, err)
+	}
+}
+
+func TestWorkloadByName(t *testing.T) {
+	mix, err := bimodal.WorkloadByName("Q1")
+	if err != nil || mix.Cores() != 4 {
+		t.Errorf("WorkloadByName(Q1): cores %d, err %v", mix.Cores(), err)
+	}
+	if _, err := bimodal.WorkloadByName("nope"); err == nil {
+		t.Error("WorkloadByName should return an error for unknown names")
+	}
+}
+
+func TestParseSchemeFacade(t *testing.T) {
+	id, err := bimodal.ParseScheme("atcache")
+	if err != nil || id != bimodal.SchemeATCache {
+		t.Errorf("ParseScheme(atcache) = %v, %v", id, err)
+	}
+	if _, err := bimodal.ParseScheme("bogus"); err == nil {
+		t.Error("ParseScheme accepted an unknown name")
+	}
+	names := bimodal.SchemeNames()
+	if len(names) != 9 {
+		t.Errorf("SchemeNames() has %d entries, want 9", len(names))
+	}
+}
+
+func TestRunSchemeContextFacade(t *testing.T) {
+	res, err := bimodal.RunSchemeContext(context.Background(), bimodal.SchemeAlloy,
+		bimodal.Workload("Q13"), facadeOptions())
+	if err != nil || res.Report.Scheme != "AlloyCache" {
+		t.Errorf("RunSchemeContext: %v %v", res.Report.Scheme, err)
+	}
+	// Context runs match their context-free counterparts exactly.
+	plain, err := bimodal.RunScheme("alloy", bimodal.Workload("Q13"), facadeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Scheme, plain.Scheme = nil, nil
+	if !reflect.DeepEqual(res, plain) {
+		t.Error("RunSchemeContext result differs from RunScheme")
+	}
+}
+
+func TestRunBiModalContextFacade(t *testing.T) {
+	mix := bimodal.Workload("Q13")
+	res, err := bimodal.RunBiModalContext(context.Background(), mix, facadeOptions())
+	if err != nil || res.Report.Scheme != "BiModal" {
+		t.Errorf("RunBiModalContext: %v %v", res.Report.Scheme, err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	o := facadeOptions()
+	o.AccessesPerCore = 50_000_000
+	if _, err := bimodal.RunBiModalContext(ctx, mix, o); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled RunBiModalContext: err = %v, want context.Canceled", err)
+	}
+}
+
+func TestANTTContextFacade(t *testing.T) {
+	mix := bimodal.Workload("Q13")
+	o := facadeOptions()
+	o.Workers = runtime.NumCPU()
+	antt, multi, err := bimodal.ANTTContext(context.Background(), bimodal.SchemeBiModal, mix, o)
+	if err != nil || antt <= 0 || multi.Report.Scheme != "BiModal" {
+		t.Errorf("ANTTContext: antt %v, scheme %v, err %v", antt, multi.Report.Scheme, err)
+	}
+	// Parallel standalone fan-out must agree with the serial ANTT facade.
+	serial, err := bimodal.ANTT("bimodal", mix, facadeOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if antt != serial {
+		t.Errorf("parallel ANTT %v != serial %v", antt, serial)
 	}
 }
 

@@ -1,19 +1,26 @@
 // Command bmsim runs a single DRAM cache simulation: one workload mix on
 // one scheme, printing hit rate, latency, bandwidth and energy metrics.
+// Ctrl-C cancels the run; -timeout bounds it; -workers parallelizes the
+// standalone baselines of -antt.
 //
 // Examples:
 //
 //	bmsim -scheme bimodal -mix Q7
 //	bmsim -scheme alloy -mix E3 -accesses 500000
-//	bmsim -scheme bimodal -mix Q2 -prefetch 3 -antt
+//	bmsim -scheme bimodal -mix Q2 -prefetch 3 -antt -workers 0
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"time"
 
 	"bimodal/internal/energy"
+	"bimodal/internal/engine"
 	"bimodal/internal/sim"
 	"bimodal/internal/stats"
 	"bimodal/internal/workloads"
@@ -21,22 +28,41 @@ import (
 
 func main() {
 	var (
-		schemeName = flag.String("scheme", "bimodal", "scheme: bimodal|bimodal-only|wl-only|alloy|lohhill|atcache|footprint")
+		schemeName = flag.String("scheme", "bimodal", "scheme: bimodal|bimodal-only|wl-only|bimodal-cometa|bimodal-bypass|alloy|lohhill|atcache|footprint")
 		mixName    = flag.String("mix", "Q1", "workload mix (Q1..Q24, E1..E16, S1..S8)")
 		accesses   = flag.Int64("accesses", 300_000, "accesses per core")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		cacheBytes = flag.Uint64("cache", 0, "DRAM cache bytes (0 = Table IV preset)")
 		prefetchN  = flag.Int("prefetch", 0, "next-N-lines prefetch depth (0 = off)")
 		withANTT   = flag.Bool("antt", false, "also run standalone baselines and report ANTT")
+		workers    = flag.Int("workers", 0, "worker pool for the ANTT standalone runs (0 = NumCPU, 1 = serial)")
+		timeout    = flag.Duration("timeout", 0, "run deadline (0 = none)")
 	)
 	flag.Parse()
-	if err := run(*schemeName, *mixName, *accesses, *seed, *cacheBytes, *prefetchN, *withANTT); err != nil {
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	err := run(ctx, *schemeName, *mixName, *accesses, *seed, *cacheBytes, *prefetchN, *withANTT, *workers)
+	switch {
+	case errors.Is(err, context.Canceled):
+		fmt.Fprintln(os.Stderr, "bmsim: interrupted")
+		os.Exit(1)
+	case errors.Is(err, context.DeadlineExceeded):
+		fmt.Fprintf(os.Stderr, "bmsim: run exceeded -timeout=%s\n", *timeout)
+		os.Exit(1)
+	case err != nil:
 		fmt.Fprintln(os.Stderr, "bmsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(schemeName, mixName string, accesses int64, seed, cacheBytes uint64, prefetchN int, withANTT bool) error {
+func run(ctx context.Context, schemeName, mixName string, accesses int64, seed, cacheBytes uint64, prefetchN int, withANTT bool, workers int) error {
 	mix, err := workloads.ByName(mixName)
 	if err != nil {
 		return err
@@ -46,15 +72,23 @@ func run(schemeName, mixName string, accesses int64, seed, cacheBytes uint64, pr
 		Seed:            seed,
 		CacheBytes:      cacheBytes,
 		PrefetchN:       prefetchN,
+		Workers:         engine.Workers(workers),
 	}
 	var factory sim.Factory
-	if schemeName == "bimodal" {
-		factory = sim.BiModalFactory(mix.Cores(), opts)
-	} else if factory, err = sim.SchemeFactory(schemeName); err != nil {
+	id, err := sim.ParseScheme(schemeName)
+	if err != nil {
 		return err
 	}
+	if id == sim.SchemeBiModal {
+		factory = sim.BiModalFactory(mix.Cores(), opts)
+	} else {
+		factory = id.Factory()
+	}
 
-	res := sim.Run(mix, factory, opts)
+	res, err := sim.RunContext(ctx, mix, factory, opts)
+	if err != nil {
+		return err
+	}
 	r := res.Report
 
 	tbl := stats.NewTable(fmt.Sprintf("%s on %s (%d cores, %d accesses/core)",
@@ -85,8 +119,12 @@ func run(schemeName, mixName string, accesses int64, seed, cacheBytes uint64, pr
 	fmt.Print(per)
 
 	if withANTT {
-		antt, _ := sim.ANTT(mix, factory, opts)
-		fmt.Printf("ANTT = %.3f (lower is better)\n", antt)
+		start := time.Now()
+		antt, _, err := sim.ANTTContext(ctx, mix, factory, opts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("ANTT = %.3f (lower is better, computed in %s)\n", antt, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
 }

@@ -1,18 +1,30 @@
 // Command paper regenerates the paper's tables and figures.
 //
+// Independent simulation cells fan out over a bounded worker pool
+// (-workers, default NumCPU); output is byte-identical at any worker
+// count. Ctrl-C cancels in-flight simulations promptly, and -timeout
+// bounds each experiment.
+//
 // Examples:
 //
-//	paper -exp fig7          # one experiment at full scale
-//	paper -exp all -quick    # everything, reduced scale
-//	paper -list              # show the experiment index
+//	paper -exp fig7                  # one experiment at full scale
+//	paper -exp all -quick            # everything, reduced scale
+//	paper -exp fig7 -workers 4       # bound the worker pool
+//	paper -exp all -timeout 10m      # per-experiment deadline
+//	paper -list                      # show the experiment index
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"time"
 
+	"bimodal/internal/engine"
 	"bimodal/internal/experiments"
 )
 
@@ -26,6 +38,9 @@ func main() {
 		mixes    = flag.Int("mixes", 0, "cap workload mixes per core count (0 = all)")
 		seed     = flag.Uint64("seed", 1, "random seed")
 		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = NumCPU, 1 = serial)")
+		timeout  = flag.Duration("timeout", 0, "per-experiment deadline (0 = none)")
+		progress = flag.Bool("progress", true, "per-cell progress/timing lines on stderr")
 	)
 	flag.Parse()
 
@@ -54,6 +69,16 @@ func main() {
 		o.MaxMixes = *mixes
 	}
 	o.Seed = *seed
+	o.Workers = *workers
+	if *progress {
+		o.Progress = os.Stderr
+	}
+
+	// Ctrl-C cancels in-flight simulations instead of killing the process
+	// mid-table; a second interrupt kills immediately (signal.NotifyContext
+	// restores default handling once the context is cancelled).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
 
 	var ids []string
 	if *exp == "all" {
@@ -70,7 +95,28 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
-		tbl := e.Run(o)
+		ectx, cancel := ctx, func() {}
+		if *timeout > 0 {
+			ectx, cancel = context.WithTimeout(ctx, *timeout)
+		}
+		start := time.Now()
+		tbl, err := e.Run(ectx, o)
+		cancel()
+		if err != nil {
+			switch {
+			case errors.Is(err, context.Canceled):
+				fmt.Fprintln(os.Stderr, "paper: interrupted")
+			case errors.Is(err, context.DeadlineExceeded):
+				fmt.Fprintf(os.Stderr, "paper: %s exceeded -timeout=%s\n", e.ID, *timeout)
+			default:
+				fmt.Fprintln(os.Stderr, "paper:", err)
+			}
+			os.Exit(1)
+		}
+		if *progress {
+			fmt.Fprintf(os.Stderr, "%s done in %s (%d workers)\n",
+				e.ID, time.Since(start).Round(time.Millisecond), engine.Workers(*workers))
+		}
 		if *csv {
 			fmt.Println(tbl.CSV())
 		} else {

@@ -12,6 +12,7 @@ package cpu
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 
 	"bimodal/internal/dramcache"
@@ -229,6 +230,12 @@ func NewEngine(scheme dramcache.Scheme, gens []trace.Generator, cfg CoreConfig, 
 	return e
 }
 
+// ctxCheckInterval is how many replayed accesses pass between context
+// checks in the tick loop. Coarse on purpose: one access is ~100ns of
+// host work, so cancellation latency stays under a millisecond while the
+// hot loop pays one cheap Err() call per interval.
+const ctxCheckInterval = 8192
+
 // Run replays accessesPerCore measured accesses on every core. A core that
 // reaches its quota freezes its results but continues executing (uncounted)
 // until every core has finished, exactly as the paper's methodology keeps
@@ -236,6 +243,18 @@ func NewEngine(scheme dramcache.Scheme, gens []trace.Generator, cfg CoreConfig, 
 // all cores in flight also keeps their clocks synchronized, which the
 // busy-time DRAM model requires.
 func (e *Engine) Run(accessesPerCore int64) []CoreResult {
+	out, err := e.RunContext(context.Background(), accessesPerCore)
+	if err != nil {
+		// Background contexts never cancel; any error here is a bug.
+		panic(err)
+	}
+	return out
+}
+
+// RunContext is Run with cooperative cancellation: the tick loop checks
+// ctx every ctxCheckInterval accesses and returns ctx.Err() when the
+// context ends, discarding partial results.
+func (e *Engine) RunContext(ctx context.Context, accessesPerCore int64) ([]CoreResult, error) {
 	h := make(coreHeap, 0, len(e.cores))
 	active := 0
 	for _, c := range e.cores {
@@ -248,7 +267,14 @@ func (e *Engine) Run(accessesPerCore int64) []CoreResult {
 			c.finish()
 		}
 	}
+	var steps int64
 	for active > 0 {
+		if steps%ctxCheckInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		steps++
 		c := heap.Pop(&h).(*core)
 		if c.step(e.scheme, e.pf) {
 			c.finish()
@@ -261,7 +287,7 @@ func (e *Engine) Run(accessesPerCore int64) []CoreResult {
 	for i, c := range e.cores {
 		out[i] = c.result
 	}
-	return out
+	return out, nil
 }
 
 // RunMeasured runs a warmup window of warmup accesses per core, resets the
@@ -269,12 +295,28 @@ func (e *Engine) Run(accessesPerCore int64) []CoreResult {
 // methodology), then runs the measured window and returns per-core results
 // covering only the measured window.
 func (e *Engine) RunMeasured(warmup, measure int64) []CoreResult {
-	if warmup <= 0 {
-		return e.Run(measure)
+	out, err := e.RunMeasuredContext(context.Background(), warmup, measure)
+	if err != nil {
+		panic(err)
 	}
-	pre := e.Run(warmup)
+	return out
+}
+
+// RunMeasuredContext is RunMeasured with cooperative cancellation across
+// both the warmup and the measured window.
+func (e *Engine) RunMeasuredContext(ctx context.Context, warmup, measure int64) ([]CoreResult, error) {
+	if warmup <= 0 {
+		return e.RunContext(ctx, measure)
+	}
+	pre, err := e.RunContext(ctx, warmup)
+	if err != nil {
+		return nil, err
+	}
 	e.scheme.ResetStats()
-	post := e.Run(measure)
+	post, err := e.RunContext(ctx, measure)
+	if err != nil {
+		return nil, err
+	}
 	out := make([]CoreResult, len(post))
 	for i := range post {
 		out[i] = CoreResult{
@@ -288,7 +330,7 @@ func (e *Engine) RunMeasured(warmup, measure int64) []CoreResult {
 			LatencySum: post[i].LatencySum - pre[i].LatencySum,
 		}
 	}
-	return out
+	return out, nil
 }
 
 // STP computes System Throughput (Eyerman & Eeckhout's companion metric to

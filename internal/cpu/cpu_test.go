@@ -1,7 +1,10 @@
 package cpu
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"bimodal/internal/addr"
 	"bimodal/internal/dramcache"
@@ -290,5 +293,37 @@ func TestContentionSlowsCores(t *testing.T) {
 
 	if shared[0].Cycles <= solo[0].Cycles {
 		t.Errorf("shared run (%d cycles) not slower than solo (%d)", shared[0].Cycles, solo[0].Cycles)
+	}
+}
+
+func TestRunContextCancelled(t *testing.T) {
+	// A pre-cancelled context must stop a run that would otherwise take
+	// tens of millions of accesses.
+	f := &fakeScheme{latency: 10}
+	g := trace.NewSynthetic(trace.MustProfile("mcf"), 1, 1)
+	e := NewEngine(f, []trace.Generator{g}, CoreConfig{CPIBase: 1, MSHRs: 8}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	res, err := e.RunContext(ctx, 50_000_000)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Error("cancelled run returned results")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancellation took %s; should be near-immediate", elapsed)
+	}
+}
+
+func TestRunMeasuredContextCancelled(t *testing.T) {
+	f := &fakeScheme{latency: 10}
+	g := trace.NewSynthetic(trace.MustProfile("mcf"), 1, 1)
+	e := NewEngine(f, []trace.Generator{g}, CoreConfig{CPIBase: 1, MSHRs: 8}, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := e.RunMeasuredContext(ctx, 1_000_000, 50_000_000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }

@@ -1,0 +1,97 @@
+// Package engine provides the bounded worker pool that fans independent
+// simulation cells out across CPUs. Every experiment cell (one mix on one
+// scheme under one option set) builds its own scheme, generators and
+// statistics by construction, so cells never share mutable state; the
+// pool's only obligations are to bound concurrency, to deliver results in
+// submission (index) order so parallel output is byte-identical to serial
+// output, and to stop promptly when the context is cancelled or a cell
+// fails.
+package engine
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// Workers normalizes a worker-count request: values <= 0 select
+// runtime.NumCPU() (the default for CPU-bound simulation cells).
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// Map evaluates fn(ctx, i) for every i in [0, n) on at most workers
+// goroutines and returns the results in index order, independent of
+// completion order. workers <= 1 runs strictly serially on the calling
+// goroutine. The first error cancels the remaining cells and is returned;
+// a cancelled ctx surfaces as ctx.Err(). Results of cells that never ran
+// are the zero value of T.
+func Map[T any](ctx context.Context, workers, n int, fn func(context.Context, int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	if n == 0 {
+		return out, ctx.Err()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			v, err := fn(ctx, i)
+			if err != nil {
+				return out, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	// Parallel path: workers drain an index channel; each cell writes only
+	// its own slot, so the slice needs no lock. The first failure cancels
+	// the derived context, which both stops in-flight cells (they observe
+	// ctx) and drains the feeder.
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	idx := make(chan int)
+	var (
+		wg       sync.WaitGroup
+		errOnce  sync.Once
+		firstErr error
+	)
+	fail := func(err error) {
+		errOnce.Do(func() { firstErr = err; cancel() })
+	}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				v, err := fn(cctx, i)
+				if err != nil {
+					fail(err)
+					continue
+				}
+				out[i] = v
+			}
+		}()
+	}
+feed:
+	for i := 0; i < n; i++ {
+		select {
+		case idx <- i:
+		case <-cctx.Done():
+			break feed
+		}
+	}
+	close(idx)
+	wg.Wait()
+	if firstErr != nil {
+		return out, firstErr
+	}
+	return out, ctx.Err()
+}

@@ -1,0 +1,113 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkersNormalize(t *testing.T) {
+	if Workers(0) != runtime.NumCPU() || Workers(-3) != runtime.NumCPU() {
+		t.Error("non-positive worker counts should select NumCPU")
+	}
+	if Workers(7) != 7 {
+		t.Error("explicit worker count not honored")
+	}
+}
+
+func TestMapOrderIndependentOfCompletion(t *testing.T) {
+	// Later cells finish first; results must still land in index order.
+	out, err := Map(context.Background(), 8, 16, func(_ context.Context, i int) (int, error) {
+		time.Sleep(time.Duration(16-i) * time.Millisecond / 4)
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestMapSerialAndParallelAgree(t *testing.T) {
+	fn := func(_ context.Context, i int) (string, error) { return fmt.Sprint(i * 3), nil }
+	for _, workers := range []int{1, 2, 4, runtime.NumCPU()} {
+		out, err := Map(context.Background(), workers, 20, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != fmt.Sprint(i*3) {
+				t.Fatalf("workers=%d out[%d]=%q", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestMapBoundsConcurrency(t *testing.T) {
+	var cur, peak int64
+	_, err := Map(context.Background(), 3, 24, func(context.Context, int) (struct{}, error) {
+		n := atomic.AddInt64(&cur, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		atomic.AddInt64(&cur, -1)
+		return struct{}{}, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := atomic.LoadInt64(&peak); p > 3 {
+		t.Errorf("peak concurrency %d exceeds worker bound 3", p)
+	}
+}
+
+func TestMapFirstErrorCancelsRest(t *testing.T) {
+	boom := errors.New("boom")
+	var ran int64
+	_, err := Map(context.Background(), 2, 64, func(ctx context.Context, i int) (int, error) {
+		atomic.AddInt64(&ran, 1)
+		if i == 3 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n := atomic.LoadInt64(&ran); n == 64 {
+		t.Error("error did not stop the feed (all 64 cells ran)")
+	}
+}
+
+func TestMapCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, workers := range []int{1, 4} {
+		var ran int64
+		_, err := Map(ctx, workers, 8, func(context.Context, int) (int, error) {
+			atomic.AddInt64(&ran, 1)
+			return 0, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d err = %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+func TestMapZeroCells(t *testing.T) {
+	out, err := Map(context.Background(), 4, 0, func(context.Context, int) (int, error) { return 0, nil })
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}

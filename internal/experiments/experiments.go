@@ -5,9 +5,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"io"
 	"sort"
+	"sync"
+	"time"
 
+	"bimodal/internal/engine"
 	"bimodal/internal/stats"
 	"bimodal/internal/workloads"
 )
@@ -19,11 +24,19 @@ type Options struct {
 	// StreamAccesses is the total access count for functional stream
 	// studies (Figures 1, 2, 5).
 	StreamAccesses int64
-	// Seed decorrelates reruns.
+	// Seed decorrelates reruns. Every cell's randomness derives purely
+	// from (Seed, cell identity), never from execution order, so tables
+	// are byte-identical at any worker count.
 	Seed uint64
 	// MaxMixes bounds the number of workload mixes per core count
 	// (0 = all) so quick runs and benchmarks stay cheap.
 	MaxMixes int
+	// Workers bounds the experiment engine's worker pool. 0 selects
+	// runtime.NumCPU(); 1 forces serial execution.
+	Workers int
+	// Progress, when non-nil, receives one timing line per completed
+	// simulation cell (cmd/paper points it at stderr).
+	Progress io.Writer
 }
 
 // DefaultOptions returns full-scale settings for cmd/paper.
@@ -78,8 +91,59 @@ type Experiment struct {
 	ID string
 	// Title describes the paper artifact.
 	Title string
-	// Run executes the experiment and renders its table.
-	Run func(Options) *stats.Table
+	// Run executes the experiment's simulation cells on the engine pool
+	// and renders its table. Cancelling ctx stops the in-flight cells
+	// within a few thousand simulated accesses and returns ctx.Err().
+	Run func(context.Context, Options) (*stats.Table, error)
+}
+
+// cell is one independent simulation unit of an experiment: one (mix,
+// scheme, options) combination. Each cell builds its own scheme instance,
+// generators and statistics inside run, so cells share no mutable state
+// and may execute on any worker in any order.
+type cell[T any] struct {
+	label string
+	run   func(context.Context) (T, error)
+}
+
+// runCells fans the cells out over the experiment engine's bounded worker
+// pool (Options.Workers, default NumCPU) and collects their values in
+// submission order — the table assembly that follows is then identical to
+// what a serial loop would have produced. One progress/timing line is
+// emitted per completed cell when Options.Progress is set.
+func runCells[T any](ctx context.Context, o Options, id string, cells []cell[T]) ([]T, error) {
+	var pr *progressWriter
+	if o.Progress != nil {
+		pr = &progressWriter{w: o.Progress, id: id, total: len(cells)}
+	}
+	return engine.Map(ctx, engine.Workers(o.Workers), len(cells), func(ctx context.Context, i int) (T, error) {
+		start := time.Now()
+		v, err := cells[i].run(ctx)
+		if err == nil {
+			pr.cellDone(cells[i].label, time.Since(start))
+		}
+		return v, err
+	})
+}
+
+// progressWriter serializes per-cell status lines; cells complete
+// concurrently, so the counter and the writer sit behind one mutex.
+type progressWriter struct {
+	mu    sync.Mutex
+	w     io.Writer
+	id    string
+	total int
+	done  int
+}
+
+func (p *progressWriter) cellDone(label string, d time.Duration) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	fmt.Fprintf(p.w, "%s [%d/%d] %-28s %8s\n", p.id, p.done, p.total, label, d.Round(time.Millisecond))
 }
 
 var registry = map[string]Experiment{}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -45,7 +46,10 @@ func run(t *testing.T, id string) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl := e.Run(QuickOptions())
+	tbl, err := e.Run(context.Background(), QuickOptions())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
 	if tbl == nil || tbl.NumRows() == 0 {
 		t.Fatalf("%s produced no rows", id)
 	}

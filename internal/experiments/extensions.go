@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bimodal/internal/dramcache"
@@ -24,50 +25,101 @@ func init() {
 // extMissPred measures the orthogonal miss-latency optimization the paper
 // declined to include: a hit/miss predictor issuing off-chip probes in
 // parallel with the tag access on predicted misses.
-func extMissPred(o Options) *stats.Table {
+func extMissPred(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	tbl := stats.NewTable("Extension: BiModal + miss predictor (quad-core)",
 		"mix", "base latency", "with predictor", "reduction", "wasted probes")
 	so := simOpts(o)
+	mixes := o.mixes(4)
+	type predResult struct {
+		base, pred  float64
+		wastedProbe int64
+	}
+	var cells []cell[predResult]
+	for _, mix := range mixes {
+		cells = append(cells, cell[predResult]{label: mix.Name, run: func(ctx context.Context) (predResult, error) {
+			base, err := sim.RunContext(ctx, mix, sim.BiModalFactory(4, so), so)
+			if err != nil {
+				return predResult{}, err
+			}
+			pred, err := sim.RunContext(ctx, mix, sim.BiModalFactory(4, so, dramcache.WithMissPredictor(), dramcache.WithName("BiModal+MP")), so)
+			if err != nil {
+				return predResult{}, err
+			}
+			bm := pred.Scheme.(*dramcache.BiModal)
+			return predResult{base.Report.AvgLatency(), pred.Report.AvgLatency(), bm.WastedProbeBytes}, nil
+		}})
+	}
+	res, err := runCells(ctx, o, "ext-misspred", cells)
+	if err != nil {
+		return nil, err
+	}
 	var reds []float64
-	for _, mix := range o.mixes(4) {
-		base := sim.Run(mix, sim.BiModalFactory(4, so), so)
-		pred := sim.Run(mix, sim.BiModalFactory(4, so, dramcache.WithMissPredictor(), dramcache.WithName("BiModal+MP")), so)
-		red := stats.Improvement(base.Report.AvgLatency(), pred.Report.AvgLatency())
+	for i, mix := range mixes {
+		r := res[i]
+		red := stats.Improvement(r.base, r.pred)
 		reds = append(reds, red)
-		bm := pred.Scheme.(*dramcache.BiModal)
 		tbl.AddRow(mix.Name,
-			fmt.Sprintf("%.1f", base.Report.AvgLatency()),
-			fmt.Sprintf("%.1f", pred.Report.AvgLatency()),
+			fmt.Sprintf("%.1f", r.base),
+			fmt.Sprintf("%.1f", r.pred),
 			stats.FmtPct(red),
-			stats.FmtBytes(float64(bm.WastedProbeBytes)))
+			stats.FmtBytes(float64(r.wastedProbe)))
 	}
 	tbl.AddRow("average", "", "", stats.FmtPct(stats.MeanOf(reds)), "")
-	return tbl
+	return tbl, nil
 }
 
 // extVictim reproduces the paper's negative result: retaining evicted
 // blocks in a victim buffer barely moves hit rate or latency because
 // victims see little temporal reuse at this level of the hierarchy.
-func extVictim(o Options) *stats.Table {
+func extVictim(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	tbl := stats.NewTable("Extension: BiModal + victim buffer (quad-core)",
 		"mix", "base hit rate", "with 256-entry buffer", "victim hits/miss", "latency delta")
 	so := simOpts(o)
-	for _, mix := range o.mixes(4) {
-		base := sim.Run(mix, sim.BiModalFactory(4, so), so)
-		vic := sim.Run(mix, sim.BiModalFactory(4, so, dramcache.WithVictimCache(256), dramcache.WithName("BiModal+VC")), so)
-		bm := vic.Scheme.(*dramcache.BiModal)
-		misses := vic.Report.Accesses - vic.Report.Hits
+	mixes := o.mixes(4)
+	type victimResult struct {
+		baseHit, vicHit   float64
+		baseLat, vicLat   float64
+		victimHits, misses int64
+	}
+	var cells []cell[victimResult]
+	for _, mix := range mixes {
+		cells = append(cells, cell[victimResult]{label: mix.Name, run: func(ctx context.Context) (victimResult, error) {
+			base, err := sim.RunContext(ctx, mix, sim.BiModalFactory(4, so), so)
+			if err != nil {
+				return victimResult{}, err
+			}
+			vic, err := sim.RunContext(ctx, mix, sim.BiModalFactory(4, so, dramcache.WithVictimCache(256), dramcache.WithName("BiModal+VC")), so)
+			if err != nil {
+				return victimResult{}, err
+			}
+			bm := vic.Scheme.(*dramcache.BiModal)
+			return victimResult{
+				baseHit:    base.Report.HitRate(),
+				vicHit:     vic.Report.HitRate(),
+				baseLat:    base.Report.AvgLatency(),
+				vicLat:     vic.Report.AvgLatency(),
+				victimHits: bm.VictimHits,
+				misses:     vic.Report.Accesses - vic.Report.Hits,
+			}, nil
+		}})
+	}
+	res, err := runCells(ctx, o, "ext-victim", cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, mix := range mixes {
+		r := res[i]
 		var perMiss float64
-		if misses > 0 {
-			perMiss = float64(bm.VictimHits) / float64(misses)
+		if r.misses > 0 {
+			perMiss = float64(r.victimHits) / float64(r.misses)
 		}
 		tbl.AddRow(mix.Name,
-			stats.FmtPct(base.Report.HitRate()),
-			stats.FmtPct(vic.Report.HitRate()),
+			stats.FmtPct(r.baseHit),
+			stats.FmtPct(r.vicHit),
 			stats.FmtPct(perMiss),
-			stats.FmtPct(stats.Improvement(base.Report.AvgLatency(), vic.Report.AvgLatency())))
+			stats.FmtPct(stats.Improvement(r.baseLat, r.vicLat)))
 	}
-	return tbl
+	return tbl, nil
 }

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bimodal/internal/dramcache"
 	"bimodal/internal/energy"
 	"bimodal/internal/sim"
 	"bimodal/internal/stats"
+	"bimodal/internal/workloads"
 )
 
 func init() {
@@ -25,76 +27,126 @@ func init() {
 
 // simOpts converts experiment options to sim options. Capacity is scaled
 // to 1/4 of the Table IV presets so the short replays reach eviction
-// steady state (see sim.Options.CacheDivisor).
+// steady state (see sim.Options.CacheDivisor). Workers propagates so the
+// standalone runs inside an ANTT cell fan out too.
 func simOpts(o Options) sim.Options {
-	return sim.Options{AccessesPerCore: o.AccessesPerCore, Seed: o.Seed, CacheDivisor: 4}
+	return sim.Options{AccessesPerCore: o.AccessesPerCore, Seed: o.Seed, CacheDivisor: 4, Workers: o.Workers}
 }
 
-// mustFactory resolves a scheme factory by name.
-func mustFactory(name string) sim.Factory {
-	f, err := sim.SchemeFactory(name)
-	if err != nil {
-		panic(err)
-	}
-	return f
+// anttCell builds an engine cell computing one ANTT value.
+func anttCell(label string, mix workloads.Mix, f sim.Factory, so sim.Options) cell[float64] {
+	return cell[float64]{label: label, run: func(ctx context.Context) (float64, error) {
+		antt, _, err := sim.ANTTContext(ctx, mix, f, so)
+		return antt, err
+	}}
+}
+
+// reportCell builds an engine cell running one mix on one scheme and
+// keeping its report.
+func reportCell(label string, mix workloads.Mix, f sim.Factory, so sim.Options) cell[dramcache.Report] {
+	return cell[dramcache.Report]{label: label, run: func(ctx context.Context) (dramcache.Report, error) {
+		res, err := sim.RunContext(ctx, mix, f, so)
+		if err != nil {
+			return dramcache.Report{}, err
+		}
+		return res.Report, nil
+	}}
 }
 
 // fig7 compares ANTT of BiModal against the AlloyCache baseline across
-// core counts.
-func fig7(o Options) *stats.Table {
+// core counts. Cells: (mix × {alloy, bimodal}) for every core count.
+func fig7(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	tbl := stats.NewTable("Figure 7: ANTT improvement over AlloyCache",
 		"mix", "alloy ANTT", "bimodal ANTT", "improvement")
 	so := simOpts(o)
-	alloy := mustFactory("alloy")
+	alloy := sim.SchemeAlloy.Factory()
+	type group struct {
+		cores int
+		mixes []workloads.Mix
+	}
+	var groups []group
+	var cells []cell[float64]
 	for _, cores := range []int{4, 8, 16} {
+		mixes := o.mixes(cores)
+		groups = append(groups, group{cores, mixes})
+		for _, mix := range mixes {
+			cells = append(cells,
+				anttCell(mix.Name+" alloy", mix, alloy, so),
+				anttCell(mix.Name+" bimodal", mix, sim.BiModalFactory(cores, so), so))
+		}
+	}
+	res, err := runCells(ctx, o, "fig7", cells)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, g := range groups {
 		var imps []float64
-		for _, mix := range o.mixes(cores) {
-			bm := sim.BiModalFactory(cores, so)
-			aANTT, _ := sim.ANTT(mix, alloy, so)
-			bANTT, _ := sim.ANTT(mix, bm, so)
+		for _, mix := range g.mixes {
+			aANTT, bANTT := res[i], res[i+1]
+			i += 2
 			imp := stats.Improvement(aANTT, bANTT)
 			imps = append(imps, imp)
 			tbl.AddRow(mix.Name, fmt.Sprintf("%.3f", aANTT), fmt.Sprintf("%.3f", bANTT), stats.FmtPct(imp))
 		}
-		tbl.AddRow(fmt.Sprintf("average(%d-core)", cores), "", "", stats.FmtPct(stats.MeanOf(imps)))
+		tbl.AddRow(fmt.Sprintf("average(%d-core)", g.cores), "", "", stats.FmtPct(stats.MeanOf(imps)))
 	}
-	return tbl
+	return tbl, nil
 }
 
 // fig8a isolates the two mechanisms: bi-modality alone, way location
 // alone, and the full design, all against AlloyCache on 8-core mixes.
-func fig8a(o Options) *stats.Table {
+func fig8a(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	tbl := stats.NewTable("Figure 8a: ablation ANTT improvement over AlloyCache (8-core)",
 		"mix", "bimodal-only", "waylocator-only", "bimodal")
 	so := simOpts(o)
-	alloy := mustFactory("alloy")
+	mixes := o.mixes(8)
+	var cells []cell[float64]
+	for _, mix := range mixes {
+		cells = append(cells,
+			anttCell(mix.Name+" alloy", mix, sim.SchemeAlloy.Factory(), so),
+			anttCell(mix.Name+" bimodal-only", mix, sim.BiModalFactory(8, so, dramcache.WithoutLocator()), so),
+			anttCell(mix.Name+" wl-only", mix, sim.BiModalFactory(8, so, dramcache.FixedBigBlocks()), so),
+			anttCell(mix.Name+" bimodal", mix, sim.BiModalFactory(8, so), so))
+	}
+	res, err := runCells(ctx, o, "fig8a", cells)
+	if err != nil {
+		return nil, err
+	}
 	var iOnly, iWL, iFull []float64
-	for _, mix := range o.mixes(8) {
-		aANTT, _ := sim.ANTT(mix, alloy, so)
-		bOnly, _ := sim.ANTT(mix, sim.BiModalFactory(8, so, dramcache.WithoutLocator()), so)
-		bWL, _ := sim.ANTT(mix, sim.BiModalFactory(8, so, dramcache.FixedBigBlocks()), so)
-		bFull, _ := sim.ANTT(mix, sim.BiModalFactory(8, so), so)
+	for i, mix := range mixes {
+		aANTT, bOnly, bWL, bFull := res[4*i], res[4*i+1], res[4*i+2], res[4*i+3]
 		i1, i2, i3 := stats.Improvement(aANTT, bOnly), stats.Improvement(aANTT, bWL), stats.Improvement(aANTT, bFull)
 		iOnly, iWL, iFull = append(iOnly, i1), append(iWL, i2), append(iFull, i3)
 		tbl.AddRow(mix.Name, stats.FmtPct(i1), stats.FmtPct(i2), stats.FmtPct(i3))
 	}
 	tbl.AddRow("average", stats.FmtPct(stats.MeanOf(iOnly)), stats.FmtPct(stats.MeanOf(iWL)), stats.FmtPct(stats.MeanOf(iFull)))
-	return tbl
+	return tbl, nil
 }
 
 // fig8b compares cache hit rates: AlloyCache, fixed-512B, BiModal.
-func fig8b(o Options) *stats.Table {
+func fig8b(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	tbl := stats.NewTable("Figure 8b: DRAM cache hit rate (quad-core)",
 		"mix", "alloy", "fixed-512B", "bimodal")
 	so := simOpts(o)
+	mixes := o.mixes(4)
+	var cells []cell[dramcache.Report]
+	for _, mix := range mixes {
+		cells = append(cells,
+			reportCell(mix.Name+" alloy", mix, sim.SchemeAlloy.Factory(), so),
+			reportCell(mix.Name+" fixed-512B", mix, sim.BiModalFactory(4, so, dramcache.FixedBigBlocks()), so),
+			reportCell(mix.Name+" bimodal", mix, sim.BiModalFactory(4, so), so))
+	}
+	res, err := runCells(ctx, o, "fig8b", cells)
+	if err != nil {
+		return nil, err
+	}
 	var gFixed, gBM []float64
-	for _, mix := range o.mixes(4) {
-		ra := sim.Run(mix, mustFactory("alloy"), so).Report
-		rf := sim.Run(mix, sim.BiModalFactory(4, so, dramcache.FixedBigBlocks()), so).Report
-		rb := sim.Run(mix, sim.BiModalFactory(4, so), so).Report
+	for i, mix := range mixes {
+		ra, rf, rb := res[3*i], res[3*i+1], res[3*i+2]
 		if ra.HitRate() > 0 {
 			gFixed = append(gFixed, rf.HitRate()/ra.HitRate()-1)
 			gBM = append(gBM, rb.HitRate()/ra.HitRate()-1)
@@ -102,34 +154,45 @@ func fig8b(o Options) *stats.Table {
 		tbl.AddRow(mix.Name, stats.FmtPct(ra.HitRate()), stats.FmtPct(rf.HitRate()), stats.FmtPct(rb.HitRate()))
 	}
 	tbl.AddRow("avg gain vs alloy", "", stats.FmtPct(stats.MeanOf(gFixed)), stats.FmtPct(stats.MeanOf(gBM)))
-	return tbl
+	return tbl, nil
 }
 
 // fig8c compares the average LLSC miss penalty (DRAM cache access latency)
 // across all schemes.
-func fig8c(o Options) *stats.Table {
+func fig8c(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
+	so := simOpts(o)
 	schemes := []struct {
 		label   string
-		factory func() sim.Factory
+		factory sim.Factory
 	}{
-		{"bimodal", func() sim.Factory { return sim.BiModalFactory(4, simOpts(o)) }},
-		{"alloy", func() sim.Factory { return mustFactory("alloy") }},
-		{"lohhill", func() sim.Factory { return mustFactory("lohhill") }},
-		{"atcache", func() sim.Factory { return mustFactory("atcache") }},
-		{"footprint", func() sim.Factory { return mustFactory("footprint") }},
+		{"bimodal", sim.BiModalFactory(4, so)},
+		{"alloy", sim.SchemeAlloy.Factory()},
+		{"lohhill", sim.SchemeLohHill.Factory()},
+		{"atcache", sim.SchemeATCache.Factory()},
+		{"footprint", sim.SchemeFootprint.Factory()},
 	}
 	header := []string{"mix"}
 	for _, s := range schemes {
 		header = append(header, s.label)
 	}
 	tbl := stats.NewTable("Figure 8c: average access latency in CPU cycles (quad-core)", header...)
-	so := simOpts(o)
-	lat := make(map[string][]float64)
-	for _, mix := range o.mixes(4) {
-		row := []string{mix.Name}
+	mixes := o.mixes(4)
+	var cells []cell[dramcache.Report]
+	for _, mix := range mixes {
 		for _, s := range schemes {
-			r := sim.Run(mix, s.factory(), so).Report
+			cells = append(cells, reportCell(mix.Name+" "+s.label, mix, s.factory, so))
+		}
+	}
+	res, err := runCells(ctx, o, "fig8c", cells)
+	if err != nil {
+		return nil, err
+	}
+	lat := make(map[string][]float64)
+	for i, mix := range mixes {
+		row := []string{mix.Name}
+		for j, s := range schemes {
+			r := res[i*len(schemes)+j]
 			lat[s.label] = append(lat[s.label], r.AvgLatency())
 			row = append(row, fmt.Sprintf("%.1f", r.AvgLatency()))
 		}
@@ -146,39 +209,59 @@ func fig8c(o Options) *stats.Table {
 		stats.FmtPct(stats.Improvement(stats.MeanOf(lat["lohhill"]), bm)),
 		stats.FmtPct(stats.Improvement(stats.MeanOf(lat["atcache"]), bm)),
 		stats.FmtPct(stats.Improvement(stats.MeanOf(lat["footprint"]), bm)))
-	return tbl
+	return tbl, nil
 }
 
 // fig9a compares wasted off-chip fetch bytes between the fixed-512B
 // organization and BiModal.
-func fig9a(o Options) *stats.Table {
+func fig9a(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	tbl := stats.NewTable("Figure 9a: wasted off-chip bandwidth (8-core)",
 		"mix", "fixed-512B", "bimodal", "savings")
 	so := simOpts(o)
+	mixes := o.mixes(8)
+	var cells []cell[dramcache.Report]
+	for _, mix := range mixes {
+		cells = append(cells,
+			reportCell(mix.Name+" fixed-512B", mix, sim.BiModalFactory(8, so, dramcache.FixedBigBlocks()), so),
+			reportCell(mix.Name+" bimodal", mix, sim.BiModalFactory(8, so), so))
+	}
+	res, err := runCells(ctx, o, "fig9a", cells)
+	if err != nil {
+		return nil, err
+	}
 	var savings []float64
-	for _, mix := range o.mixes(8) {
-		rf := sim.Run(mix, sim.BiModalFactory(8, so, dramcache.FixedBigBlocks()), so).Report
-		rb := sim.Run(mix, sim.BiModalFactory(8, so), so).Report
+	for i, mix := range mixes {
+		rf, rb := res[2*i], res[2*i+1]
 		s := stats.Improvement(float64(rf.WastedFetchBytes), float64(rb.WastedFetchBytes))
 		savings = append(savings, s)
 		tbl.AddRow(mix.Name, stats.FmtBytes(float64(rf.WastedFetchBytes)), stats.FmtBytes(float64(rb.WastedFetchBytes)), stats.FmtPct(s))
 	}
 	tbl.AddRow("average", "", "", stats.FmtPct(stats.MeanOf(savings)))
-	return tbl
+	return tbl, nil
 }
 
 // fig9b compares the metadata-access row-buffer hit rate with the
 // dedicated metadata bank against co-located tags.
-func fig9b(o Options) *stats.Table {
+func fig9b(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	tbl := stats.NewTable("Figure 9b: metadata row-buffer hit rate (quad-core)",
 		"mix", "co-located", "separate bank", "gain")
 	so := simOpts(o)
+	mixes := o.mixes(4)
+	var cells []cell[dramcache.Report]
+	for _, mix := range mixes {
+		cells = append(cells,
+			reportCell(mix.Name+" co-located", mix, sim.BiModalFactory(4, so, dramcache.CoLocatedMetadata(), dramcache.WithName("BiModalCoMeta")), so),
+			reportCell(mix.Name+" separate", mix, sim.BiModalFactory(4, so), so))
+	}
+	res, err := runCells(ctx, o, "fig9b", cells)
+	if err != nil {
+		return nil, err
+	}
 	var gains []float64
-	for _, mix := range o.mixes(4) {
-		rc := sim.Run(mix, sim.BiModalFactory(4, so, dramcache.CoLocatedMetadata(), dramcache.WithName("BiModalCoMeta")), so).Report
-		rs := sim.Run(mix, sim.BiModalFactory(4, so), so).Report
+	for i, mix := range mixes {
+		rc, rs := res[2*i], res[2*i+1]
 		var gain float64
 		if rc.MetaRowHitRate() > 0 {
 			gain = rs.MetaRowHitRate()/rc.MetaRowHitRate() - 1
@@ -187,11 +270,11 @@ func fig9b(o Options) *stats.Table {
 		tbl.AddRow(mix.Name, stats.FmtPct(rc.MetaRowHitRate()), stats.FmtPct(rs.MetaRowHitRate()), stats.FmtPct(gain))
 	}
 	tbl.AddRow("average", "", "", stats.FmtPct(stats.MeanOf(gains)))
-	return tbl
+	return tbl, nil
 }
 
 // fig9c sweeps the way locator table size K.
-func fig9c(o Options) *stats.Table {
+func fig9c(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	ks := []uint{10, 12, 14, 16}
 	header := []string{"mix"}
@@ -200,17 +283,27 @@ func fig9c(o Options) *stats.Table {
 	}
 	tbl := stats.NewTable("Figure 9c: way locator hit rate vs K (quad-core)", header...)
 	so := simOpts(o)
-	sums := make([][]float64, len(ks))
-	for _, mix := range o.mixes(4) {
-		row := []string{mix.Name}
-		for ki, k := range ks {
-			k := k
+	mixes := o.mixes(4)
+	var cells []cell[dramcache.Report]
+	for _, mix := range mixes {
+		for _, k := range ks {
 			factory := func(c dramcache.Config) dramcache.Scheme {
 				c.WayLocatorK = k
 				p := sim.ScaledCoreParams(c.CacheBytes, mix.Cores(), so.AccessesPerCore)
 				return dramcache.NewBiModal(c, dramcache.WithCoreParams(p))
 			}
-			r := sim.Run(mix, factory, so).Report
+			cells = append(cells, reportCell(fmt.Sprintf("%s K=%d", mix.Name, k), mix, factory, so))
+		}
+	}
+	res, err := runCells(ctx, o, "fig9c", cells)
+	if err != nil {
+		return nil, err
+	}
+	sums := make([][]float64, len(ks))
+	for i, mix := range mixes {
+		row := []string{mix.Name}
+		for ki := range ks {
+			r := res[i*len(ks)+ki]
 			sums[ki] = append(sums[ki], r.LocatorHitRate())
 			row = append(row, stats.FmtPct(r.LocatorHitRate()))
 		}
@@ -221,47 +314,82 @@ func fig9c(o Options) *stats.Table {
 		avg = append(avg, stats.FmtPct(stats.MeanOf(s)))
 	}
 	tbl.AddRow(avg...)
-	return tbl
+	return tbl, nil
 }
 
 // fig10 reports the fraction of accesses served at 64B granularity.
-func fig10(o Options) *stats.Table {
+func fig10(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	tbl := stats.NewTable("Figure 10: fraction of accesses to small blocks (quad-core)",
 		"mix", "small fraction", "global state")
 	so := simOpts(o)
-	for _, mix := range o.mixes(4) {
-		res := sim.Run(mix, sim.BiModalFactory(4, so), so)
-		bm := res.Scheme.(*dramcache.BiModal)
-		tbl.AddRow(mix.Name, stats.FmtPct(res.Report.SmallFraction), bm.Core().GlobalState().String())
+	mixes := o.mixes(4)
+	type smallState struct {
+		small float64
+		state string
 	}
-	return tbl
+	var cells []cell[smallState]
+	for _, mix := range mixes {
+		cells = append(cells, cell[smallState]{label: mix.Name + " bimodal", run: func(ctx context.Context) (smallState, error) {
+			res, err := sim.RunContext(ctx, mix, sim.BiModalFactory(4, so), so)
+			if err != nil {
+				return smallState{}, err
+			}
+			bm := res.Scheme.(*dramcache.BiModal)
+			return smallState{res.Report.SmallFraction, bm.Core().GlobalState().String()}, nil
+		}})
+	}
+	res, err := runCells(ctx, o, "fig10", cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, mix := range mixes {
+		tbl.AddRow(mix.Name, stats.FmtPct(res[i].small), res[i].state)
+	}
+	return tbl, nil
 }
 
 // fig11 compares memory energy (DRAM cache + main memory) per access.
-func fig11(o Options) *stats.Table {
+func fig11(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	tbl := stats.NewTable("Figure 11: memory energy per access, nJ (8-core)",
 		"mix", "alloy", "bimodal", "savings")
 	so := simOpts(o)
+	mixes := o.mixes(8)
+	perAccess := func(label string, mix workloads.Mix, f sim.Factory) cell[float64] {
+		return cell[float64]{label: label, run: func(ctx context.Context) (float64, error) {
+			res, err := sim.RunContext(ctx, mix, f, so)
+			if err != nil {
+				return 0, err
+			}
+			return energy.PerAccess(res.Energy, res.Report.Accesses), nil
+		}}
+	}
+	var cells []cell[float64]
+	for _, mix := range mixes {
+		cells = append(cells,
+			perAccess(mix.Name+" alloy", mix, sim.SchemeAlloy.Factory()),
+			perAccess(mix.Name+" bimodal", mix, sim.BiModalFactory(8, so)))
+	}
+	res, err := runCells(ctx, o, "fig11", cells)
+	if err != nil {
+		return nil, err
+	}
 	var savings []float64
-	for _, mix := range o.mixes(8) {
-		ra := sim.Run(mix, mustFactory("alloy"), so)
-		rb := sim.Run(mix, sim.BiModalFactory(8, so), so)
-		ea := energy.PerAccess(ra.Energy, ra.Report.Accesses)
-		eb := energy.PerAccess(rb.Energy, rb.Report.Accesses)
+	for i, mix := range mixes {
+		ea, eb := res[2*i], res[2*i+1]
 		s := stats.Improvement(ea, eb)
 		savings = append(savings, s)
 		tbl.AddRow(mix.Name, fmt.Sprintf("%.1f", ea), fmt.Sprintf("%.1f", eb), stats.FmtPct(s))
 	}
 	tbl.AddRow("average", "", "", stats.FmtPct(stats.MeanOf(savings)))
-	return tbl
+	return tbl, nil
 }
 
 // table6 evaluates BiModal against a prefetch-enabled baseline for
 // next-N-lines prefetchers with N in {1, 3}, with prefetches either
 // treated as normal accesses or bypassing on miss.
-func table6(o Options) *stats.Table {
+func table6(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	tbl := stats.NewTable("Table VI: ANTT improvement over prefetch-enabled AlloyCache (quad-core)",
 		"N", "PREF_NORMAL", "PREF_BYPASS")
@@ -269,27 +397,41 @@ func table6(o Options) *stats.Table {
 	if len(mixes) > 8 {
 		mixes = mixes[:8]
 	}
-	for _, n := range []int{1, 3} {
+	ns := []int{1, 3}
+	var cells []cell[float64]
+	for _, n := range ns {
 		so := simOpts(o)
 		so.PrefetchN = n
-		var normal, bypass []float64
 		for _, mix := range mixes {
-			aANTT, _ := sim.ANTT(mix, mustFactory("alloy"), so)
-			nANTT, _ := sim.ANTT(mix, sim.BiModalFactory(4, so), so)
-			bANTT, _ := sim.ANTT(mix, sim.BiModalFactory(4, so, dramcache.WithPrefetchBypass()), so)
+			cells = append(cells,
+				anttCell(fmt.Sprintf("%s N=%d alloy", mix.Name, n), mix, sim.SchemeAlloy.Factory(), so),
+				anttCell(fmt.Sprintf("%s N=%d normal", mix.Name, n), mix, sim.BiModalFactory(4, so), so),
+				anttCell(fmt.Sprintf("%s N=%d bypass", mix.Name, n), mix, sim.BiModalFactory(4, so, dramcache.WithPrefetchBypass()), so))
+		}
+	}
+	res, err := runCells(ctx, o, "table6", cells)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, n := range ns {
+		var normal, bypass []float64
+		for range mixes {
+			aANTT, nANTT, bANTT := res[i], res[i+1], res[i+2]
+			i += 3
 			normal = append(normal, stats.Improvement(aANTT, nANTT))
 			bypass = append(bypass, stats.Improvement(aANTT, bANTT))
 		}
 		tbl.AddRow(fmt.Sprint(n), stats.FmtPct(stats.MeanOf(normal)), stats.FmtPct(stats.MeanOf(bypass)))
 	}
-	return tbl
+	return tbl, nil
 }
 
 // fig12 sweeps cache size, big block size and associativity; every
 // configuration is compared to an AlloyCache of the same capacity.
 // The notation BiModal(X-Y-Z) is cache size X, big block Y, big-block
 // associativity Z.
-func fig12(o Options) *stats.Table {
+func fig12(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	tbl := stats.NewTable("Figure 12: sensitivity (quad-core, ANTT improvement vs same-size AlloyCache)",
 		"config", "improvement")
@@ -313,10 +455,10 @@ func fig12(o Options) *stats.Table {
 	if len(mixes) > 6 {
 		mixes = mixes[:6]
 	}
+	var cells []cell[float64]
 	for _, c := range cfgs {
 		so := simOpts(o)
 		so.CacheBytes = c.cacheBytes / 4 // same capacity scaling as simOpts
-		var imps []float64
 		for _, mix := range mixes {
 			factory := func(dc dramcache.Config) dramcache.Scheme {
 				p := sim.ScaledCoreParams(dc.CacheBytes, mix.Cores(), so.AccessesPerCore)
@@ -326,11 +468,24 @@ func fig12(o Options) *stats.Table {
 				p.Threshold = c.threshold
 				return dramcache.NewBiModal(dc, dramcache.WithCoreParams(p))
 			}
-			aANTT, _ := sim.ANTT(mix, mustFactory("alloy"), so)
-			bANTT, _ := sim.ANTT(mix, factory, so)
+			cells = append(cells,
+				anttCell(mix.Name+" "+c.label+" alloy", mix, sim.SchemeAlloy.Factory(), so),
+				anttCell(mix.Name+" "+c.label, mix, factory, so))
+		}
+	}
+	res, err := runCells(ctx, o, "fig12", cells)
+	if err != nil {
+		return nil, err
+	}
+	i := 0
+	for _, c := range cfgs {
+		var imps []float64
+		for range mixes {
+			aANTT, bANTT := res[i], res[i+1]
+			i += 2
 			imps = append(imps, stats.Improvement(aANTT, bANTT))
 		}
 		tbl.AddRow(c.label, stats.FmtPct(stats.MeanOf(imps)))
 	}
-	return tbl
+	return tbl, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -22,7 +23,10 @@ func runMicro(t *testing.T, id string) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	tbl := e.Run(microOptions())
+	tbl, err := e.Run(context.Background(), microOptions())
+	if err != nil {
+		t.Fatalf("%s: %v", id, err)
+	}
 	if tbl == nil || tbl.NumRows() == 0 {
 		t.Fatalf("%s produced no rows", id)
 	}

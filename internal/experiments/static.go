@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -31,7 +32,7 @@ func init() {
 // fig3 reproduces the latency-breakdown comparison analytically from the
 // Table IV timing parameters (all values in 3.2GHz CPU cycles, worst-case
 // closed-row DRAM state as drawn in the figure).
-func fig3(Options) *stats.Table {
+func fig3(_ context.Context, _ Options) (*stats.Table, error) {
 	t := dram.StackedTiming()
 	cpu := func(clocks int64) int64 { return clocks * t.ClockRatio }
 	rowOpen := cpu(t.RP + t.RCD) // PRE + ACT
@@ -71,7 +72,7 @@ func fig3(Options) *stats.Table {
 	// pays PRE+ACT, still in parallel with the data row open.
 	tagMiss := rowOpen + col + xfer(128) + cmp
 	add("BiModal(WL-miss,tag-row-miss)", 1, max64(tagMiss, dataReady), col+xfer(64))
-	return tbl
+	return tbl, nil
 }
 
 func max64(a, b int64) int64 {
@@ -83,7 +84,7 @@ func max64(a, b int64) int64 {
 
 // table3 regenerates the way locator storage/latency table for every
 // (K, cache size) pair of Table III.
-func table3(Options) *stats.Table {
+func table3(_ context.Context, _ Options) (*stats.Table, error) {
 	tbl := stats.NewTable("Table III: way locator storage and latency",
 		"entries", "128M cache / 4GB mem", "256M / 8GB", "512M / 16GB")
 	for _, k := range []uint{10, 12, 14, 16} {
@@ -94,12 +95,12 @@ func table3(Options) *stats.Table {
 		}
 		tbl.AddRow(row...)
 	}
-	return tbl
+	return tbl, nil
 }
 
 // table5 lists the workload mixes (the Table V analogue); starred mixes
 // are high memory intensity.
-func table5(Options) *stats.Table {
+func table5(_ context.Context, _ Options) (*stats.Table, error) {
 	tbl := stats.NewTable("Table V: workloads", "mix", "benchmarks", "footprint")
 	addAll := func(ms []workloads.Mix) {
 		for _, m := range ms {
@@ -113,5 +114,5 @@ func table5(Options) *stats.Table {
 	addAll(workloads.QuadCore())
 	addAll(workloads.EightCore())
 	addAll(workloads.SixteenCore())
-	return tbl
+	return tbl, nil
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bimodal/internal/addr"
@@ -28,6 +29,21 @@ func (r *roundRobin) Next() (trace.Access, int) {
 	return r.gens[c].Next(), c
 }
 
+// streamLoop replays n accesses through step, checking the context at
+// coarse intervals — the functional stream studies have no cpu.Engine
+// tick loop to do it for them.
+func streamLoop(ctx context.Context, n int64, step func()) error {
+	for i := int64(0); i < n; i++ {
+		if i%8192 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		step()
+	}
+	return nil
+}
+
 func init() {
 	register(Experiment{
 		ID:    "fig1",
@@ -50,8 +66,9 @@ func init() {
 var fig1BlockSizes = []uint64{64, 128, 256, 512, 1024, 2048, 4096}
 
 // fig1 measures DRAM cache miss rate versus block size with a functional
-// 8-way LRU cache of the Table IV quad-core capacity (128MB).
-func fig1(o Options) *stats.Table {
+// 8-way LRU cache of the Table IV quad-core capacity (128MB). Cells:
+// (mix × block size), each with its own cache and interleaved stream.
+func fig1(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	header := []string{"mix"}
 	for _, b := range fig1BlockSizes {
@@ -60,19 +77,32 @@ func fig1(o Options) *stats.Table {
 	tbl := stats.NewTable("Figure 1: miss rate vs block size", header...)
 	const cacheBytes = 128 << 20
 
+	mixes := o.mixes(4)
+	var cells []cell[float64]
+	for _, mix := range mixes {
+		for _, block := range fig1BlockSizes {
+			cells = append(cells, cell[float64]{label: fmt.Sprintf("%s %dB", mix.Name, block), run: func(ctx context.Context) (float64, error) {
+				c := sram.New(sram.Config{SizeBytes: cacheBytes, BlockSize: block, Assoc: 8, Seed: o.Seed})
+				rr := newRoundRobin(mix, o.Seed)
+				err := streamLoop(ctx, o.StreamAccesses, func() {
+					a, _ := rr.Next()
+					if hit, _ := c.Access(a.Addr, a.Write); !hit {
+						c.Insert(a.Addr, a.Write, 0)
+					}
+				})
+				return 1 - c.HitRate(), err
+			}})
+		}
+	}
+	res, err := runCells(ctx, o, "fig1", cells)
+	if err != nil {
+		return nil, err
+	}
 	ratios := make([][]float64, len(fig1BlockSizes))
-	for _, mix := range o.mixes(4) {
+	for i, mix := range mixes {
 		row := []string{mix.Name}
-		for bi, block := range fig1BlockSizes {
-			c := sram.New(sram.Config{SizeBytes: cacheBytes, BlockSize: block, Assoc: 8, Seed: o.Seed})
-			rr := newRoundRobin(mix, o.Seed)
-			for i := int64(0); i < o.StreamAccesses; i++ {
-				a, _ := rr.Next()
-				if hit, _ := c.Access(a.Addr, a.Write); !hit {
-					c.Insert(a.Addr, a.Write, 0)
-				}
-			}
-			miss := 1 - c.HitRate()
+		for bi := range fig1BlockSizes {
+			miss := res[i*len(fig1BlockSizes)+bi]
 			ratios[bi] = append(ratios[bi], miss)
 			row = append(row, fmt.Sprintf("%.3f", miss))
 		}
@@ -83,12 +113,12 @@ func fig1(o Options) *stats.Table {
 		avg = append(avg, fmt.Sprintf("%.3f", stats.MeanOf(r)))
 	}
 	tbl.AddRow(avg...)
-	return tbl
+	return tbl, nil
 }
 
 // fig2 measures, per mix, the fraction of evicted 512B blocks at each
 // utilization level, using a fixed-512B cache with every set tracked.
-func fig2(o Options) *stats.Table {
+func fig2(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	header := []string{"mix"}
 	for i := 1; i <= 8; i++ {
@@ -97,48 +127,71 @@ func fig2(o Options) *stats.Table {
 	header = append(header, "fully-used")
 	tbl := stats.NewTable("Figure 2: 512B block utilization distribution", header...)
 
-	for _, mix := range o.mixes(4) {
-		p := core.DefaultParams(128 << 20)
-		p.MinBig = p.MaxBig() // fixed 512B blocks
-		p.SampleShift = 0     // track every set
-		c := core.NewCache(p, nil)
-		rr := newRoundRobin(mix, o.Seed)
-		for i := int64(0); i < o.StreamAccesses; i++ {
-			a, _ := rr.Next()
-			c.Access(a.Addr, a.Write)
-		}
-		h := c.TrackerHist().Hist
+	mixes := o.mixes(4)
+	var cells []cell[*stats.Histogram]
+	for _, mix := range mixes {
+		cells = append(cells, cell[*stats.Histogram]{label: mix.Name, run: func(ctx context.Context) (*stats.Histogram, error) {
+			p := core.DefaultParams(128 << 20)
+			p.MinBig = p.MaxBig() // fixed 512B blocks
+			p.SampleShift = 0     // track every set
+			c := core.NewCache(p, nil)
+			rr := newRoundRobin(mix, o.Seed)
+			err := streamLoop(ctx, o.StreamAccesses, func() {
+				a, _ := rr.Next()
+				c.Access(a.Addr, a.Write)
+			})
+			return c.TrackerHist().Hist, err
+		}})
+	}
+	res, err := runCells(ctx, o, "fig2", cells)
+	if err != nil {
+		return nil, err
+	}
+	for i, mix := range mixes {
+		h := res[i]
 		row := []string{mix.Name}
-		for i := 1; i <= 8; i++ {
-			row = append(row, stats.FmtPct(h.Fraction(i)))
+		for b := 1; b <= 8; b++ {
+			row = append(row, stats.FmtPct(h.Fraction(b)))
 		}
 		row = append(row, stats.FmtPct(h.Fraction(8)))
 		tbl.AddRow(row...)
 	}
-	return tbl
+	return tbl, nil
 }
 
 // fig5 measures the fraction of hits at each MRU position in an 8-way
 // 512B-block cache for the 8-core mixes: the observation motivating the
 // top-2 way locator.
-func fig5(o Options) *stats.Table {
+func fig5(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	tbl := stats.NewTable("Figure 5: hits by MRU position (8-way, 512B blocks)",
 		"mix", "mru0", "mru1", "mru2-3", "mru4-7", "top2")
+	mixes := o.mixes(8)
+	var cells []cell[*stats.Histogram]
+	for _, mix := range mixes {
+		cells = append(cells, cell[*stats.Histogram]{label: mix.Name, run: func(ctx context.Context) (*stats.Histogram, error) {
+			c := sram.New(sram.Config{SizeBytes: 256 << 20, BlockSize: 512, Assoc: 8, Seed: o.Seed})
+			hist := stats.NewHistogram(8)
+			rr := newRoundRobin(mix, o.Seed)
+			err := streamLoop(ctx, o.StreamAccesses, func() {
+				a, _ := rr.Next()
+				if pos := c.MRUIndex(a.Addr); pos >= 0 {
+					hist.Add(pos)
+				}
+				if hit, _ := c.Access(a.Addr, a.Write); !hit {
+					c.Insert(a.Addr, a.Write, 0)
+				}
+			})
+			return hist, err
+		}})
+	}
+	res, err := runCells(ctx, o, "fig5", cells)
+	if err != nil {
+		return nil, err
+	}
 	var top2s []float64
-	for _, mix := range o.mixes(8) {
-		c := sram.New(sram.Config{SizeBytes: 256 << 20, BlockSize: 512, Assoc: 8, Seed: o.Seed})
-		hist := stats.NewHistogram(8)
-		rr := newRoundRobin(mix, o.Seed)
-		for i := int64(0); i < o.StreamAccesses; i++ {
-			a, _ := rr.Next()
-			if pos := c.MRUIndex(a.Addr); pos >= 0 {
-				hist.Add(pos)
-			}
-			if hit, _ := c.Access(a.Addr, a.Write); !hit {
-				c.Insert(a.Addr, a.Write, 0)
-			}
-		}
+	for i, mix := range mixes {
+		hist := res[i]
 		top2 := hist.CumFraction(1)
 		top2s = append(top2s, top2)
 		tbl.AddRow(mix.Name,
@@ -149,7 +202,7 @@ func fig5(o Options) *stats.Table {
 			stats.FmtPct(top2))
 	}
 	tbl.AddRow("average", "", "", "", "", stats.FmtPct(stats.MeanOf(top2s)))
-	return tbl
+	return tbl, nil
 }
 
 // foldTo keeps an address inside a bounded region (used by tiny-scale

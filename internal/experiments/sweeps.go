@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bimodal/internal/core"
@@ -46,29 +47,49 @@ func sweepMixes(o Options) []string {
 	return names
 }
 
-// sweepBiModal runs BiModal with one core-parameter mutation applied.
-func sweepBiModal(o Options, mixName string, mutate func(*simCoreParams)) dramcache.Report {
+// sweepCell builds a cell running BiModal on one mix with one
+// core-parameter mutation applied.
+func sweepCell(o Options, label, mixName string, mutate func(*simCoreParams)) cell[dramcache.Report] {
 	so := simOpts(o)
 	factory := func(cfg dramcache.Config) dramcache.Scheme {
 		p := sim.ScaledCoreParams(cfg.CacheBytes, 4, so.AccessesPerCore)
 		mutate(&p)
 		return dramcache.NewBiModal(cfg, dramcache.WithCoreParams(p))
 	}
-	return runMixByName(mixName, factory, so)
+	return cell[dramcache.Report]{label: label, run: func(ctx context.Context) (dramcache.Report, error) {
+		res, err := sim.RunContext(ctx, workloads.MustByName(mixName), factory, so)
+		if err != nil {
+			return dramcache.Report{}, err
+		}
+		return res.Report, nil
+	}}
 }
 
 // sweepThreshold varies T: low thresholds classify almost everything big
 // (more over-fetch), high thresholds starve big blocks (more misses on
-// streaming data).
-func sweepThreshold(o Options) *stats.Table {
+// streaming data). Cells: (T × mix).
+func sweepThreshold(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	tbl := stats.NewTable("Design sweep: threshold T",
 		"T", "avg latency", "wasted bytes", "small fraction")
-	for _, T := range []int{2, 3, 4, 5, 6, 7, 8} {
+	ts := []int{2, 3, 4, 5, 6, 7, 8}
+	mixNames := sweepMixes(o)
+	var cells []cell[dramcache.Report]
+	for _, T := range ts {
+		for _, mixName := range mixNames {
+			cells = append(cells, sweepCell(o, fmt.Sprintf("%s T=%d", mixName, T), mixName,
+				func(p *simCoreParams) { p.Threshold = T }))
+		}
+	}
+	res, err := runCells(ctx, o, "sweep-threshold", cells)
+	if err != nil {
+		return nil, err
+	}
+	for ti, T := range ts {
 		var lat, small []float64
 		var wasted int64
-		for _, mixName := range sweepMixes(o) {
-			r := sweepBiModal(o, mixName, func(p *simCoreParams) { p.Threshold = T })
+		for mi := range mixNames {
+			r := res[ti*len(mixNames)+mi]
 			lat = append(lat, r.AvgLatency())
 			small = append(small, r.SmallFraction)
 			wasted += r.WastedFetchBytes
@@ -78,19 +99,32 @@ func sweepThreshold(o Options) *stats.Table {
 			stats.FmtBytes(float64(wasted)),
 			stats.FmtPct(stats.MeanOf(small)))
 	}
-	return tbl
+	return tbl, nil
 }
 
 // sweepWeight varies W, which biases the global-state adaptation toward
 // big (W < 1) or small blocks.
-func sweepWeight(o Options) *stats.Table {
+func sweepWeight(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	tbl := stats.NewTable("Design sweep: weight W",
 		"W", "avg latency", "hit rate", "small fraction")
-	for _, W := range []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0} {
+	ws := []float64{0.25, 0.5, 0.75, 1.0, 1.5, 2.0}
+	mixNames := sweepMixes(o)
+	var cells []cell[dramcache.Report]
+	for _, W := range ws {
+		for _, mixName := range mixNames {
+			cells = append(cells, sweepCell(o, fmt.Sprintf("%s W=%.2f", mixName, W), mixName,
+				func(p *simCoreParams) { p.Weight = W }))
+		}
+	}
+	res, err := runCells(ctx, o, "sweep-weight", cells)
+	if err != nil {
+		return nil, err
+	}
+	for wi, W := range ws {
 		var lat, hit, small []float64
-		for _, mixName := range sweepMixes(o) {
-			r := sweepBiModal(o, mixName, func(p *simCoreParams) { p.Weight = W })
+		for mi := range mixNames {
+			r := res[wi*len(mixNames)+mi]
 			lat = append(lat, r.AvgLatency())
 			hit = append(hit, r.HitRate())
 			small = append(small, r.SmallFraction)
@@ -100,19 +134,32 @@ func sweepWeight(o Options) *stats.Table {
 			stats.FmtPct(stats.MeanOf(hit)),
 			stats.FmtPct(stats.MeanOf(small)))
 	}
-	return tbl
+	return tbl, nil
 }
 
 // sweepPredictor varies the predictor table size.
-func sweepPredictor(o Options) *stats.Table {
+func sweepPredictor(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	tbl := stats.NewTable("Design sweep: predictor bits P",
 		"P", "entries", "avg latency", "wasted bytes")
-	for _, P := range []uint{6, 8, 10, 12, 14} {
+	ps := []uint{6, 8, 10, 12, 14}
+	mixNames := sweepMixes(o)
+	var cells []cell[dramcache.Report]
+	for _, P := range ps {
+		for _, mixName := range mixNames {
+			cells = append(cells, sweepCell(o, fmt.Sprintf("%s P=%d", mixName, P), mixName,
+				func(p *simCoreParams) { p.PredictorBits = P }))
+		}
+	}
+	res, err := runCells(ctx, o, "sweep-predictor", cells)
+	if err != nil {
+		return nil, err
+	}
+	for pi, P := range ps {
 		var lat []float64
 		var wasted int64
-		for _, mixName := range sweepMixes(o) {
-			r := sweepBiModal(o, mixName, func(p *simCoreParams) { p.PredictorBits = P })
+		for mi := range mixNames {
+			r := res[pi*len(mixNames)+mi]
 			lat = append(lat, r.AvgLatency())
 			wasted += r.WastedFetchBytes
 		}
@@ -120,13 +167,8 @@ func sweepPredictor(o Options) *stats.Table {
 			fmt.Sprintf("%.1f", stats.MeanOf(lat)),
 			stats.FmtBytes(float64(wasted)))
 	}
-	return tbl
+	return tbl, nil
 }
 
 // simCoreParams aliases the core cache parameters for the sweep mutators.
 type simCoreParams = core.Params
-
-// runMixByName runs one named mix on a factory and returns its report.
-func runMixByName(name string, f sim.Factory, so sim.Options) dramcache.Report {
-	return sim.Run(workloads.MustByName(name), f, so).Report
-}

@@ -1,0 +1,134 @@
+package sim
+
+import (
+	"fmt"
+
+	"bimodal/internal/dramcache"
+)
+
+// SchemeID identifies a DRAM cache scheme configuration. The typed
+// constants replace stringly-typed scheme names in library code; the
+// string forms remain the CLI/serialization surface via ParseScheme and
+// String.
+type SchemeID int
+
+const (
+	// SchemeBiModal is the paper's full design: bi-modal sets + way
+	// locator + separate metadata bank.
+	SchemeBiModal SchemeID = iota
+	// SchemeBiModalOnly is the bi-modality ablation (no way locator).
+	SchemeBiModalOnly
+	// SchemeWLOnly is the way-locator ablation (fixed 512B blocks).
+	SchemeWLOnly
+	// SchemeBiModalCoMeta co-locates tags with data (Figure 9b baseline).
+	SchemeBiModalCoMeta
+	// SchemeBiModalBypass bypasses the cache on prefetch misses (Table VI).
+	SchemeBiModalBypass
+	// SchemeAlloy is the AlloyCache direct-mapped TAD baseline.
+	SchemeAlloy
+	// SchemeLohHill is the Loh-Hill compound-access baseline.
+	SchemeLohHill
+	// SchemeATCache is the SRAM tag-cache baseline.
+	SchemeATCache
+	// SchemeFootprint is the Footprint Cache baseline.
+	SchemeFootprint
+
+	numSchemes // sentinel; keep last
+)
+
+// schemeNames maps IDs to their canonical CLI names, in comparison order.
+var schemeNames = [numSchemes]string{
+	SchemeBiModal:       "bimodal",
+	SchemeBiModalOnly:   "bimodal-only",
+	SchemeWLOnly:        "wl-only",
+	SchemeBiModalCoMeta: "bimodal-cometa",
+	SchemeBiModalBypass: "bimodal-bypass",
+	SchemeAlloy:         "alloy",
+	SchemeLohHill:       "lohhill",
+	SchemeATCache:       "atcache",
+	SchemeFootprint:     "footprint",
+}
+
+// String returns the canonical name ("bimodal", "alloy", ...).
+func (id SchemeID) String() string {
+	if !id.Valid() {
+		return fmt.Sprintf("SchemeID(%d)", int(id))
+	}
+	return schemeNames[id]
+}
+
+// Valid reports whether id names a known scheme.
+func (id SchemeID) Valid() bool { return id >= 0 && id < numSchemes }
+
+// ParseScheme resolves a scheme name to its typed ID.
+func ParseScheme(name string) (SchemeID, error) {
+	for id, n := range schemeNames {
+		if n == name {
+			return SchemeID(id), nil
+		}
+	}
+	return -1, fmt.Errorf("sim: unknown scheme %q (known: %v)", name, SchemeNames())
+}
+
+// Factory returns the builder for the scheme. Every valid ID has a
+// factory; invalid IDs panic (use ParseScheme to validate input).
+func (id SchemeID) Factory() Factory {
+	switch id {
+	case SchemeBiModal:
+		return func(cfg dramcache.Config) dramcache.Scheme { return dramcache.NewBiModal(cfg) }
+	case SchemeBiModalOnly:
+		return func(cfg dramcache.Config) dramcache.Scheme {
+			return dramcache.NewBiModal(cfg, dramcache.WithoutLocator())
+		}
+	case SchemeWLOnly:
+		return func(cfg dramcache.Config) dramcache.Scheme {
+			return dramcache.NewBiModal(cfg, dramcache.FixedBigBlocks())
+		}
+	case SchemeBiModalCoMeta:
+		return func(cfg dramcache.Config) dramcache.Scheme {
+			return dramcache.NewBiModal(cfg, dramcache.CoLocatedMetadata(), dramcache.WithName("BiModalCoMeta"))
+		}
+	case SchemeBiModalBypass:
+		return func(cfg dramcache.Config) dramcache.Scheme {
+			return dramcache.NewBiModal(cfg, dramcache.WithPrefetchBypass(), dramcache.WithName("BiModalPrefBypass"))
+		}
+	case SchemeAlloy:
+		return func(cfg dramcache.Config) dramcache.Scheme { return dramcache.NewAlloy(cfg) }
+	case SchemeLohHill:
+		return func(cfg dramcache.Config) dramcache.Scheme { return dramcache.NewLohHill(cfg) }
+	case SchemeATCache:
+		return func(cfg dramcache.Config) dramcache.Scheme { return dramcache.NewATCache(cfg) }
+	case SchemeFootprint:
+		return func(cfg dramcache.Config) dramcache.Scheme { return dramcache.NewFootprint(cfg) }
+	default:
+		panic("sim: Factory on invalid " + id.String())
+	}
+}
+
+// SchemeIDs lists every scheme in comparison order.
+func SchemeIDs() []SchemeID {
+	ids := make([]SchemeID, numSchemes)
+	for i := range ids {
+		ids[i] = SchemeID(i)
+	}
+	return ids
+}
+
+// SchemeNames lists every scheme name in comparison order (including the
+// bimodal-cometa and bimodal-bypass variants).
+func SchemeNames() []string {
+	out := make([]string, numSchemes)
+	copy(out, schemeNames[:])
+	return out
+}
+
+// SchemeFactory returns the factory for a scheme name. It is the
+// stringly-typed shim over ParseScheme + SchemeID.Factory kept for CLI
+// call sites and backward compatibility.
+func SchemeFactory(name string) (Factory, error) {
+	id, err := ParseScheme(name)
+	if err != nil {
+		return nil, err
+	}
+	return id.Factory(), nil
+}
