@@ -1,0 +1,83 @@
+// Command bmserved serves simulations over HTTP: a bounded job queue and
+// worker pool over the experiment engine, per-cell SSE progress and
+// Prometheus metrics. SIGINT/SIGTERM triggers a graceful drain — queued
+// and running jobs finish (up to -drain-timeout), new submissions get 503.
+//
+// API (see internal/service):
+//
+//	POST /v1/jobs             submit {"mixes":["Q1"],"schemes":["bimodal"],...}
+//	GET  /v1/jobs             list jobs
+//	GET  /v1/jobs/{id}        status + result JSON when completed
+//	GET  /v1/jobs/{id}/events SSE progress stream
+//	GET  /metrics             Prometheus text format
+//	GET  /healthz             liveness probe
+//
+// Example:
+//
+//	bmserved -addr :8080 -jobs 2 -queue 64 -job-timeout 10m
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"bimodal/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		queueDepth   = flag.Int("queue", 64, "max queued (not yet running) jobs; overflow is rejected with 429")
+		jobs         = flag.Int("jobs", 2, "jobs executed concurrently")
+		cellWorkers  = flag.Int("cell-workers", 0, "engine workers per job (0 = NumCPU/jobs)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-job wall-clock cap (0 = none)")
+		maxCells     = flag.Int("max-cells", 256, "max mixes x schemes per job (-1 = unlimited)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain may take before in-flight jobs are cancelled")
+	)
+	flag.Parse()
+
+	srv := service.New(service.Config{
+		QueueDepth:  *queueDepth,
+		Workers:     *jobs,
+		CellWorkers: *cellWorkers,
+		JobTimeout:  *jobTimeout,
+		MaxCells:    *maxCells,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- hs.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "bmserved: listening on %s (%d workers, queue %d)\n", *addr, *jobs, *queueDepth)
+
+	select {
+	case err := <-errCh:
+		fmt.Fprintln(os.Stderr, "bmserved:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintf(os.Stderr, "bmserved: draining (up to %s)\n", *drainTimeout)
+	dctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	drainErr := srv.Shutdown(dctx)
+	hs.Shutdown(dctx)
+	if drainErr != nil && !errors.Is(drainErr, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "bmserved: drain:", drainErr)
+		os.Exit(1)
+	}
+	if errors.Is(drainErr, context.DeadlineExceeded) {
+		fmt.Fprintln(os.Stderr, "bmserved: drain timed out; in-flight jobs were cancelled")
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "bmserved: drained cleanly")
+}

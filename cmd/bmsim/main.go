@@ -8,10 +8,16 @@
 //	bmsim -scheme bimodal -mix Q7
 //	bmsim -scheme alloy -mix E3 -accesses 500000
 //	bmsim -scheme bimodal -mix Q2 -prefetch 3 -antt -workers 0
+//	bmsim -scheme bimodal -mix Q7 -json | jq .cells[0].hit_rate
+//
+// -json emits the same machine-readable schema the bmserved job server
+// returns (a service.JobResult with one cell), so scripts consume CLI
+// and server output identically.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -21,6 +27,7 @@ import (
 
 	"bimodal/internal/energy"
 	"bimodal/internal/engine"
+	"bimodal/internal/service"
 	"bimodal/internal/sim"
 	"bimodal/internal/stats"
 	"bimodal/internal/workloads"
@@ -37,6 +44,7 @@ func main() {
 		withANTT   = flag.Bool("antt", false, "also run standalone baselines and report ANTT")
 		workers    = flag.Int("workers", 0, "worker pool for the ANTT standalone runs (0 = NumCPU, 1 = serial)")
 		timeout    = flag.Duration("timeout", 0, "run deadline (0 = none)")
+		jsonOut    = flag.Bool("json", false, "emit the service result schema (JSON) instead of tables")
 	)
 	flag.Parse()
 
@@ -48,7 +56,7 @@ func main() {
 		defer cancel()
 	}
 
-	err := run(ctx, *schemeName, *mixName, *accesses, *seed, *cacheBytes, *prefetchN, *withANTT, *workers)
+	err := run(ctx, *schemeName, *mixName, *accesses, *seed, *cacheBytes, *prefetchN, *withANTT, *workers, *jsonOut)
 	switch {
 	case errors.Is(err, context.Canceled):
 		fmt.Fprintln(os.Stderr, "bmsim: interrupted")
@@ -62,7 +70,7 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, schemeName, mixName string, accesses int64, seed, cacheBytes uint64, prefetchN int, withANTT bool, workers int) error {
+func run(ctx context.Context, schemeName, mixName string, accesses int64, seed, cacheBytes uint64, prefetchN int, withANTT bool, workers int, jsonOut bool) error {
 	mix, err := workloads.ByName(mixName)
 	if err != nil {
 		return err
@@ -90,6 +98,10 @@ func run(ctx context.Context, schemeName, mixName string, accesses int64, seed, 
 		return err
 	}
 	r := res.Report
+
+	if jsonOut {
+		return printJSON(ctx, id, mix, res, opts, withANTT, factory)
+	}
 
 	tbl := stats.NewTable(fmt.Sprintf("%s on %s (%d cores, %d accesses/core)",
 		r.Scheme, mix.Name, mix.Cores(), accesses), "metric", "value")
@@ -126,5 +138,39 @@ func run(ctx context.Context, schemeName, mixName string, accesses int64, seed, 
 		}
 		fmt.Printf("ANTT = %.3f (lower is better, computed in %s)\n", antt, time.Since(start).Round(time.Millisecond))
 	}
+	return nil
+}
+
+// printJSON emits a service.JobResult with one cell — the same schema
+// bmserved returns — built from the run that already happened (plus the
+// standalone ANTT runs when requested).
+func printJSON(ctx context.Context, id sim.SchemeID, mix workloads.Mix, res sim.RunResult, opts sim.Options, withANTT bool, factory sim.Factory) error {
+	cell := service.NewCellResult(id.String(), res)
+	if withANTT {
+		antt, _, err := sim.ANTTContext(ctx, mix, factory, opts)
+		if err != nil {
+			return err
+		}
+		cell.ANTT = antt
+	}
+	out := service.JobResult{
+		Request: service.JobRequest{
+			Mixes:   []string{mix.Name},
+			Schemes: []string{id.String()},
+			Seed:    opts.Seed,
+			Options: service.RunOptions{
+				AccessesPerCore: opts.AccessesPerCore,
+				CacheBytes:      opts.CacheBytes,
+				Prefetch:        opts.PrefetchN,
+				ANTT:            withANTT,
+			},
+		},
+		Cells: []service.CellResult{cell},
+	}
+	b, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
 	return nil
 }

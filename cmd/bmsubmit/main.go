@@ -1,0 +1,112 @@
+// Command bmsubmit submits a job to a running bmserved instance, follows
+// its progress and prints the result JSON — the exact bytes the server
+// marshaled, so piping to a file preserves the determinism contract
+// (same request + seed => byte-identical output).
+//
+// Examples:
+//
+//	bmsubmit -mixes Q1,Q7 -schemes bimodal,alloy -accesses 100000
+//	bmsubmit -server http://sim.host:8080 -mixes E3 -schemes bimodal -antt -follow
+//	bmsubmit -mixes Q1 -schemes alloy -no-wait          # fire and forget
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"time"
+
+	"bimodal/internal/service"
+)
+
+func main() {
+	var (
+		server    = flag.String("server", "http://127.0.0.1:8080", "bmserved base URL")
+		mixes     = flag.String("mixes", "Q1", "comma-separated workload mixes")
+		schemes   = flag.String("schemes", "bimodal", "comma-separated schemes")
+		accesses  = flag.Int64("accesses", 0, "accesses per core (0 = sim default)")
+		warmup    = flag.Int64("warmup", 0, "warmup accesses per core (0 = same as -accesses, -1 = none)")
+		seed      = flag.Uint64("seed", 1, "random seed")
+		cache     = flag.Uint64("cache", 0, "DRAM cache bytes (0 = Table IV preset)")
+		divisor   = flag.Uint64("cache-divisor", 0, "divide the preset cache size (scale compensation)")
+		prefetchN = flag.Int("prefetch", 0, "next-N-lines prefetch depth")
+		antt      = flag.Bool("antt", false, "also compute per-cell ANTT (cores+1 sims per cell)")
+		follow    = flag.Bool("follow", false, "stream per-cell progress events to stderr (SSE)")
+		noWait    = flag.Bool("no-wait", false, "submit and print the job id without waiting")
+		poll      = flag.Duration("poll", 200*time.Millisecond, "status poll interval when not following")
+		timeout   = flag.Duration("timeout", 0, "client-side deadline (0 = none)")
+	)
+	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	req := service.JobRequest{
+		Mixes:   splitList(*mixes),
+		Schemes: splitList(*schemes),
+		Seed:    *seed,
+		Options: service.RunOptions{
+			AccessesPerCore: *accesses,
+			WarmupPerCore:   *warmup,
+			CacheBytes:      *cache,
+			CacheDivisor:    *divisor,
+			Prefetch:        *prefetchN,
+			ANTT:            *antt,
+		},
+	}
+	if err := run(ctx, service.NewClient(*server), req, *follow, *noWait, *poll); err != nil {
+		fmt.Fprintln(os.Stderr, "bmsubmit:", err)
+		os.Exit(1)
+	}
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+func run(ctx context.Context, c *service.Client, req service.JobRequest, follow, noWait bool, poll time.Duration) error {
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bmsubmit: %s %s (%d cells)\n", st.ID, st.State, st.Cells)
+	if noWait {
+		fmt.Println(st.ID)
+		return nil
+	}
+	if follow {
+		st, err = c.Follow(ctx, st.ID, func(e service.Event) {
+			switch e.Type {
+			case "cell":
+				fmt.Fprintf(os.Stderr, "bmsubmit: [%d/%d] %s\n", e.Done, e.Total, e.Cell)
+			case "state":
+				fmt.Fprintf(os.Stderr, "bmsubmit: %s\n", e.State)
+			}
+		})
+	} else {
+		st, err = c.Wait(ctx, st.ID, poll)
+	}
+	if err != nil {
+		return err
+	}
+	if st.State != service.StateCompleted {
+		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	os.Stdout.Write(st.Result)
+	fmt.Println()
+	return nil
+}

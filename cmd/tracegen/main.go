@@ -4,14 +4,19 @@
 // Examples:
 //
 //	tracegen -bench mcf -n 1000000 -o mcf.trc        # generate
-//	tracegen -inspect mcf.trc                         # stream statistics
+//	tracegen -bench mcf -n 1000000 -o mcf.trc.gz     # generate compressed
+//	tracegen -inspect mcf.trc.gz                      # stream statistics
 //	tracegen -replay mcf.trc -scheme bimodal          # drive a scheme
+//
+// Output is gzip-compressed when -gzip is set or the output name ends in
+// .gz; -inspect and -replay detect compression automatically.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"bimodal/internal/dramcache"
 	"bimodal/internal/stats"
@@ -26,6 +31,7 @@ func main() {
 		out     = flag.String("o", "", "output trace file")
 		seed    = flag.Uint64("seed", 1, "generator seed")
 		llsc    = flag.Uint64("llsc", 0, "filter through an LLSC of this many bytes before writing")
+		gz      = flag.Bool("gzip", false, "gzip-compress the output trace (implied by a .gz output name)")
 		inspect = flag.String("inspect", "", "trace file to analyze")
 		replay  = flag.String("replay", "", "trace file to replay")
 		scheme  = flag.String("scheme", "bimodal", "scheme for -replay")
@@ -45,7 +51,7 @@ func main() {
 	case *replay != "":
 		err = replayTrace(*replay, *scheme)
 	case *bench != "" && *out != "":
-		err = generate(*bench, *out, *n, *seed, *llsc)
+		err = generate(*bench, *out, *n, *seed, *llsc, *gz || strings.HasSuffix(*out, ".gz"))
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -56,7 +62,7 @@ func main() {
 	}
 }
 
-func generate(bench, out string, n int64, seed, llscBytes uint64) error {
+func generate(bench, out string, n int64, seed, llscBytes uint64, gz bool) error {
 	prof, err := trace.ProfileByName(bench)
 	if err != nil {
 		return err
@@ -70,7 +76,11 @@ func generate(bench, out string, n int64, seed, llscBytes uint64) error {
 		return err
 	}
 	defer f.Close()
-	w, err := trace.NewWriter(f)
+	newWriter := trace.NewWriter
+	if gz {
+		newWriter = trace.NewGzipWriter
+	}
+	w, err := newWriter(f)
 	if err != nil {
 		return err
 	}

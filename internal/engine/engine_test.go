@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -109,5 +110,104 @@ func TestMapZeroCells(t *testing.T) {
 	out, err := Map(context.Background(), 4, 0, func(context.Context, int) (int, error) { return 0, nil })
 	if err != nil || len(out) != 0 {
 		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+// TestMapCancelMidFlight cancels the context while cells are in flight
+// (cooperative cells that block on ctx.Done) and checks the map unwinds
+// with ctx.Err() without feeding the remaining cells.
+func TestMapCancelMidFlight(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var startOnce sync.Once
+	started := make(chan struct{})
+	var ran int64
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		_, err = Map(ctx, 2, 32, func(ctx context.Context, i int) (int, error) {
+			startOnce.Do(func() { close(started) })
+			atomic.AddInt64(&ran, 1)
+			<-ctx.Done()
+			return 0, ctx.Err()
+		})
+	}()
+	<-started
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Map did not return within 10s of mid-flight cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt64(&ran); n >= 32 {
+		t.Errorf("cancellation did not stop the feed: %d/32 cells ran", n)
+	}
+}
+
+// TestMapCancelMidFlightObliviousCells covers cells that never observe
+// ctx: Map itself must still surface ctx.Err() once the feed drains.
+func TestMapCancelMidFlightObliviousCells(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var n int64
+	_, err := Map(ctx, 2, 1024, func(context.Context, int) (int, error) {
+		if atomic.AddInt64(&n, 1) == 4 {
+			cancel()
+		}
+		time.Sleep(100 * time.Microsecond)
+		return 0, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if ran := atomic.LoadInt64(&n); ran >= 1024 {
+		t.Errorf("cancellation did not stop the feed: %d/1024 cells ran", ran)
+	}
+}
+
+// TestMapErrorLeavesZeroValues pins the documented contract that cells
+// which never ran (or ran after the failure) leave the zero value of T in
+// their result slots, on both the serial and parallel paths.
+func TestMapErrorLeavesZeroValues(t *testing.T) {
+	boom := errors.New("boom")
+	for _, workers := range []int{1, 4} {
+		out, err := Map(context.Background(), workers, 16, func(_ context.Context, i int) (string, error) {
+			if i == 2 {
+				return "", boom
+			}
+			if i > 2 && workers == 1 {
+				t.Errorf("serial map ran cell %d after the failure at 2", i)
+			}
+			return fmt.Sprint(i), nil
+		})
+		if !errors.Is(err, boom) {
+			t.Fatalf("workers=%d err = %v, want boom", workers, err)
+		}
+		if out[2] != "" {
+			t.Errorf("workers=%d failed cell slot = %q, want zero value", workers, out[2])
+		}
+		if workers == 1 {
+			for i := 3; i < 16; i++ {
+				if out[i] != "" {
+					t.Errorf("serial out[%d] = %q, want zero value after error", i, out[i])
+				}
+			}
+		}
+	}
+}
+
+// TestMapZeroCellsCancelledContext: with no cells to run, Map still
+// reports a dead context rather than silently succeeding.
+func TestMapZeroCellsCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	out, err := Map(ctx, 4, 0, func(context.Context, int) (int, error) { return 0, nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(out) != 0 {
+		t.Fatalf("out = %v, want empty", out)
 	}
 }

@@ -1,0 +1,252 @@
+// Package service turns the simulator into a multi-tenant evaluation
+// service: an HTTP JSON API over a bounded job queue and worker pool
+// layered on internal/engine, with per-cell SSE progress, Prometheus
+// metrics (internal/telemetry) and a typed Go client. The request and
+// result structs in this file are the single source of truth for the wire
+// schema — the server, the client, cmd/bmsubmit and cmd/bmsim -json all
+// share them.
+//
+// Determinism contract: a job's result JSON is a pure function of
+// (JobRequest, seed). The server expands a request into independent
+// simulation cells (mix × scheme), runs them on the experiment engine —
+// which returns results in submission order regardless of worker count —
+// and marshals the JobResult exactly once. Submitting the same request
+// twice therefore yields byte-identical `result` payloads, whichever
+// workers ran them and in whatever order they finished.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"bimodal/internal/energy"
+	"bimodal/internal/sim"
+	"bimodal/internal/workloads"
+)
+
+// JobRequest describes one evaluation job: every mix is run on every
+// scheme, one simulation cell per (mix, scheme) pair.
+type JobRequest struct {
+	// Mixes lists workload mix names (Q1..Q24, E1..E16, S1..S8).
+	Mixes []string `json:"mixes"`
+	// Schemes lists scheme names as accepted by sim.ParseScheme.
+	Schemes []string `json:"schemes"`
+	// Options scale the simulations.
+	Options RunOptions `json:"options,omitempty"`
+	// Seed decorrelates reruns; 0 means 1 (the sim default).
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// RunOptions mirrors the sim.Options knobs exposed over the wire.
+type RunOptions struct {
+	AccessesPerCore int64  `json:"accesses_per_core,omitempty"`
+	WarmupPerCore   int64  `json:"warmup_per_core,omitempty"`
+	CacheBytes      uint64 `json:"cache_bytes,omitempty"`
+	CacheDivisor    uint64 `json:"cache_divisor,omitempty"`
+	Prefetch        int    `json:"prefetch,omitempty"`
+	// ANTT additionally runs each benchmark standalone and reports the
+	// average normalized turnaround time per cell (slower: cores+1
+	// simulations per cell instead of 1).
+	ANTT bool `json:"antt,omitempty"`
+}
+
+// simOptions translates the wire options into sim.Options. Cell-internal
+// fan-out stays serial (Workers 1): the service parallelizes across
+// cells, and the serial path keeps the deterministic code path shortest.
+func (o RunOptions) simOptions(seed uint64) sim.Options {
+	return sim.Options{
+		AccessesPerCore: o.AccessesPerCore,
+		WarmupPerCore:   o.WarmupPerCore,
+		Seed:            seed,
+		CacheBytes:      o.CacheBytes,
+		CacheDivisor:    o.CacheDivisor,
+		PrefetchN:       o.Prefetch,
+		Workers:         1,
+	}
+}
+
+// State is a job lifecycle state.
+type State string
+
+const (
+	StateQueued    State = "queued"
+	StateRunning   State = "running"
+	StateCompleted State = "completed"
+	StateFailed    State = "failed"
+	StateCanceled  State = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s State) Terminal() bool {
+	return s == StateCompleted || s == StateFailed || s == StateCanceled
+}
+
+// JobStatus is the envelope returned by POST /v1/jobs and GET
+// /v1/jobs/{id}. Result is present only once the job completed; its bytes
+// are exactly the JSON the server marshaled at completion (the
+// determinism contract applies to this field, not the envelope).
+type JobStatus struct {
+	ID        string          `json:"id"`
+	State     State           `json:"state"`
+	Error     string          `json:"error,omitempty"`
+	Cells     int             `json:"cells"`
+	CellsDone int             `json:"cells_done"`
+	Result    json.RawMessage `json:"result,omitempty"`
+}
+
+// JobResult is the deterministic payload of a completed job.
+type JobResult struct {
+	// Request echoes the submitted request verbatim.
+	Request JobRequest `json:"request"`
+	// Cells holds one result per (mix, scheme) pair, mixes outermost, in
+	// request order.
+	Cells []CellResult `json:"cells"`
+}
+
+// CellResult reports one simulation cell.
+type CellResult struct {
+	Mix               string       `json:"mix"`
+	Scheme            string       `json:"scheme"`
+	HitRate           float64      `json:"hit_rate"`
+	AvgLatencyCycles  float64      `json:"avg_latency_cycles"`
+	LocatorHitRate    float64      `json:"locator_hit_rate,omitempty"`
+	MetaRowHitRate    float64      `json:"meta_row_hit_rate,omitempty"`
+	SmallFraction     float64      `json:"small_block_fraction,omitempty"`
+	StackedRowHitRate float64      `json:"stacked_row_hit_rate"`
+	OffchipReadBytes  int64        `json:"offchip_read_bytes"`
+	OffchipWriteBytes int64        `json:"offchip_write_bytes"`
+	WastedFetchBytes  int64        `json:"wasted_fetch_bytes"`
+	EnergyPerAccessNJ float64      `json:"energy_per_access_nj"`
+	TotalCycles       int64        `json:"total_cycles"`
+	ANTT              float64      `json:"antt,omitempty"`
+	PerCore           []CoreResult `json:"per_core"`
+}
+
+// CoreResult is the per-core slice of a cell.
+type CoreResult struct {
+	Core         int     `json:"core"`
+	Benchmark    string  `json:"benchmark"`
+	Cycles       int64   `json:"cycles"`
+	Instructions int64   `json:"instructions"`
+	IPC          float64 `json:"ipc"`
+	HitRate      float64 `json:"hit_rate"`
+}
+
+// NewCellResult flattens a sim run into the wire schema. scheme is the
+// canonical CLI name ("bimodal", "alloy", ...), not the scheme's display
+// name, so results join back to request fields.
+func NewCellResult(scheme string, res sim.RunResult) CellResult {
+	r := res.Report
+	c := CellResult{
+		Mix:               res.Mix,
+		Scheme:            scheme,
+		HitRate:           r.HitRate(),
+		AvgLatencyCycles:  r.AvgLatency(),
+		LocatorHitRate:    r.LocatorHitRate(),
+		MetaRowHitRate:    r.MetaRowHitRate(),
+		SmallFraction:     r.SmallFraction,
+		StackedRowHitRate: r.Stacked.RowHitRate(),
+		OffchipReadBytes:  r.OffchipReadBytes,
+		OffchipWriteBytes: r.OffchipWriteBytes,
+		WastedFetchBytes:  r.WastedFetchBytes,
+		EnergyPerAccessNJ: energy.PerAccess(res.Energy, r.Accesses),
+		TotalCycles:       res.TotalCycles(),
+	}
+	for _, pc := range res.PerCore {
+		hr := 0.0
+		if pc.Accesses > 0 {
+			hr = float64(pc.Hits) / float64(pc.Accesses)
+		}
+		c.PerCore = append(c.PerCore, CoreResult{
+			Core:         pc.Core,
+			Benchmark:    pc.Benchmark,
+			Cycles:       pc.Cycles,
+			Instructions: pc.Insts,
+			IPC:          pc.IPC(),
+			HitRate:      hr,
+		})
+	}
+	return c
+}
+
+// Event is one SSE payload on GET /v1/jobs/{id}/events: a state
+// transition or a completed cell.
+type Event struct {
+	// Type is "state" or "cell".
+	Type string `json:"type"`
+	// State is set on state events.
+	State State `json:"state,omitempty"`
+	// Cell is the completed cell's label on cell events ("Q7 bimodal").
+	Cell string `json:"cell,omitempty"`
+	// Done/Total track cell progress.
+	Done  int `json:"done"`
+	Total int `json:"total"`
+	// Error carries the failure reason on terminal failed states.
+	Error string `json:"error,omitempty"`
+}
+
+// cellSpec is one validated (mix, scheme) pair ready to run.
+type cellSpec struct {
+	mix    workloads.Mix
+	scheme sim.SchemeID
+	so     sim.Options
+	antt   bool
+}
+
+// label identifies the cell in progress events.
+func (c cellSpec) label() string { return c.mix.Name + " " + c.scheme.String() }
+
+// run executes the cell. BiModal gets the run-length-scaled core
+// parameters, exactly as cmd/bmsim and the experiment drivers configure
+// it, so service results line up with CLI results.
+func (c cellSpec) run(ctx context.Context) (CellResult, error) {
+	factory := c.scheme.Factory()
+	if c.scheme == sim.SchemeBiModal {
+		factory = sim.BiModalFactory(c.mix.Cores(), c.so)
+	}
+	if c.antt {
+		antt, multi, err := sim.ANTTContext(ctx, c.mix, factory, c.so)
+		if err != nil {
+			return CellResult{}, err
+		}
+		cr := NewCellResult(c.scheme.String(), multi)
+		cr.ANTT = antt
+		return cr, nil
+	}
+	res, err := sim.RunContext(ctx, c.mix, factory, c.so)
+	if err != nil {
+		return CellResult{}, err
+	}
+	return NewCellResult(c.scheme.String(), res), nil
+}
+
+// cells validates the request and expands it into its simulation cells,
+// mixes outermost. maxCells <= 0 disables the size bound.
+func (r JobRequest) cells(maxCells int) ([]cellSpec, error) {
+	if len(r.Mixes) == 0 {
+		return nil, fmt.Errorf("service: request needs at least one mix")
+	}
+	if len(r.Schemes) == 0 {
+		return nil, fmt.Errorf("service: request needs at least one scheme")
+	}
+	if maxCells > 0 && len(r.Mixes)*len(r.Schemes) > maxCells {
+		return nil, fmt.Errorf("service: %d cells exceed the per-job limit of %d", len(r.Mixes)*len(r.Schemes), maxCells)
+	}
+	so := r.Options.simOptions(r.Seed)
+	specs := make([]cellSpec, 0, len(r.Mixes)*len(r.Schemes))
+	for _, mixName := range r.Mixes {
+		mix, err := workloads.ByName(mixName)
+		if err != nil {
+			return nil, err
+		}
+		for _, schemeName := range r.Schemes {
+			id, err := sim.ParseScheme(schemeName)
+			if err != nil {
+				return nil, err
+			}
+			specs = append(specs, cellSpec{mix: mix, scheme: id, so: so, antt: r.Options.ANTT})
+		}
+	}
+	return specs, nil
+}

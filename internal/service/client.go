@@ -1,0 +1,174 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is the thin typed client for the job server, shared by
+// cmd/bmsubmit and the end-to-end tests so every consumer speaks the same
+// structs the server does.
+type Client struct {
+	base string
+	hc   *http.Client
+}
+
+// NewClient targets a server base URL ("http://host:port"). The underlying
+// http.Client has no global timeout — SSE streams are long-lived — so
+// bound individual calls with their contexts.
+func NewClient(base string) *Client {
+	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
+}
+
+// StatusError is a non-2xx API reply.
+type StatusError struct {
+	Code    int
+	Message string
+}
+
+func (e *StatusError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.Code, e.Message)
+}
+
+// do issues the request and decodes a JSON reply into out (when non-nil).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		b, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(msg))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit enqueues a job and returns its initial status.
+func (c *Client) Submit(ctx context.Context, req JobRequest) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// Job fetches one job's status (result included once completed).
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var st JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &st)
+	return st, err
+}
+
+// Jobs lists every job's status (without results).
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var st []JobStatus
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &st)
+	return st, err
+}
+
+// Wait polls until the job reaches a terminal state or ctx ends.
+// poll <= 0 selects 100ms.
+func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Job(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
+// Follow consumes the job's SSE stream, invoking fn per event, then
+// returns the final status. The stream ends when the job reaches a
+// terminal state; fn may be nil to just block until then.
+func (c *Client) Follow(ctx context.Context, id string, fn func(Event)) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return JobStatus{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		return JobStatus{}, &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(msg))}
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue // blank separators and comments
+		}
+		var e Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &e); err != nil {
+			return JobStatus{}, fmt.Errorf("service: decoding event: %w", err)
+		}
+		if fn != nil {
+			fn(e)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return JobStatus{}, err
+	}
+	return c.Job(ctx, id)
+}
+
+// Metrics fetches the Prometheus exposition text.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(b))}
+	}
+	return string(b), nil
+}

@@ -1,0 +1,99 @@
+package service
+
+import (
+	"encoding/json"
+	"sync"
+)
+
+// job is the server-side state of one submitted request. The event log
+// grows monotonically and is never truncated, so an SSE subscriber that
+// attaches late replays the full history before tailing live events —
+// progress is a property of the job, not of who happened to be watching.
+type job struct {
+	id    string
+	req   JobRequest
+	specs []cellSpec
+
+	mu     sync.Mutex
+	state  State
+	errMsg string
+	done   int
+	result []byte // compact JobResult JSON, marshaled exactly once
+	events []Event
+	update chan struct{} // closed and replaced on every event append
+}
+
+func newJob(id string, req JobRequest, specs []cellSpec) *job {
+	j := &job{
+		id:     id,
+		req:    req,
+		specs:  specs,
+		state:  StateQueued,
+		update: make(chan struct{}),
+	}
+	j.events = append(j.events, Event{Type: "state", State: StateQueued, Total: len(specs)})
+	return j
+}
+
+// publishLocked appends an event and wakes subscribers. Callers hold j.mu.
+func (j *job) publishLocked(e Event) {
+	j.events = append(j.events, e)
+	close(j.update)
+	j.update = make(chan struct{})
+}
+
+// setState transitions the job and publishes a state event.
+func (j *job) setState(s State, errMsg string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.state = s
+	j.errMsg = errMsg
+	j.publishLocked(Event{Type: "state", State: s, Done: j.done, Total: len(j.specs), Error: errMsg})
+}
+
+// complete stores the result bytes and transitions to completed.
+func (j *job) complete(result []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.result = result
+	j.state = StateCompleted
+	j.publishLocked(Event{Type: "state", State: StateCompleted, Done: j.done, Total: len(j.specs)})
+}
+
+// cellDone records one finished cell and publishes a cell event.
+func (j *job) cellDone(label string) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done++
+	j.publishLocked(Event{Type: "cell", Cell: label, Done: j.done, Total: len(j.specs)})
+}
+
+// status snapshots the job for the API envelope. The result bytes are
+// copied so callers can never alias the job's internal buffer.
+func (j *job) status(includeResult bool) JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:        j.id,
+		State:     j.state,
+		Error:     j.errMsg,
+		Cells:     len(j.specs),
+		CellsDone: j.done,
+	}
+	if includeResult && len(j.result) > 0 {
+		st.Result = append(json.RawMessage(nil), j.result...)
+	}
+	return st
+}
+
+// eventsSince returns a copy of the events from index i on, a channel
+// that is closed when more events arrive, and whether the stream is over
+// (terminal state reached and every event handed out).
+func (j *job) eventsSince(i int) (evs []Event, update <-chan struct{}, over bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if i < len(j.events) {
+		evs = append([]Event(nil), j.events[i:]...)
+	}
+	return evs, j.update, j.state.Terminal() && i+len(evs) == len(j.events)
+}

@@ -1,0 +1,332 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"bimodal/internal/experiments"
+	"bimodal/internal/telemetry"
+)
+
+// Config sizes the job server.
+type Config struct {
+	// QueueDepth bounds the number of accepted-but-not-started jobs;
+	// submissions beyond it are rejected with 429. Default 64.
+	QueueDepth int
+	// Workers is the number of jobs executed concurrently. Default 2.
+	Workers int
+	// CellWorkers bounds each job's engine pool (cells run in parallel
+	// within a job). 0 selects runtime.NumCPU()/Workers, min 1, so total
+	// cell concurrency roughly tracks the machine at either layer.
+	CellWorkers int
+	// JobTimeout caps one job's wall-clock run time. 0 = none.
+	JobTimeout time.Duration
+	// MaxCells bounds mixes×schemes per job. Default 256; < 0 disables.
+	MaxCells int
+}
+
+// normalize fills defaults.
+func (c Config) normalize() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.CellWorkers <= 0 {
+		c.CellWorkers = runtime.NumCPU() / c.Workers
+		if c.CellWorkers < 1 {
+			c.CellWorkers = 1
+		}
+	}
+	if c.MaxCells == 0 {
+		c.MaxCells = 256
+	}
+	return c
+}
+
+// Server owns the bounded job queue, the worker pool and the job table.
+// Create with New, serve Handler() over HTTP, stop with Shutdown.
+type Server struct {
+	cfg    Config
+	reg    *telemetry.Registry
+	ctx    context.Context // cancels in-flight jobs on forced shutdown
+	cancel context.CancelFunc
+	queue  chan *job
+	wg     sync.WaitGroup
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []string
+	seq      int
+	draining bool
+
+	mSubmitted, mCompleted, mFailed, mCanceled, mRejected *telemetry.Counter
+	gQueueDepth, gInFlight                                *telemetry.Gauge
+	hCellSeconds                                          *telemetry.Histogram
+}
+
+// New builds a Server and starts its workers.
+func New(cfg Config) *Server {
+	cfg = cfg.normalize()
+	reg := telemetry.NewRegistry()
+	s := &Server{
+		cfg:          cfg,
+		reg:          reg,
+		queue:        make(chan *job, cfg.QueueDepth),
+		jobs:         map[string]*job{},
+		mSubmitted:   reg.Counter("bimodal_jobs_submitted_total"),
+		mCompleted:   reg.Counter("bimodal_jobs_completed_total"),
+		mFailed:      reg.Counter("bimodal_jobs_failed_total"),
+		mCanceled:    reg.Counter("bimodal_jobs_canceled_total"),
+		mRejected:    reg.Counter("bimodal_jobs_rejected_total"),
+		gQueueDepth:  reg.Gauge("bimodal_queue_depth"),
+		gInFlight:    reg.Gauge("bimodal_jobs_inflight"),
+		hCellSeconds: reg.Histogram("bimodal_cell_seconds", telemetry.LatencyBuckets()...),
+	}
+	s.ctx, s.cancel = context.WithCancel(context.Background())
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Registry exposes the server's metrics registry (tests and embedders).
+func (s *Server) Registry() *telemetry.Registry { return s.reg }
+
+// Shutdown drains the server: new submissions are rejected with 503,
+// queued and running jobs are allowed to finish. If ctx expires first the
+// remaining jobs are cancelled (they end in state "canceled") and
+// Shutdown still waits for the workers to exit before returning ctx's
+// error. Safe to call more than once.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() { s.wg.Wait(); close(done) }()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		s.cancel()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// worker drains the queue until it is closed.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for jb := range s.queue {
+		s.gQueueDepth.Add(-1)
+		s.runJob(jb)
+	}
+}
+
+// runJob executes one job end to end and records its terminal state.
+func (s *Server) runJob(jb *job) {
+	s.gInFlight.Add(1)
+	defer s.gInFlight.Add(-1)
+	jb.setState(StateRunning, "")
+	ctx := s.ctx
+	if s.cfg.JobTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)
+		defer cancel()
+	}
+	res, err := s.execute(ctx, jb)
+	switch {
+	case errors.Is(err, context.Canceled):
+		s.mCanceled.Inc()
+		jb.setState(StateCanceled, err.Error())
+	case err != nil:
+		s.mFailed.Inc()
+		jb.setState(StateFailed, err.Error())
+	default:
+		raw, merr := json.Marshal(res)
+		if merr != nil {
+			s.mFailed.Inc()
+			jb.setState(StateFailed, merr.Error())
+			return
+		}
+		s.mCompleted.Inc()
+		for _, c := range res.Cells {
+			s.reg.Histogram(fmt.Sprintf("bimodal_scheme_hit_rate{scheme=%q}", c.Scheme),
+				telemetry.HitRateBuckets()...).Observe(c.HitRate)
+		}
+		jb.complete(raw)
+	}
+}
+
+// execute fans the job's cells out over the experiment engine. Results
+// come back in submission order whatever the worker count, which is what
+// makes the marshaled JobResult byte-stable across reruns.
+func (s *Server) execute(ctx context.Context, jb *job) (JobResult, error) {
+	o := experiments.Options{
+		Workers: s.cfg.CellWorkers,
+		OnCell: func(i int, label string, d time.Duration) {
+			s.hCellSeconds.Observe(d.Seconds())
+			jb.cellDone(label)
+		},
+	}
+	cells := make([]experiments.Cell[CellResult], len(jb.specs))
+	for i, sp := range jb.specs {
+		cells[i] = experiments.Cell[CellResult]{Label: sp.label(), Run: sp.run}
+	}
+	res, err := experiments.RunCells(ctx, o, jb.id, cells)
+	if err != nil {
+		return JobResult{}, err
+	}
+	return JobResult{Request: jb.req, Cells: res}, nil
+}
+
+// Handler returns the HTTP API:
+//
+//	POST /v1/jobs             submit a JobRequest -> JobStatus
+//	GET  /v1/jobs             list job statuses (without results)
+//	GET  /v1/jobs/{id}        one status, result included when completed
+//	GET  /v1/jobs/{id}/events SSE progress stream
+//	GET  /metrics             Prometheus text exposition
+//	GET  /healthz             liveness probe
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req JobRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		http.Error(w, "service: decoding request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	specs, err := req.cells(s.cfg.MaxCells)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		http.Error(w, "service: draining, not accepting jobs", http.StatusServiceUnavailable)
+		return
+	}
+	s.seq++
+	jb := newJob(fmt.Sprintf("job-%06d", s.seq), req, specs)
+	select {
+	case s.queue <- jb:
+		s.jobs[jb.id] = jb
+		s.order = append(s.order, jb.id)
+		s.mu.Unlock()
+		s.mSubmitted.Inc()
+		s.gQueueDepth.Add(1)
+		writeJSON(w, http.StatusOK, jb.status(false))
+	default:
+		s.seq-- // job was never admitted; reuse the ID
+		s.mu.Unlock()
+		s.mRejected.Inc()
+		http.Error(w, fmt.Sprintf("service: queue full (%d jobs waiting)", s.cfg.QueueDepth), http.StatusTooManyRequests)
+	}
+}
+
+// lookup resolves {id} or replies 404.
+func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
+	s.mu.Lock()
+	jb := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if jb == nil {
+		http.Error(w, fmt.Sprintf("service: unknown job %q", r.PathValue("id")), http.StatusNotFound)
+	}
+	return jb
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	if jb := s.lookup(w, r); jb != nil {
+		writeJSON(w, http.StatusOK, jb.status(true))
+	}
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.order))
+	for _, id := range s.order {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	out := make([]JobStatus, len(jobs))
+	for i, jb := range jobs {
+		out[i] = jb.status(false)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	jb := s.lookup(w, r)
+	if jb == nil {
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "service: streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	fl.Flush()
+	for i := 0; ; {
+		evs, update, over := jb.eventsSince(i)
+		for _, e := range evs {
+			b, err := json.Marshal(e)
+			if err != nil {
+				return
+			}
+			if _, err := fmt.Fprintf(w, "data: %s\n\n", b); err != nil {
+				return
+			}
+		}
+		i += len(evs)
+		if len(evs) > 0 {
+			fl.Flush()
+		}
+		if over {
+			return
+		}
+		select {
+		case <-r.Context().Done():
+			return
+		case <-update:
+		}
+	}
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.reg.WritePrometheus(w)
+}

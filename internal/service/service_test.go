@@ -1,0 +1,367 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// tinyRequest is a fast deterministic job: two mixes x two schemes at
+// reduced scale.
+func tinyRequest() JobRequest {
+	return JobRequest{
+		Mixes:   []string{"Q1", "Q7"},
+		Schemes: []string{"alloy", "bimodal"},
+		Options: RunOptions{AccessesPerCore: 1500, CacheDivisor: 64},
+		Seed:    7,
+	}
+}
+
+// newTestServer starts a Server over httptest on a random port.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s := New(cfg)
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		hs.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		s.Shutdown(ctx)
+	})
+	return s, NewClient(hs.URL)
+}
+
+// completedTotal parses bimodal_jobs_completed_total out of /metrics.
+func completedTotal(t *testing.T, metrics string) int {
+	t.Helper()
+	m := regexp.MustCompile(`(?m)^bimodal_jobs_completed_total (\d+)$`).FindStringSubmatch(metrics)
+	if m == nil {
+		t.Fatalf("metrics missing bimodal_jobs_completed_total:\n%s", metrics)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestEndToEnd is the acceptance scenario: two identical jobs submitted
+// concurrently plus one invalid scheme; the valid jobs must return
+// byte-identical result JSON and /metrics must report >= 2 completions.
+func TestEndToEnd(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 2})
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	ids := make([]string, 2)
+	errs := make([]error, 2)
+	for i := range ids {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := c.Submit(ctx, tinyRequest())
+			ids[i], errs[i] = st.ID, err
+		}(i)
+	}
+	// Invalid scheme alongside: must be rejected with HTTP 400 carrying
+	// the sim.ParseScheme error.
+	_, err := c.Submit(ctx, JobRequest{Mixes: []string{"Q1"}, Schemes: []string{"no-such-scheme"}})
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		t.Fatalf("invalid scheme: err = %v, want StatusError 400", err)
+	}
+	if !strings.Contains(se.Message, "unknown scheme") {
+		t.Errorf("400 body should carry the ParseScheme error, got %q", se.Message)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+
+	results := make([][]byte, 2)
+	for i, id := range ids {
+		st, err := c.Wait(ctx, id, 20*time.Millisecond)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State != StateCompleted {
+			t.Fatalf("job %s state = %s (%s), want completed", id, st.State, st.Error)
+		}
+		if st.CellsDone != 4 || st.Cells != 4 {
+			t.Errorf("job %s cells %d/%d, want 4/4", id, st.CellsDone, st.Cells)
+		}
+		results[i] = st.Result
+	}
+	if len(results[0]) == 0 {
+		t.Fatal("completed job carries no result")
+	}
+	if !bytes.Equal(results[0], results[1]) {
+		t.Errorf("identical requests returned different result JSON:\n%s\n---\n%s", results[0], results[1])
+	}
+	var res JobResult
+	if err := json.Unmarshal(results[0], &res); err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 || res.Cells[0].Mix != "Q1" || res.Cells[0].Scheme != "alloy" {
+		t.Errorf("unexpected cell layout: %+v", res.Cells)
+	}
+	for _, cell := range res.Cells {
+		if cell.HitRate <= 0 || cell.HitRate > 1 || len(cell.PerCore) != 4 {
+			t.Errorf("implausible cell result: %+v", cell)
+		}
+	}
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := completedTotal(t, metrics); n < 2 {
+		t.Errorf("bimodal_jobs_completed_total = %d, want >= 2", n)
+	}
+	for _, want := range []string{
+		"bimodal_cell_seconds_count",
+		`bimodal_scheme_hit_rate_bucket{scheme="alloy",le=`,
+		"bimodal_queue_depth",
+		"bimodal_jobs_inflight",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+}
+
+// TestSSEEvents verifies the events stream: full replay for a late
+// subscriber, one cell event per cell, terminal state last.
+func TestSSEEvents(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, tinyRequest())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var events []Event
+	final, err := c.Follow(ctx, st.ID, func(e Event) { events = append(events, e) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != StateCompleted {
+		t.Fatalf("state = %s (%s)", final.State, final.Error)
+	}
+	var cells int
+	for _, e := range events {
+		if e.Type == "cell" {
+			cells++
+		}
+	}
+	if cells != 4 {
+		t.Errorf("cell events = %d, want 4 (%+v)", cells, events)
+	}
+	if events[0].Type != "state" || events[0].State != StateQueued {
+		t.Errorf("first event should be queued state, got %+v", events[0])
+	}
+	last := events[len(events)-1]
+	if last.Type != "state" || last.State != StateCompleted || last.Done != 4 {
+		t.Errorf("last event should be completed state with done=4, got %+v", last)
+	}
+
+	// A subscriber attaching after completion replays the same history.
+	var replay []Event
+	if _, err := c.Follow(ctx, st.ID, func(e Event) { replay = append(replay, e) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(replay) != len(events) {
+		t.Errorf("late subscriber saw %d events, want %d", len(replay), len(events))
+	}
+}
+
+// TestValidationErrors exercises the 400 paths.
+func TestValidationErrors(t *testing.T) {
+	_, c := newTestServer(t, Config{MaxCells: 2})
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		req  JobRequest
+		want string
+	}{
+		{"no mixes", JobRequest{Schemes: []string{"alloy"}}, "at least one mix"},
+		{"no schemes", JobRequest{Mixes: []string{"Q1"}}, "at least one scheme"},
+		{"bad mix", JobRequest{Mixes: []string{"Z9"}, Schemes: []string{"alloy"}}, "unknown"},
+		{"too many cells", JobRequest{Mixes: []string{"Q1", "Q2", "Q3"}, Schemes: []string{"alloy"}}, "per-job limit"},
+	}
+	for _, tc := range cases {
+		_, err := c.Submit(ctx, tc.req)
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+			t.Errorf("%s: err = %v, want 400", tc.name, err)
+			continue
+		}
+		if !strings.Contains(se.Message, tc.want) {
+			t.Errorf("%s: message %q missing %q", tc.name, se.Message, tc.want)
+		}
+	}
+	if _, err := c.Job(ctx, "job-999999"); err == nil {
+		t.Error("unknown job id should 404")
+	}
+}
+
+// TestQueueBoundRejects fills the worker and the one queue slot, then
+// expects 429 for the overflow submission.
+func TestQueueBoundRejects(t *testing.T) {
+	slow := JobRequest{
+		Mixes:   []string{"Q1"},
+		Schemes: []string{"alloy"},
+		Options: RunOptions{AccessesPerCore: 200_000_000},
+	}
+	s, c := newTestServer(t, Config{Workers: 1, QueueDepth: 1, CellWorkers: 1})
+	ctx := context.Background()
+	st1, err := c.Submit(ctx, slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait until the worker picked job 1 up so the queue slot is truly free.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		st, err := c.Job(ctx, st1.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.State == StateRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job 1 never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Submit(ctx, slow); err != nil {
+		t.Fatalf("second submit should occupy the queue slot: %v", err)
+	}
+	_, err = c.Submit(ctx, slow)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit: err = %v, want 429", err)
+	}
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(metrics, "bimodal_jobs_rejected_total 1") {
+		t.Error("rejected counter not incremented")
+	}
+
+	// Forced shutdown cancels the in-flight and queued jobs promptly.
+	expired, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Shutdown(expired); !errors.Is(err, context.Canceled) {
+		t.Fatalf("forced shutdown err = %v", err)
+	}
+	st, err := c.Job(ctx, st1.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCanceled {
+		t.Errorf("in-flight job after forced shutdown: state = %s, want canceled", st.State)
+	}
+}
+
+// TestGracefulDrain lets queued work finish, then rejects new jobs 503.
+func TestGracefulDrain(t *testing.T) {
+	s, c := newTestServer(t, Config{Workers: 1})
+	ctx := context.Background()
+	req := tinyRequest()
+	req.Mixes = []string{"Q1"}
+	req.Schemes = []string{"alloy"}
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sctx, cancel := context.WithTimeout(ctx, 60*time.Second)
+	defer cancel()
+	if err := s.Shutdown(sctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	got, err := c.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != StateCompleted {
+		t.Errorf("drained job state = %s (%s), want completed", got.State, got.Error)
+	}
+	_, err = c.Submit(ctx, req)
+	var se *StatusError
+	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+		t.Errorf("submit after drain: err = %v, want 503", err)
+	}
+}
+
+// TestListJobs checks the listing endpoint returns submission order.
+func TestListJobs(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	req := JobRequest{Mixes: []string{"Q1"}, Schemes: []string{"alloy"}, Options: RunOptions{AccessesPerCore: 1000, CacheDivisor: 64}}
+	var ids []string
+	for i := 0; i < 3; i++ {
+		st, err := c.Submit(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+	list, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("listed %d jobs, want 3", len(list))
+	}
+	for i, st := range list {
+		if st.ID != ids[i] {
+			t.Errorf("list[%d] = %s, want %s", i, st.ID, ids[i])
+		}
+		if st.Result != nil {
+			t.Error("list should omit results")
+		}
+	}
+}
+
+// TestANTTCell checks the ANTT option flows through to cell results.
+func TestANTTCell(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs cores+1 simulations per cell")
+	}
+	_, c := newTestServer(t, Config{})
+	ctx := context.Background()
+	st, err := c.Submit(ctx, JobRequest{
+		Mixes:   []string{"Q1"},
+		Schemes: []string{"alloy"},
+		Options: RunOptions{AccessesPerCore: 1000, CacheDivisor: 64, ANTT: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fin, err := c.Wait(ctx, st.ID, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fin.State != StateCompleted {
+		t.Fatalf("state = %s (%s)", fin.State, fin.Error)
+	}
+	var res JobResult
+	if err := json.Unmarshal(fin.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Cells[0].ANTT <= 0 {
+		t.Errorf("ANTT = %v, want > 0", res.Cells[0].ANTT)
+	}
+}

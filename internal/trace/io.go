@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -19,9 +20,12 @@ const magic = "BMT1"
 
 const recordSize = 8 + 4 + 1
 
-// Writer serializes accesses to a binary trace stream.
+// Writer serializes accesses to a binary trace stream, optionally
+// gzip-compressed (NewGzipWriter). Readers sniff the compression, so
+// plain and compressed traces are interchangeable everywhere.
 type Writer struct {
 	w   *bufio.Writer
+	gz  *gzip.Writer // non-nil for compressed output; finalized by Flush
 	n   int64
 	err error
 }
@@ -33,6 +37,19 @@ func NewWriter(w io.Writer) (*Writer, error) {
 		return nil, fmt.Errorf("trace: writing header: %w", err)
 	}
 	return &Writer{w: bw}, nil
+}
+
+// NewGzipWriter creates a Writer whose entire stream (header included) is
+// gzip-compressed. Flush finalizes the gzip stream, so call it exactly
+// once, after the last Write.
+func NewGzipWriter(w io.Writer) (*Writer, error) {
+	gz := gzip.NewWriter(w)
+	tw, err := NewWriter(gz)
+	if err != nil {
+		return nil, err
+	}
+	tw.gz = gz
+	return tw, nil
 }
 
 // Write appends one access.
@@ -62,12 +79,24 @@ func (w *Writer) Write(a Access) error {
 // Count returns the number of records written.
 func (w *Writer) Count() int64 { return w.n }
 
-// Flush drains buffered output.
+// Flush drains buffered output and, for gzip-compressed writers, closes
+// the gzip stream (writing its trailer). No Write may follow a Flush on a
+// compressed writer.
 func (w *Writer) Flush() error {
 	if w.err != nil {
 		return w.err
 	}
-	return w.w.Flush()
+	if err := w.w.Flush(); err != nil {
+		w.err = err
+		return err
+	}
+	if w.gz != nil {
+		if err := w.gz.Close(); err != nil {
+			w.err = err
+			return err
+		}
+	}
+	return nil
 }
 
 // Reader deserializes a binary trace stream and implements Generator by
@@ -79,9 +108,19 @@ type Reader struct {
 	label   string
 }
 
-// NewReader reads an entire trace stream into memory.
+// NewReader reads an entire trace stream into memory. Gzip-compressed
+// streams are detected by their magic bytes (0x1f 0x8b) and decompressed
+// transparently, so callers never need to know how a trace was stored.
 func NewReader(r io.Reader, label string) (*Reader, error) {
 	br := bufio.NewReader(r)
+	if head, err := br.Peek(2); err == nil && head[0] == 0x1f && head[1] == 0x8b {
+		gz, err := gzip.NewReader(br)
+		if err != nil {
+			return nil, fmt.Errorf("trace: opening gzip stream: %w", err)
+		}
+		defer gz.Close()
+		br = bufio.NewReader(gz)
+	}
 	head := make([]byte, len(magic))
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)

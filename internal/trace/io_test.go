@@ -2,6 +2,7 @@ package trace
 
 import (
 	"bytes"
+	"compress/gzip"
 	"strings"
 	"testing"
 )
@@ -117,5 +118,80 @@ func TestFlagsRoundTrip(t *testing.T) {
 		if got != cases[i] {
 			t.Errorf("record %d = %+v, want %+v", i, got, cases[i])
 		}
+	}
+}
+
+func TestGzipRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, err := NewGzipWriter(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewSynthetic(MustProfile("mcf"), 0, 31)
+	want := Collect(g, 500)
+	for _, a := range want {
+		if err := w.Write(a); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	// The stream must actually be gzip on the wire...
+	if b := buf.Bytes(); b[0] != 0x1f || b[1] != 0x8b {
+		t.Fatalf("output not gzip-compressed: % x", b[:4])
+	}
+	// ...and NewReader must sniff and decompress it transparently.
+	r, err := NewReader(&buf, "mcf.gz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Len() != 500 {
+		t.Fatalf("read %d records, want 500", r.Len())
+	}
+	for i, a := range r.Records() {
+		if a != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, a, want[i])
+		}
+	}
+}
+
+func TestGzipSmallerThanPlain(t *testing.T) {
+	var plain, packed bytes.Buffer
+	pw, _ := NewWriter(&plain)
+	gw, _ := NewGzipWriter(&packed)
+	g := NewSynthetic(MustProfile("libquantum"), 0, 5)
+	for _, a := range Collect(g, 20_000) {
+		pw.Write(a)
+		gw.Write(a)
+	}
+	pw.Flush()
+	if err := gw.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if packed.Len() >= plain.Len() {
+		t.Errorf("gzip trace (%d bytes) not smaller than plain (%d bytes)", packed.Len(), plain.Len())
+	}
+}
+
+func TestGzipBadInnerMagic(t *testing.T) {
+	var buf bytes.Buffer
+	gz := gzip.NewWriter(&buf)
+	gz.Write([]byte("NOPE....."))
+	gz.Close()
+	if _, err := NewReader(&buf, "x"); err == nil {
+		t.Error("expected bad-magic error from inside a gzip stream")
+	}
+}
+
+func TestGzipFlushTwiceAfterClose(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewGzipWriter(&buf)
+	w.Write(Access{Addr: 64})
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Errorf("second Flush should be a no-op, got %v", err)
 	}
 }
