@@ -1,0 +1,24 @@
+GO ?= go
+
+.PHONY: build test race bench bench-compare
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/engine ./internal/experiments ./internal/sim ./internal/cpu
+	$(GO) test -race ./internal/service/... ./internal/telemetry/...
+
+# bench re-measures the hot-path microbenchmarks and writes (or refreshes)
+# the dated baseline snapshot. Commit the file to update the baseline CI
+# compares against.
+bench:
+	$(GO) run ./cmd/bmbench -runs 5
+
+# bench-compare measures and compares against the newest committed
+# BENCH_*.json, failing on >10% ns/op regression or any new allocation.
+bench-compare:
+	$(GO) run ./cmd/bmbench -runs 5 -out - -baseline "$$(ls BENCH_*.json | sort | tail -n1)"

@@ -10,24 +10,21 @@ import (
 	"context"
 	"testing"
 
-	bimodal "bimodal"
-	"bimodal/internal/addr"
-	"bimodal/internal/core"
-	"bimodal/internal/dram"
-	"bimodal/internal/dramcache"
+	"bimodal/internal/bench"
 	"bimodal/internal/experiments"
-	"bimodal/internal/memctrl"
-	"bimodal/internal/trace"
-	"bimodal/internal/xrand"
 )
 
 // benchOptions keeps each experiment regeneration small enough to iterate.
+// Workers is pinned to 1: with a parallel pool the wall-clock measures host
+// scheduling, not simulator work, and regression comparisons drown in
+// noise. Serial runs measure exactly the code the microbenchmarks cover.
 func benchOptions() experiments.Options {
 	return experiments.Options{
 		AccessesPerCore: 2_000,
 		StreamAccesses:  30_000,
 		Seed:            1,
 		MaxMixes:        1,
+		Workers:         1,
 	}
 }
 
@@ -79,104 +76,17 @@ func BenchmarkSweepWeight(b *testing.B)    { benchExperiment(b, "sweep-weight") 
 func BenchmarkSweepPredictor(b *testing.B) { benchExperiment(b, "sweep-predictor") }
 
 // --- microbenchmarks of the simulator's hot paths ---
+//
+// Bodies live in internal/bench, shared with the bmbench regression
+// runner: `go test -bench` here and a committed BENCH_<date>.json baseline
+// measure exactly the same code. See each case's doc comment there.
 
-// BenchmarkBiModalAccess measures one end-to-end scheme access (functional
-// cache + way locator + DRAM timing).
-func BenchmarkBiModalAccess(b *testing.B) {
-	cfg := dramcache.DefaultConfig(4)
-	cfg.CacheBytes = 32 << 20
-	s := dramcache.NewBiModal(cfg)
-	g := trace.NewSynthetic(trace.MustProfile("soplex"), 0, 1)
-	now := int64(0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		a := g.Next()
-		now += int64(a.Gap)
-		s.Access(dramcache.Request{Addr: a.Addr, Write: a.Write}, now)
-	}
-}
-
-// BenchmarkAlloyAccess measures the baseline's access path.
-func BenchmarkAlloyAccess(b *testing.B) {
-	cfg := dramcache.DefaultConfig(4)
-	cfg.CacheBytes = 32 << 20
-	s := dramcache.NewAlloy(cfg)
-	g := trace.NewSynthetic(trace.MustProfile("soplex"), 0, 1)
-	now := int64(0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		a := g.Next()
-		now += int64(a.Gap)
-		s.Access(dramcache.Request{Addr: a.Addr, Write: a.Write}, now)
-	}
-}
-
-// BenchmarkCoreCacheAccess measures the functional Bi-Modal cache alone.
-func BenchmarkCoreCacheAccess(b *testing.B) {
-	p := core.DefaultParams(32 << 20)
-	c := core.NewCache(p, core.NewWayLocator(14, p.BigBlock))
-	g := trace.NewSynthetic(trace.MustProfile("omnetpp"), 0, 1)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		a := g.Next()
-		c.Access(a.Addr, a.Write)
-	}
-}
-
-// BenchmarkWayLocatorLookup measures the SRAM locator probe.
-func BenchmarkWayLocatorLookup(b *testing.B) {
-	wl := core.NewWayLocator(14, 512)
-	r := xrand.New(1)
-	for i := 0; i < 10000; i++ {
-		wl.Insert(addr.Phys(r.Uint64n(1<<30))&^63, r.Bool(0.5), r.Intn(18))
-	}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		wl.Lookup(addr.Phys(uint64(i)*512) & (1<<30 - 1))
-	}
-}
-
-// BenchmarkDRAMChannelAccess measures the bank timing state machine.
-func BenchmarkDRAMChannelAccess(b *testing.B) {
-	ch := dram.NewChannel(dram.StackedTiming(), 1, 8)
-	r := xrand.New(2)
-	now := int64(0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		l := addr.Location{Bank: r.Intn(8), Row: r.Uint64n(4096), Column: r.Uint64n(32) * 64}
-		now += 20
-		ch.Access(dram.OpRead, l, now, 64)
-	}
-}
-
-// BenchmarkMemctrlRead measures a full controller read (interleave + bank).
-func BenchmarkMemctrlRead(b *testing.B) {
-	c := memctrl.New(memctrl.StackedConfig(2))
-	r := xrand.New(3)
-	now := int64(0)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		now += 20
-		c.Read(addr.Phys(r.Uint64n(1<<30))&^63, now, 64)
-	}
-}
-
-// BenchmarkTraceGeneration measures synthetic stream production.
-func BenchmarkTraceGeneration(b *testing.B) {
-	g := trace.NewSynthetic(trace.MustProfile("mcf"), 0, 4)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		g.Next()
-	}
-}
-
-// BenchmarkEndToEndMix measures a complete small multiprogrammed run via
-// the public facade.
-func BenchmarkEndToEndMix(b *testing.B) {
-	mix := bimodal.Workload("Q7")
-	o := bimodal.Options{AccessesPerCore: 2000, CacheDivisor: 16, Seed: 1}
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		bimodal.RunBiModal(mix, o)
-	}
-}
+func BenchmarkBiModalAccess(b *testing.B)          { bench.Run(b, "BiModalAccess") }
+func BenchmarkBiModalAccessMissHeavy(b *testing.B) { bench.Run(b, "BiModalAccessMissHeavy") }
+func BenchmarkAlloyAccess(b *testing.B)            { bench.Run(b, "AlloyAccess") }
+func BenchmarkCoreCacheAccess(b *testing.B)        { bench.Run(b, "CoreCacheAccess") }
+func BenchmarkWayLocatorLookup(b *testing.B)       { bench.Run(b, "WayLocatorLookup") }
+func BenchmarkDRAMChannelAccess(b *testing.B)      { bench.Run(b, "DRAMChannelAccess") }
+func BenchmarkMemctrlRead(b *testing.B)            { bench.Run(b, "MemctrlRead") }
+func BenchmarkTraceGeneration(b *testing.B)        { bench.Run(b, "TraceGeneration") }
+func BenchmarkEndToEndMix(b *testing.B)            { bench.Run(b, "EndToEndMix") }

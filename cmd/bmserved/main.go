@@ -11,10 +11,12 @@
 //	GET  /v1/jobs/{id}/events SSE progress stream
 //	GET  /metrics             Prometheus text format
 //	GET  /healthz             liveness probe
+//	GET  /debug/pprof/        live CPU/heap/goroutine profiles (net/http/pprof)
 //
 // Example:
 //
 //	bmserved -addr :8080 -jobs 2 -queue 64 -job-timeout 10m
+//	go tool pprof http://localhost:8080/debug/pprof/profile?seconds=30
 package main
 
 import (
@@ -23,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,7 +53,18 @@ func main() {
 		JobTimeout:  *jobTimeout,
 		MaxCells:    *maxCells,
 	})
-	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	// The profiling endpoints ride on the API mux so a running server can
+	// always be profiled (go tool pprof .../debug/pprof/profile). Explicit
+	// registration instead of the package's init() side effect on
+	// http.DefaultServeMux, which this server does not use.
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hs := &http.Server{Addr: *addr, Handler: mux}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -27,6 +27,7 @@ import (
 
 	"bimodal/internal/energy"
 	"bimodal/internal/engine"
+	"bimodal/internal/profiling"
 	"bimodal/internal/service"
 	"bimodal/internal/sim"
 	"bimodal/internal/stats"
@@ -45,6 +46,8 @@ func main() {
 		workers    = flag.Int("workers", 0, "worker pool for the ANTT standalone runs (0 = NumCPU, 1 = serial)")
 		timeout    = flag.Duration("timeout", 0, "run deadline (0 = none)")
 		jsonOut    = flag.Bool("json", false, "emit the service result schema (JSON) instead of tables")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
 
@@ -56,7 +59,18 @@ func main() {
 		defer cancel()
 	}
 
+	stopCPU, perr := profiling.StartCPU(*cpuProf)
+	if perr != nil {
+		fmt.Fprintln(os.Stderr, "bmsim:", perr)
+		os.Exit(1)
+	}
 	err := run(ctx, *schemeName, *mixName, *accesses, *seed, *cacheBytes, *prefetchN, *withANTT, *workers, *jsonOut)
+	// Flush profiles before any exit path: failed or interrupted runs are
+	// the ones most worth profiling.
+	stopCPU()
+	if perr := profiling.WriteHeap(*memProf); perr != nil {
+		fmt.Fprintln(os.Stderr, "bmsim:", perr)
+	}
 	switch {
 	case errors.Is(err, context.Canceled):
 		fmt.Fprintln(os.Stderr, "bmsim: interrupted")

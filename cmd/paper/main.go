@@ -11,6 +11,7 @@
 //	paper -exp all -quick            # everything, reduced scale
 //	paper -exp fig7 -workers 4       # bound the worker pool
 //	paper -exp all -timeout 10m      # per-experiment deadline
+//	paper -exp fig7 -cpuprofile cpu.out -memprofile mem.out
 //	paper -list                      # show the experiment index
 package main
 
@@ -26,6 +27,7 @@ import (
 
 	"bimodal/internal/engine"
 	"bimodal/internal/experiments"
+	"bimodal/internal/profiling"
 )
 
 func main() {
@@ -41,8 +43,31 @@ func main() {
 		workers  = flag.Int("workers", 0, "simulation worker pool size (0 = NumCPU, 1 = serial)")
 		timeout  = flag.Duration("timeout", 0, "per-experiment deadline (0 = none)")
 		progress = flag.Bool("progress", true, "per-cell progress/timing lines on stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	stopCPU, err := profiling.StartCPU(*cpuProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "paper:", err)
+		os.Exit(1)
+	}
+	// Error paths below exit through fail() so the profiles are still
+	// flushed: a run that dies slow or OOM-ish is exactly the one to profile.
+	fail := func() {
+		stopCPU()
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+		}
+		os.Exit(1)
+	}
+	defer func() {
+		stopCPU()
+		if err := profiling.WriteHeap(*memProf); err != nil {
+			fmt.Fprintln(os.Stderr, "paper:", err)
+		}
+	}()
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
@@ -92,7 +117,7 @@ func main() {
 		e, err := experiments.ByID(strings.TrimSpace(id))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "paper:", err)
-			os.Exit(1)
+			fail()
 		}
 		fmt.Printf("### %s — %s\n\n", e.ID, e.Title)
 		ectx, cancel := ctx, func() {}
@@ -111,7 +136,7 @@ func main() {
 			default:
 				fmt.Fprintln(os.Stderr, "paper:", err)
 			}
-			os.Exit(1)
+			fail()
 		}
 		if *progress {
 			fmt.Fprintf(os.Stderr, "%s done in %s (%d workers)\n",

@@ -1,0 +1,186 @@
+// Package bench registers the hot-path microbenchmarks once, shared by two
+// harnesses: the `go test -bench` benchmarks in bench_test.go and the
+// bmbench regression runner. Both execute exactly these bodies, so a
+// BENCH_<date>.json baseline written by bmbench is directly comparable to
+// what `go test -bench` prints.
+package bench
+
+import (
+	"testing"
+
+	bimodal "bimodal"
+	"bimodal/internal/addr"
+	"bimodal/internal/core"
+	"bimodal/internal/dram"
+	"bimodal/internal/dramcache"
+	"bimodal/internal/memctrl"
+	"bimodal/internal/trace"
+	"bimodal/internal/xrand"
+)
+
+// Case is one registered microbenchmark.
+type Case struct {
+	// Name is the identifier used in baselines and -filter; it matches the
+	// Benchmark<Name> function in bench_test.go.
+	Name string
+	// Info is a one-line description for bmbench -list.
+	Info string
+	// Run is the benchmark body.
+	Run func(b *testing.B)
+}
+
+// Cases returns every registered case, in a fixed order.
+func Cases() []Case { return cases }
+
+// ByName returns the case registered under name.
+func ByName(name string) (Case, bool) {
+	for _, c := range cases {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return Case{}, false
+}
+
+// Run executes the case registered under name on b; the adapter used by
+// the `go test -bench` wrappers.
+func Run(b *testing.B, name string) {
+	b.Helper()
+	c, ok := ByName(name)
+	if !ok {
+		b.Fatalf("bench: no case %q registered", name)
+	}
+	c.Run(b)
+}
+
+var cases = []Case{
+	{"BiModalAccess", "end-to-end Bi-Modal scheme access (mixed-locality workload)", biModalAccess},
+	{"BiModalAccessMissHeavy", "Bi-Modal access on a streaming, miss-dominated workload", biModalAccessMissHeavy},
+	{"AlloyAccess", "end-to-end Alloy baseline access", alloyAccess},
+	{"CoreCacheAccess", "functional Bi-Modal cache access (no DRAM timing)", coreCacheAccess},
+	{"WayLocatorLookup", "way-locator SRAM probe", wayLocatorLookup},
+	{"DRAMChannelAccess", "DRAM bank timing state machine", dramChannelAccess},
+	{"MemctrlRead", "memory-controller demand read (interleave + bank)", memctrlRead},
+	{"TraceGeneration", "synthetic access-stream generation", traceGeneration},
+	{"EndToEndMix", "complete small multiprogrammed run via the public facade", endToEndMix},
+}
+
+// biModalAccess measures one end-to-end scheme access (functional cache +
+// way locator + DRAM timing).
+func biModalAccess(b *testing.B) {
+	cfg := dramcache.DefaultConfig(4)
+	cfg.CacheBytes = 32 << 20
+	s := dramcache.NewBiModal(cfg)
+	g := trace.NewSynthetic(trace.MustProfile("soplex"), 0, 1)
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := g.Next()
+		now += int64(a.Gap)
+		s.Access(dramcache.Request{Addr: a.Addr, Write: a.Write}, now)
+	}
+}
+
+// biModalAccessMissHeavy stresses the miss path: a streaming, low-locality
+// workload (lbm: long sequential runs over a footprint far larger than the
+// cache) makes most accesses capacity misses, exercising victim selection,
+// the eviction scratch buffer, writeback scheduling and the off-chip fetch
+// path rather than the hit fast path.
+func biModalAccessMissHeavy(b *testing.B) {
+	cfg := dramcache.DefaultConfig(4)
+	cfg.CacheBytes = 8 << 20
+	s := dramcache.NewBiModal(cfg)
+	g := trace.NewSynthetic(trace.MustProfile("lbm"), 0, 1)
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := g.Next()
+		now += int64(a.Gap)
+		s.Access(dramcache.Request{Addr: a.Addr, Write: a.Write}, now)
+	}
+}
+
+// alloyAccess measures the baseline's access path.
+func alloyAccess(b *testing.B) {
+	cfg := dramcache.DefaultConfig(4)
+	cfg.CacheBytes = 32 << 20
+	s := dramcache.NewAlloy(cfg)
+	g := trace.NewSynthetic(trace.MustProfile("soplex"), 0, 1)
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := g.Next()
+		now += int64(a.Gap)
+		s.Access(dramcache.Request{Addr: a.Addr, Write: a.Write}, now)
+	}
+}
+
+// coreCacheAccess measures the functional Bi-Modal cache alone.
+func coreCacheAccess(b *testing.B) {
+	p := core.DefaultParams(32 << 20)
+	c := core.NewCache(p, core.NewWayLocator(14, p.BigBlock))
+	g := trace.NewSynthetic(trace.MustProfile("omnetpp"), 0, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a := g.Next()
+		c.Access(a.Addr, a.Write)
+	}
+}
+
+// wayLocatorLookup measures the SRAM locator probe.
+func wayLocatorLookup(b *testing.B) {
+	wl := core.NewWayLocator(14, 512)
+	r := xrand.New(1)
+	for i := 0; i < 10000; i++ {
+		wl.Insert(addr.Phys(r.Uint64n(1<<30))&^63, r.Bool(0.5), r.Intn(18))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		wl.Lookup(addr.Phys(uint64(i)*512) & (1<<30 - 1))
+	}
+}
+
+// dramChannelAccess measures the bank timing state machine.
+func dramChannelAccess(b *testing.B) {
+	ch := dram.NewChannel(dram.StackedTiming(), 1, 8)
+	r := xrand.New(2)
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l := addr.Location{Bank: r.Intn(8), Row: r.Uint64n(4096), Column: r.Uint64n(32) * 64}
+		now += 20
+		ch.Access(dram.OpRead, l, now, 64)
+	}
+}
+
+// memctrlRead measures a full controller read (interleave + bank).
+func memctrlRead(b *testing.B) {
+	c := memctrl.New(memctrl.StackedConfig(2))
+	r := xrand.New(3)
+	now := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now += 20
+		c.Read(addr.Phys(r.Uint64n(1<<30))&^63, now, 64)
+	}
+}
+
+// traceGeneration measures synthetic stream production.
+func traceGeneration(b *testing.B) {
+	g := trace.NewSynthetic(trace.MustProfile("mcf"), 0, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Next()
+	}
+}
+
+// endToEndMix measures a complete small multiprogrammed run via the public
+// facade.
+func endToEndMix(b *testing.B) {
+	mix := bimodal.Workload("Q7")
+	o := bimodal.Options{AccessesPerCore: 2000, CacheDivisor: 16, Seed: 1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bimodal.RunBiModal(mix, o)
+	}
+}

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"testing"
+
+	"bimodal/internal/addr"
+)
+
+// TestAccessZeroAllocHit asserts the steady-state hit path performs no heap
+// allocation: repeated hits to a resident line must cost 0 allocs/op.
+func TestAccessZeroAllocHit(t *testing.T) {
+	p := DefaultParams(1 << 20)
+	c := NewCache(p, NewWayLocator(10, p.BigBlock))
+	hot := addr.Phys(0x12340)
+	c.Access(hot, false) // fill
+	if got := testing.AllocsPerRun(1000, func() {
+		c.Access(hot, false)
+	}); got != 0 {
+		t.Errorf("hit path allocates %.1f allocs/op, want 0", got)
+	}
+}
+
+// TestAccessZeroAllocMiss asserts the miss path — victim selection,
+// evictions into the scratch buffer, predictor/tracker updates, fill — is
+// allocation-free. A strided stream over a footprint much larger than the
+// cache makes every access a capacity miss with evictions.
+func TestAccessZeroAllocMiss(t *testing.T) {
+	p := DefaultParams(1 << 20)
+	c := NewCache(p, NewWayLocator(10, p.BigBlock))
+	next := uint64(0)
+	// Warm the cache so misses evict.
+	for i := 0; i < 1<<14; i++ {
+		c.Access(addr.Phys(next), i%3 == 0)
+		next += uint64(p.BigBlock)
+	}
+	i := 0
+	if got := testing.AllocsPerRun(1000, func() {
+		c.Access(addr.Phys(next), i%3 == 0)
+		next += uint64(p.BigBlock)
+		i++
+	}); got != 0 {
+		t.Errorf("miss path allocates %.1f allocs/op, want 0", got)
+	}
+}
+
+// TestLocatorLookupZeroAlloc asserts the way-locator probe never allocates.
+func TestLocatorLookupZeroAlloc(t *testing.T) {
+	wl := NewWayLocator(10, 512)
+	for i := 0; i < 4096; i++ {
+		wl.Insert(addr.Phys(i*512), i%2 == 0, i%18)
+	}
+	i := 0
+	if got := testing.AllocsPerRun(1000, func() {
+		wl.Lookup(addr.Phys(i*512) & (1<<26 - 1))
+		i++
+	}); got != 0 {
+		t.Errorf("Lookup allocates %.1f allocs/op, want 0", got)
+	}
+}

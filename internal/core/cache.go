@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 
 	"bimodal/internal/addr"
 	"bimodal/internal/xrand"
@@ -48,7 +49,9 @@ type Outcome struct {
 	FallbackBig bool
 	// FillBytes is the off-chip fetch size on a miss (0 on hits).
 	FillBytes int64
-	// Evictions lists displaced blocks (misses only).
+	// Evictions lists displaced blocks (misses only). The slice aliases a
+	// cache-owned scratch buffer that is reused by the next Access: consume
+	// or copy it before calling Access again.
 	Evictions []Eviction
 }
 
@@ -101,10 +104,15 @@ type smallWay struct {
 	dirty  bool
 }
 
+// cacheSet carries, beside the per-way metadata, occupancy bitmasks (bit w
+// set when way w is valid) so the hot paths scan set bits instead of
+// walking every way.
 type cacheSet struct {
-	st    State
-	big   []bigWay
-	small []smallWay
+	st         State
+	validBig   uint32
+	validSmall uint32
+	big        []bigWay
+	small      []smallWay
 }
 
 // Cache is the functional Bi-Modal cache: it tracks residency, set states,
@@ -121,6 +129,19 @@ type Cache struct {
 
 	offsetBits uint
 	setBits    uint
+	// Derived constants, precomputed so the access path never re-derives
+	// them from Params (whose value-receiver helpers copy the struct).
+	setMask   uint64 // NumSets - 1
+	subMask   uint64 // SubBlocks - 1
+	subShift  uint   // offsetBits - 6: line ID -> big block ID
+	subBlocks int
+	minBig    int
+	maxSmall  int
+	bigBlock  uint64
+
+	// scratch backs Outcome.Evictions; it is truncated at every Access and
+	// never shrinks, so the miss path performs no allocations.
+	scratch []Eviction
 
 	// Stats holds the functional counters.
 	Stats CacheStats
@@ -144,6 +165,14 @@ func NewCache(p Params, locator *WayLocator) *Cache {
 		rng:        xrand.New(p.Seed + 0xb1d0),
 		offsetBits: addr.Log2(p.BigBlock),
 		setBits:    addr.Log2(p.NumSets()),
+		setMask:    p.NumSets() - 1,
+		subMask:    uint64(p.SubBlocks() - 1),
+		subShift:   addr.Log2(p.BigBlock) - 6,
+		subBlocks:  p.SubBlocks(),
+		minBig:     p.MinBig,
+		maxSmall:   p.MaxSmall(),
+		bigBlock:   p.BigBlock,
+		scratch:    make([]Eviction, 0, p.MaxAssoc()+1),
 	}
 	// Single backing arrays for all sets' ways: constructing a 512MB
 	// cache allocates 3 slices instead of a million.
@@ -186,9 +215,9 @@ func (c *Cache) ForceGlobalState(s State) { c.global.ForceState(s) }
 // field helpers ------------------------------------------------------------
 
 func (c *Cache) blockID(p addr.Phys) uint64 { return uint64(p) >> c.offsetBits }
-func (c *Cache) setOf(p addr.Phys) uint64   { return c.blockID(p) & (c.params.NumSets() - 1) }
+func (c *Cache) setOf(p addr.Phys) uint64   { return c.blockID(p) & c.setMask }
 func (c *Cache) tagOf(p addr.Phys) uint64   { return c.blockID(p) >> c.setBits }
-func (c *Cache) subOf(p addr.Phys) uint     { return uint(uint64(p)>>6) & uint(c.params.SubBlocks()-1) }
+func (c *Cache) subOf(p addr.Phys) uint     { return uint((uint64(p) >> 6) & c.subMask) }
 func lineID(p addr.Phys) uint64             { return uint64(p) >> 6 }
 
 // bigAddr reconstructs a big block's base address.
@@ -198,17 +227,16 @@ func (c *Cache) bigAddr(tag, set uint64) addr.Phys {
 
 // Contains reports whether the 64B line at p is resident (no state change).
 func (c *Cache) Contains(p addr.Phys) bool {
-	si := c.setOf(p)
-	s := &c.sets[si]
+	s := &c.sets[c.setOf(p)]
 	tag := c.tagOf(p)
-	for w := 0; w < s.st.X; w++ {
-		if s.big[w].valid && s.big[w].tag == tag {
+	for m := s.validBig; m != 0; m &= m - 1 {
+		if s.big[bits.TrailingZeros32(m)].tag == tag {
 			return true
 		}
 	}
 	ln := lineID(p)
-	for w := 0; w < s.st.Y; w++ {
-		if s.small[w].valid && s.small[w].lineID == ln {
+	for m := s.validSmall; m != 0; m &= m - 1 {
+		if s.small[bits.TrailingZeros32(m)].lineID == ln {
 			return true
 		}
 	}
@@ -219,6 +247,7 @@ func (c *Cache) Contains(p addr.Phys) bool {
 // stores (sets dirty state).
 func (c *Cache) Access(p addr.Phys, write bool) Outcome {
 	c.Stats.Accesses++
+	c.scratch = c.scratch[:0]
 	si := c.setOf(p)
 	s := &c.sets[si]
 	out := Outcome{SetIndex: si}
@@ -235,10 +264,11 @@ func (c *Cache) Access(p addr.Phys, write bool) Outcome {
 		}
 	}
 
-	// 2. Tag search.
+	// 2. Tag search over the occupied ways only.
 	tag := c.tagOf(p)
-	for w := 0; w < s.st.X; w++ {
-		if s.big[w].valid && s.big[w].tag == tag {
+	for m := s.validBig; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros32(m)
+		if s.big[w].tag == tag {
 			out.Hit, out.Big, out.Way = true, true, w
 			c.touchHit(s, p, true, w, write)
 			if c.locator != nil {
@@ -249,8 +279,9 @@ func (c *Cache) Access(p addr.Phys, write bool) Outcome {
 		}
 	}
 	ln := lineID(p)
-	for w := 0; w < s.st.Y; w++ {
-		if s.small[w].valid && s.small[w].lineID == ln {
+	for m := s.validSmall; m != 0; m &= m - 1 {
+		w := bits.TrailingZeros32(m)
+		if s.small[w].lineID == ln {
 			out.Hit, out.Big, out.Way = true, false, w
 			c.touchHit(s, p, false, w, write)
 			if c.locator != nil {
@@ -313,7 +344,7 @@ func (c *Cache) touchHit(s *cacheSet, p addr.Phys, big bool, way int, write bool
 // sampled sets", which requires the sampled sets to hold big blocks.)
 func (c *Cache) fill(s *cacheSet, si uint64, p addr.Phys, write bool, out *Outcome) {
 	pred := c.pred.Predict(c.blockID(p))
-	if c.params.MaxSmall() == 0 {
+	if c.maxSmall == 0 {
 		pred = true // fixed big-block configuration
 	}
 	// Demand counters record the predictor's opinion; the allocation is
@@ -337,11 +368,11 @@ func (c *Cache) fill(s *cacheSet, si uint64, p addr.Phys, write bool, out *Outco
 	case predBig:
 		way := c.victimBig(s, si, p, out)
 		c.insertBig(s, si, p, write, way, out)
-	case !predBig && s.st.X > glob.X && s.st.X > c.params.MinBig:
+	case !predBig && s.st.X > glob.X && s.st.X > c.minBig:
 		// Set holds more bigs than the target: evict a big way and carve
 		// it into small ways.
 		c.convertToSmall(s, si, out)
-		c.insertSmall(s, si, p, write, s.st.Y-c.params.SubBlocks(), out)
+		c.insertSmall(s, si, p, write, s.st.Y-c.subBlocks, out)
 	case !predBig && s.st.Y > 0:
 		way := c.victimSmall(s, si, p, out)
 		c.insertSmall(s, si, p, write, way, out)
@@ -354,16 +385,15 @@ func (c *Cache) fill(s *cacheSet, si uint64, p addr.Phys, write bool, out *Outco
 		way := c.victimBig(s, si, p, out)
 		c.insertBig(s, si, p, write, way, out)
 	}
+	out.Evictions = c.scratch
 }
 
 // victimBig picks a big way to replace: an invalid way if one exists,
 // otherwise random-not-recent with respect to the way locator's protected
 // ways (Section III-D1).
 func (c *Cache) victimBig(s *cacheSet, si uint64, p addr.Phys, out *Outcome) int {
-	for w := 0; w < s.st.X; w++ {
-		if !s.big[w].valid {
-			return w
-		}
+	if invalid := ^s.validBig & (1<<uint(s.st.X) - 1); invalid != 0 {
+		return bits.TrailingZeros32(invalid)
 	}
 	var protected uint32
 	if c.locator != nil {
@@ -376,10 +406,8 @@ func (c *Cache) victimBig(s *cacheSet, si uint64, p addr.Phys, out *Outcome) int
 
 // victimSmall is victimBig for small ways.
 func (c *Cache) victimSmall(s *cacheSet, si uint64, p addr.Phys, out *Outcome) int {
-	for w := 0; w < s.st.Y; w++ {
-		if !s.small[w].valid {
-			return w
-		}
+	if invalid := ^s.validSmall & (1<<uint(s.st.Y) - 1); invalid != 0 {
+		return bits.TrailingZeros32(invalid)
 	}
 	var protected uint32
 	if c.locator != nil {
@@ -396,7 +424,7 @@ func (c *Cache) randomWay(n int, protected uint32) int {
 	if n <= 0 {
 		panic("core: randomWay with no ways")
 	}
-	free := n - popcount(protected&((1<<uint(n))-1))
+	free := n - popcount(protected&(1<<uint(n)-1))
 	if free <= 0 {
 		return c.rng.Intn(n)
 	}
@@ -416,10 +444,10 @@ func (c *Cache) evictBig(s *cacheSet, si uint64, w int, out *Outcome) {
 		return
 	}
 	a := c.bigAddr(b.tag, si)
-	out.Evictions = append(out.Evictions, Eviction{Big: true, Way: w, Addr: a, DirtyMask: b.dirty, UsedMask: b.used})
+	c.scratch = append(c.scratch, Eviction{Big: true, Way: w, Addr: a, DirtyMask: b.dirty, UsedMask: b.used})
 	c.Stats.Evictions++
 	c.Stats.WritebackBytes += int64(popcount(b.dirty)) * SmallBlock
-	c.Stats.WastedFetchBytes += int64(c.params.SubBlocks()-popcount(b.used)) * SmallBlock
+	c.Stats.WastedFetchBytes += int64(c.subBlocks-popcount(b.used)) * SmallBlock
 	if c.tracker.Sampled(si) {
 		c.tracker.OnEvict(c.blockID(a), b.used)
 	}
@@ -427,6 +455,7 @@ func (c *Cache) evictBig(s *cacheSet, si uint64, w int, out *Outcome) {
 		c.locator.Invalidate(a, true)
 	}
 	*b = bigWay{}
+	s.validBig &^= 1 << uint(w)
 }
 
 // evictSmall removes small way w. In sampled sets the eviction also trains
@@ -445,18 +474,18 @@ func (c *Cache) evictSmall(s *cacheSet, w int, out *Outcome) {
 	if sm.dirty {
 		dm = 1
 	}
-	out.Evictions = append(out.Evictions, Eviction{Big: false, Way: w, Addr: a, DirtyMask: dm, UsedMask: 1})
+	c.scratch = append(c.scratch, Eviction{Big: false, Way: w, Addr: a, DirtyMask: dm, UsedMask: 1})
 	c.Stats.Evictions++
 	if sm.dirty {
 		c.Stats.WritebackBytes += SmallBlock
 	}
 	if si := c.setOf(a); c.tracker.Sampled(si) {
-		blk := sm.lineID >> (c.offsetBits - 6)
+		blk := sm.lineID >> c.subShift
 		var mask uint32
-		for i := 0; i < s.st.Y; i++ {
-			o := &s.small[i]
-			if o.valid && o.lineID>>(c.offsetBits-6) == blk {
-				mask |= 1 << (o.lineID & uint64(c.params.SubBlocks()-1))
+		for m := s.validSmall; m != 0; m &= m - 1 {
+			o := &s.small[bits.TrailingZeros32(m)]
+			if o.lineID>>c.subShift == blk {
+				mask |= 1 << (o.lineID & c.subMask)
 			}
 		}
 		c.tracker.OnEvict(c.blockID(a), mask)
@@ -465,12 +494,13 @@ func (c *Cache) evictSmall(s *cacheSet, w int, out *Outcome) {
 		c.locator.Invalidate(a, false)
 	}
 	*sm = smallWay{}
+	s.validSmall &^= 1 << uint(w)
 }
 
 // convertToBig moves the set one state toward big: evicts the small ways
 // occupying the highest big slot and grows X.
 func (c *Cache) convertToBig(s *cacheSet, si uint64, out *Outcome) {
-	f := c.params.SubBlocks()
+	f := c.subBlocks
 	if s.st.Y < f {
 		panic(fmt.Sprintf("core: convertToBig in state %v", s.st))
 	}
@@ -485,12 +515,12 @@ func (c *Cache) convertToBig(s *cacheSet, si uint64, out *Outcome) {
 // convertToSmall moves the set one state toward small: evicts the highest
 // big way and grows Y.
 func (c *Cache) convertToSmall(s *cacheSet, si uint64, out *Outcome) {
-	if s.st.X <= c.params.MinBig {
+	if s.st.X <= c.minBig {
 		panic(fmt.Sprintf("core: convertToSmall in state %v", s.st))
 	}
 	c.evictBig(s, si, s.st.X-1, out)
 	s.st.X--
-	s.st.Y += c.params.SubBlocks()
+	s.st.Y += c.subBlocks
 	c.Stats.StateChanges++
 }
 
@@ -499,8 +529,9 @@ func (c *Cache) convertToSmall(s *cacheSet, si uint64, out *Outcome) {
 // rather than merged, keeping the model conservative).
 func (c *Cache) insertBig(s *cacheSet, si uint64, p addr.Phys, write bool, w int, out *Outcome) {
 	blk := uint64(p) >> c.offsetBits
-	for sw := 0; sw < s.st.Y; sw++ {
-		if s.small[sw].valid && s.small[sw].lineID>>(c.offsetBits-6) == blk {
+	for m := s.validSmall; m != 0; m &= m - 1 {
+		sw := bits.TrailingZeros32(m)
+		if s.small[sw].lineID>>c.subShift == blk {
 			c.evictSmall(s, sw, out)
 		}
 	}
@@ -510,8 +541,9 @@ func (c *Cache) insertBig(s *cacheSet, si uint64, p addr.Phys, write bool, w int
 		dirty = bit
 	}
 	s.big[w] = bigWay{valid: true, tag: c.tagOf(p), used: bit, dirty: dirty}
+	s.validBig |= 1 << uint(w)
 	out.Hit, out.Big, out.Way = false, true, w
-	out.FillBytes = int64(c.params.BigBlock)
+	out.FillBytes = int64(c.bigBlock)
 	c.Stats.FetchedBytes += out.FillBytes
 	if c.locator != nil {
 		c.locator.Insert(p, true, w)
@@ -521,6 +553,7 @@ func (c *Cache) insertBig(s *cacheSet, si uint64, p addr.Phys, write bool, w int
 // insertSmall fills a 64B block into small way w.
 func (c *Cache) insertSmall(s *cacheSet, si uint64, p addr.Phys, write bool, w int, out *Outcome) {
 	s.small[w] = smallWay{valid: true, lineID: lineID(p), dirty: write}
+	s.validSmall |= 1 << uint(w)
 	out.Hit, out.Big, out.Way = false, false, w
 	out.FillBytes = SmallBlock
 	c.Stats.FetchedBytes += SmallBlock
@@ -558,6 +591,22 @@ func (c *Cache) CheckInvariants() error {
 		// Capacity: X*Big + Y*64 == SetBytes.
 		if uint64(s.st.X)*p.BigBlock+uint64(s.st.Y)*SmallBlock != p.SetBytes {
 			return fmt.Errorf("set %d state %v does not fill the set", si, s.st)
+		}
+		// Occupancy bitmasks must mirror the per-way valid bits exactly.
+		var vb, vs uint32
+		for w := range s.big {
+			if s.big[w].valid {
+				vb |= 1 << uint(w)
+			}
+		}
+		for w := range s.small {
+			if s.small[w].valid {
+				vs |= 1 << uint(w)
+			}
+		}
+		if vb != s.validBig || vs != s.validSmall {
+			return fmt.Errorf("set %d occupancy masks diverge: big %032b vs %032b, small %032b vs %032b",
+				si, s.validBig, vb, s.validSmall, vs)
 		}
 		// No valid ways beyond the state's range.
 		for w := s.st.X; w < len(s.big); w++ {

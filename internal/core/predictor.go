@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math/bits"
+
 	"bimodal/internal/stats"
 )
 
@@ -103,14 +105,7 @@ func (t *Tracker) OnEvict(blockID uint64, usedMask uint32) {
 }
 
 // popcount counts set bits (the mask is at most 32 bits wide).
-func popcount(m uint32) int {
-	n := 0
-	for m != 0 {
-		m &= m - 1
-		n++
-	}
-	return n
-}
+func popcount(m uint32) int { return bits.OnesCount32(m) }
 
 // GlobalState implements Section III-B4: the cache-wide (X_glob, Y_glob)
 // target adapted from the demand counters D_big and D_small every

@@ -14,8 +14,10 @@ import (
 	"container/heap"
 	"context"
 	"fmt"
+	"time"
 
 	"bimodal/internal/dramcache"
+	"bimodal/internal/telemetry"
 	"bimodal/internal/trace"
 )
 
@@ -255,6 +257,27 @@ func (e *Engine) Run(accessesPerCore int64) []CoreResult {
 // ctx every ctxCheckInterval accesses and returns ctx.Err() when the
 // context ends, discarding partial results.
 func (e *Engine) RunContext(ctx context.Context, accessesPerCore int64) ([]CoreResult, error) {
+	return e.runPhase(ctx, accessesPerCore, "measure")
+}
+
+// observeRate records a phase's replay throughput into the process-wide
+// telemetry registry, one observation per completed phase. Wall-clock is
+// observability only — it never feeds back into simulated time.
+func observeRate(phase string, steps int64, elapsed time.Duration) {
+	secs := elapsed.Seconds()
+	if steps == 0 || secs <= 0 {
+		return
+	}
+	telemetry.Default.Histogram(
+		`bimodal_sim_accesses_per_second{phase="`+phase+`"}`,
+		telemetry.RateBuckets()...,
+	).Observe(float64(steps) / secs)
+}
+
+// runPhase is RunContext tagged with a phase label for throughput
+// telemetry (warmup vs measure).
+func (e *Engine) runPhase(ctx context.Context, accessesPerCore int64, phase string) ([]CoreResult, error) {
+	start := time.Now()
 	h := make(coreHeap, 0, len(e.cores))
 	active := 0
 	for _, c := range e.cores {
@@ -283,6 +306,7 @@ func (e *Engine) RunContext(ctx context.Context, accessesPerCore int64) ([]CoreR
 		c.prime()
 		heap.Push(&h, c)
 	}
+	observeRate(phase, steps, time.Since(start))
 	out := make([]CoreResult, len(e.cores))
 	for i, c := range e.cores {
 		out[i] = c.result
@@ -308,7 +332,7 @@ func (e *Engine) RunMeasuredContext(ctx context.Context, warmup, measure int64) 
 	if warmup <= 0 {
 		return e.RunContext(ctx, measure)
 	}
-	pre, err := e.RunContext(ctx, warmup)
+	pre, err := e.runPhase(ctx, warmup, "warmup")
 	if err != nil {
 		return nil, err
 	}

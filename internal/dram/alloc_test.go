@@ -1,0 +1,24 @@
+package dram
+
+import (
+	"testing"
+
+	"bimodal/internal/addr"
+)
+
+// TestChannelAccessZeroAlloc asserts the bank timing state machine never
+// allocates: the channel is constructed once and every access mutates
+// fixed-size state in place.
+func TestChannelAccessZeroAlloc(t *testing.T) {
+	ch := NewChannel(StackedTiming(), 1, 8)
+	now := int64(0)
+	i := 0
+	if got := testing.AllocsPerRun(1000, func() {
+		l := addr.Location{Bank: i & 7, Row: uint64(i % 64), Column: uint64(i%32) * 64}
+		now += 20
+		i++
+		ch.Access(OpRead, l, now, 64)
+	}); got != 0 {
+		t.Errorf("Channel.Access allocates %.1f allocs/op, want 0", got)
+	}
+}

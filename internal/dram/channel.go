@@ -111,6 +111,14 @@ type Channel struct {
 	// refresh period/duration in CPU cycles (0 disables)
 	refPeriod int64
 	refDur    int64
+	// Timing constants hoisted to CPU cycles at construction: the access
+	// path is hot enough that re-deriving them through the value-receiver
+	// Timing helpers (which copy the struct) shows up in profiles.
+	clCPU, cwlCPU   int64
+	rcdCPU, rpCPU   int64
+	rasCPU, wrCPU   int64
+	rrdCPU, fawCPU  int64
+	ratio, perClock int64
 }
 
 // NewChannel builds a channel with the given timing and geometry (ranks x
@@ -123,10 +131,20 @@ func NewChannel(t Timing, ranks, banksPerRank int) *Channel {
 		panic(fmt.Sprintf("dram: invalid geometry ranks=%d banks=%d", ranks, banksPerRank))
 	}
 	c := &Channel{
-		timing: t,
-		banks:  make([]bank, ranks*banksPerRank),
-		ranks:  make([]rankState, ranks),
-		perRnk: banksPerRank,
+		timing:   t,
+		banks:    make([]bank, ranks*banksPerRank),
+		ranks:    make([]rankState, ranks),
+		perRnk:   banksPerRank,
+		clCPU:    t.cpu(t.CL),
+		cwlCPU:   t.cpu(t.CWL),
+		rcdCPU:   t.cpu(t.RCD),
+		rpCPU:    t.cpu(t.RP),
+		rasCPU:   t.cpu(t.RAS),
+		wrCPU:    t.cpu(t.WR),
+		rrdCPU:   t.cpu(t.RRD),
+		fawCPU:   t.cpu(t.FAW),
+		ratio:    t.ClockRatio,
+		perClock: t.BytesPerClock,
 	}
 	for i := range c.banks {
 		c.banks[i].openRow = -1
@@ -193,7 +211,6 @@ func (c *Channel) refreshAdjust(b *bank, t int64) int64 {
 func (c *Channel) Access(op Op, l addr.Location, now int64, bytes int64) (done int64, rr RowResult) {
 	b := c.bankOf(l)
 	t := c.refreshAdjust(b, now)
-	tm := &c.timing
 
 	var casReady int64
 	switch {
@@ -203,13 +220,13 @@ func (c *Channel) Access(op Op, l addr.Location, now int64, bytes int64) (done i
 	case b.openRow == -1:
 		rr = RowEmpty
 		actAt := c.activate(l.Rank, b, max64(t, b.nextACT))
-		casReady = actAt + tm.cpu(tm.RCD)
+		casReady = actAt + c.rcdCPU
 	default:
 		rr = RowConflict
-		preAt := max64(max64(t, b.actAt+tm.cpu(tm.RAS)), b.wrRecover)
+		preAt := max64(max64(t, b.actAt+c.rasCPU), b.wrRecover)
 		c.stats.Precharge++
-		actAt := c.activate(l.Rank, b, max64(preAt+tm.cpu(tm.RP), b.nextACT))
-		casReady = actAt + tm.cpu(tm.RCD)
+		actAt := c.activate(l.Rank, b, max64(preAt+c.rpCPU, b.nextACT))
+		casReady = actAt + c.rcdCPU
 	}
 	b.openRow = int64(l.Row)
 
@@ -222,12 +239,15 @@ func (c *Channel) Access(op Op, l addr.Location, now int64, bytes int64) (done i
 		return casReady, rr
 	}
 
-	burst := tm.BurstCPU(bytes)
+	var burst int64
+	if bytes > 0 {
+		burst = (bytes + c.perClock - 1) / c.perClock * c.ratio
+	}
 	var lat int64
 	if op == OpRead {
-		lat = tm.cpu(tm.CL)
+		lat = c.clCPU
 	} else {
-		lat = tm.cpu(tm.CWL)
+		lat = c.cwlCPU
 	}
 	dataStart := max64(casReady+lat, c.busAt)
 	busEnd := dataStart + burst
@@ -241,7 +261,7 @@ func (c *Channel) Access(op Op, l addr.Location, now int64, bytes int64) (done i
 	} else {
 		c.stats.Writes++
 		c.stats.BytesWrit += bytes
-		b.wrRecover = busEnd + tm.cpu(tm.WR)
+		b.wrRecover = busEnd + c.wrCPU
 	}
 	if rr == RowHit {
 		c.stats.RowHits++
@@ -275,16 +295,15 @@ func (c *Channel) PeekRowHit(l addr.Location, now int64) RowResult {
 // tFAW (at most four activates per rolling window). It returns the actual
 // activate time and updates all activate bookkeeping.
 func (c *Channel) activate(rank int, b *bank, earliest int64) int64 {
-	tm := &c.timing
 	rs := &c.ranks[rank]
 	at := earliest
-	if tm.RRD > 0 {
-		at = max64(at, rs.lastAct+tm.cpu(tm.RRD))
+	if c.rrdCPU > 0 {
+		at = max64(at, rs.lastAct+c.rrdCPU)
 	}
-	if tm.FAW > 0 {
+	if c.fawCPU > 0 {
 		// The oldest of the last four activates bounds the next one.
 		oldest := rs.recentActs[rs.actPos]
-		at = max64(at, oldest+tm.cpu(tm.FAW))
+		at = max64(at, oldest+c.fawCPU)
 	}
 	rs.lastAct = at
 	rs.recentActs[rs.actPos] = at

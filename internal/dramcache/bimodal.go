@@ -30,6 +30,15 @@ type BiModal struct {
 	missPred       *regionPredictor // nil unless WithMissPredictor
 	victims        *victimBuffer    // nil unless WithVictimCache
 
+	// Derived cache-geometry constants hoisted out of the access path: the
+	// core.Params accessors copy the whole struct per call, which dominates
+	// profiles when invoked several times per access.
+	bigBlock  uint64 // big block bytes
+	setBytes  uint64 // set bytes
+	subMask   uint64 // SubBlocks-1 (sub-block index mask within a big block)
+	metaBytes int64  // metadata bytes per set
+	metaRows  uint64 // set-metadata records per metadata row
+
 	metaReads   int64
 	metaRowHits int64
 	// WastedProbeBytes counts off-chip reads issued by mispredicted
@@ -144,7 +153,7 @@ func NewBiModal(cfg Config, opts ...BiModalOption) *BiModal {
 		vb = newVictimBuffer(o.victimEntries)
 	}
 	sg := stacked.Config().Geometry
-	return &BiModal{
+	b := &BiModal{
 		name:           name,
 		cfg:            cfg,
 		cache:          core.NewCache(params, wl),
@@ -155,7 +164,13 @@ func NewBiModal(cfg Config, opts ...BiModalOption) *BiModal {
 		prefetchBypass: o.prefetchBypass,
 		missPred:       mp,
 		victims:        vb,
+		bigBlock:       params.BigBlock,
+		setBytes:       params.SetBytes,
+		subMask:        uint64(params.SubBlocks() - 1),
+		metaBytes:      params.MetadataBytesPerSet(),
 	}
+	b.metaRows = b.layout.pageBytes / uint64(b.metaBytes)
+	return b
 }
 
 // memBits returns the physical address width implied by the preset scale
@@ -180,19 +195,17 @@ func (b *BiModal) Core() *core.Cache { return b.cache }
 // dataColumn returns the byte column of the 64B line at p within its
 // set's page, given the way it occupies.
 func (b *BiModal) dataColumn(p addr.Phys, big bool, way int) uint64 {
-	params := b.cache.Params()
 	if big {
-		sub := (uint64(p) >> 6) & uint64(params.SubBlocks()-1)
-		return params.BigColumn(way) + sub*core.SmallBlock
+		sub := (uint64(p) >> 6) & b.subMask
+		return uint64(way)*b.bigBlock + sub*core.SmallBlock
 	}
-	return params.SmallColumn(way)
+	return b.setBytes - uint64(way+1)*core.SmallBlock
 }
 
 // readMeta reads the set's tags from the metadata bank, tracking its
 // row-buffer behaviour.
 func (b *BiModal) readMeta(set uint64, at int64) int64 {
-	bytes := b.cache.Params().MetadataBytesPerSet()
-	done, rr := b.stacked.ReadAt(b.layout.metaLoc(set), at, bytes)
+	done, rr := b.stacked.ReadAt(b.layout.metaLoc(set), at, b.metaBytes)
 	b.metaReads++
 	if rr == dram.RowHit {
 		b.metaRowHits++
@@ -205,8 +218,7 @@ func (b *BiModal) readMeta(set uint64, at int64) int64 {
 // already has a pending update.
 func (b *BiModal) writeMeta(set uint64, at int64) {
 	b.MetaWrites++
-	perRow := b.layout.pageBytes / uint64(b.cache.Params().MetadataBytesPerSet())
-	row := set / perRow
+	row := set / b.metaRows
 	idx := row & uint64(len(b.metaWriteFilter)-1)
 	if b.metaWriteFilter[idx] == row+1 {
 		b.MetaWritesCoalesced++
@@ -313,7 +325,7 @@ func (b *BiModal) missPath(req Request, out core.Outcome, now int64, earlyDone i
 	// bank/bus slots in the future, or later-arriving demand reads queue
 	// behind fictitious reservations and latencies diverge. Ordering
 	// within a bank still emerges from the bank timeline itself.
-	blockBase := req.Addr.Block(b.cache.Params().BigBlock)
+	blockBase := req.Addr.Block(b.bigBlock)
 	var critDone int64
 	fromVictim := b.victims != nil && out.Big && b.victims.take(blockBase)
 	switch {
@@ -334,7 +346,7 @@ func (b *BiModal) missPath(req Request, out core.Outcome, now int64, earlyDone i
 	// Posted fill into the data row and metadata install.
 	fillCol := b.dataColumn(req.Addr, out.Big, out.Way)
 	if out.Big {
-		fillCol = b.cache.Params().BigColumn(out.Way)
+		fillCol = uint64(out.Way) * b.bigBlock
 	}
 	b.stacked.WriteAt(b.layout.dataLoc(out.SetIndex, fillCol), now, out.FillBytes)
 	b.writeMeta(out.SetIndex, now)
@@ -350,10 +362,9 @@ func (b *BiModal) missPath(req Request, out core.Outcome, now int64, earlyDone i
 		if dirty == 0 {
 			continue
 		}
-		params := b.cache.Params()
-		col := params.SmallColumn(ev.Way)
+		col := b.setBytes - uint64(ev.Way+1)*core.SmallBlock
 		if ev.Big {
-			col = params.BigColumn(ev.Way)
+			col = uint64(ev.Way) * b.bigBlock
 		}
 		b.stacked.ReadAt(b.layout.dataLoc(out.SetIndex, col), now, dirty)
 		mask := ev.DirtyMask

@@ -22,12 +22,14 @@ type setLayout struct {
 	setBytes     uint64
 	rowsPerSet   uint64 // sets larger than a DRAM page span consecutive rows
 	metaBytes    int64  // metadata bytes per set (burst aligned)
+	metaPerRow   uint64 // set-metadata records per DRAM page
+	db           uint64 // data banks per channel
 	separateMeta bool
 }
 
 func newSetLayout(channels, banksPerChannel int, pageBytes uint64, p core.Params, separate bool) setLayout {
 	rows := (p.SetBytes + pageBytes - 1) / pageBytes
-	return setLayout{
+	l := setLayout{
 		channels:     channels,
 		banks:        banksPerChannel,
 		pageBytes:    pageBytes,
@@ -36,10 +38,13 @@ func newSetLayout(channels, banksPerChannel int, pageBytes uint64, p core.Params
 		metaBytes:    p.MetadataBytesPerSet(),
 		separateMeta: separate,
 	}
+	l.metaPerRow = uint64(int64(pageBytes) / l.metaBytes)
+	l.db = uint64(l.dataBanks())
+	return l
 }
 
 // dataBanks returns the number of banks per channel available for data.
-func (l setLayout) dataBanks() int {
+func (l *setLayout) dataBanks() int {
 	if l.separateMeta {
 		return l.banks - 1
 	}
@@ -51,10 +56,10 @@ func (l setLayout) dataBanks() int {
 // configurations of the Figure 12 sensitivity study span two consecutive
 // rows of the same bank (the extra-activation cost the paper's footnote 6
 // avoids in its main configuration is thus modeled faithfully).
-func (l setLayout) dataLoc(set uint64, column uint64) addr.Location {
+func (l *setLayout) dataLoc(set uint64, column uint64) addr.Location {
 	ch := int(set % uint64(l.channels))
 	idx := set / uint64(l.channels)
-	db := uint64(l.dataBanks())
+	db := l.db
 	bank := int(idx % db)
 	if l.separateMeta {
 		bank++ // bank 0 is the metadata bank
@@ -69,7 +74,7 @@ func (l setLayout) dataLoc(set uint64, column uint64) addr.Location {
 }
 
 // metaLoc returns the DRAM location of a set's metadata.
-func (l setLayout) metaLoc(set uint64) addr.Location {
+func (l *setLayout) metaLoc(set uint64) addr.Location {
 	if !l.separateMeta {
 		// Tags share the data row (column position after the data is a
 		// modelling simplification: what matters is bank/row identity).
@@ -78,7 +83,7 @@ func (l setLayout) metaLoc(set uint64) addr.Location {
 	ch := int(set % uint64(l.channels))
 	mch := (ch + 1) % l.channels
 	idx := set / uint64(l.channels)
-	perRow := uint64(int64(l.pageBytes) / l.metaBytes)
+	perRow := l.metaPerRow
 	return addr.Location{
 		Channel: mch,
 		Rank:    0,

@@ -17,7 +17,6 @@ package memctrl
 
 import (
 	"fmt"
-	"sort"
 
 	"bimodal/internal/addr"
 	"bimodal/internal/dram"
@@ -131,24 +130,36 @@ func (c *Controller) observe(ch int, now int64) {
 // drain issues a batch of deferred writes, row-hit-first: the batch is
 // ordered by (rank, bank, row) so writes to the same row coalesce into
 // row-buffer hits before the bank moves on (FR_FCFS for the write burst).
+//
+// The batch is sorted in place — callers always discard drained entries —
+// with a stable insertion sort: batches are bounded by WriteQueueDepth
+// (tens of entries), and the hot path must not allocate the way a copy
+// plus sort.Slice closure does. Stability keeps equal-key writes in
+// arrival order, so drains are deterministic for a given enqueue sequence.
 func (c *Controller) drain(ch int, batch []pendingWrite) {
-	sorted := append([]pendingWrite(nil), batch...)
-	sort.Slice(sorted, func(i, j int) bool {
-		a, b := sorted[i], sorted[j]
-		if a.loc.Rank != b.loc.Rank {
-			return a.loc.Rank < b.loc.Rank
+	for i := 1; i < len(batch); i++ {
+		for j := i; j > 0 && writeBefore(&batch[j], &batch[j-1]); j-- {
+			batch[j], batch[j-1] = batch[j-1], batch[j]
 		}
-		if a.loc.Bank != b.loc.Bank {
-			return a.loc.Bank < b.loc.Bank
-		}
-		if a.loc.Row != b.loc.Row {
-			return a.loc.Row < b.loc.Row
-		}
-		return a.at < b.at
-	})
-	for _, w := range sorted {
+	}
+	for i := range batch {
+		w := &batch[i]
 		c.channels[ch].Access(dram.OpWrite, w.loc, w.at, w.bytes)
 	}
+}
+
+// writeBefore orders deferred writes by (rank, bank, row, arrival).
+func writeBefore(a, b *pendingWrite) bool {
+	if a.loc.Rank != b.loc.Rank {
+		return a.loc.Rank < b.loc.Rank
+	}
+	if a.loc.Bank != b.loc.Bank {
+		return a.loc.Bank < b.loc.Bank
+	}
+	if a.loc.Row != b.loc.Row {
+		return a.loc.Row < b.loc.Row
+	}
+	return a.at < b.at
 }
 
 // FlushWrites drains every deferred write (used before reading final

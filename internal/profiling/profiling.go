@@ -1,0 +1,54 @@
+// Package profiling wires runtime/pprof into the CLI tools: a CPU profile
+// spanning the run and a heap profile captured at exit. The server gets
+// live profiles over HTTP (net/http/pprof) instead; this package is for
+// the one-shot commands, where a file is the useful artifact:
+//
+//	paper -exp fig7 -cpuprofile cpu.out -memprofile mem.out
+//	go tool pprof cpu.out
+package profiling
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// StartCPU begins CPU profiling into path. It returns a stop function that
+// ends the profile and closes the file; when path is empty the stop
+// function is a no-op, so callers can defer it unconditionally.
+func StartCPU(path string) (stop func(), err error) {
+	if path == "" {
+		return func() {}, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	return func() {
+		pprof.StopCPUProfile()
+		f.Close()
+	}, nil
+}
+
+// WriteHeap captures an allocation profile into path (no-op when empty).
+// A GC runs first so the profile reflects live objects, not garbage.
+func WriteHeap(path string) error {
+	if path == "" {
+		return nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	defer f.Close()
+	runtime.GC()
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		return fmt.Errorf("profiling: %w", err)
+	}
+	return nil
+}

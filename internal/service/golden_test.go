@@ -1,0 +1,87 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bimodal/internal/sim"
+	"bimodal/internal/workloads"
+)
+
+// -update regenerates the golden result files. Any intentional change to
+// the simulator's random draw sequence must regenerate these in the same
+// commit, with the behavioural diff explained in the PR.
+var updateGolden = flag.Bool("update", false, "rewrite golden result files")
+
+// TestResultGolden pins the exact result JSON for a few (mix, scheme, seed)
+// triples. The simulator's contract is bit-reproducible output per
+// (request, seed): performance refactors of the hot path must not move a
+// single counter. A failure here means simulated behaviour changed, not
+// just speed.
+func TestResultGolden(t *testing.T) {
+	cases := []struct {
+		mix    string
+		scheme string
+	}{
+		{"Q1", "bimodal"},
+		{"Q1", "alloy"},
+		{"E3", "bimodal"},
+		{"S2", "bimodal-only"},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.mix+"_"+tc.scheme, func(t *testing.T) {
+			mix, err := workloads.ByName(tc.mix)
+			if err != nil {
+				t.Fatal(err)
+			}
+			opts := sim.Options{
+				AccessesPerCore: 20_000,
+				Seed:            7,
+				CacheDivisor:    64,
+			}
+			id, err := sim.ParseScheme(tc.scheme)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var factory sim.Factory
+			if id == sim.SchemeBiModal {
+				factory = sim.BiModalFactory(mix.Cores(), opts)
+			} else {
+				factory = id.Factory()
+			}
+			res, err := sim.RunContext(context.Background(), mix, factory, opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cell := NewCellResult(id.String(), res)
+			got, err := json.MarshalIndent(cell, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			path := filepath.Join("testdata", "golden_"+tc.mix+"_"+tc.scheme+".json")
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden (run with -update to create): %v", err)
+			}
+			if string(got) != string(want) {
+				t.Errorf("result JSON diverged from %s\ngot:\n%s\nwant:\n%s", path, got, want)
+			}
+		})
+	}
+}

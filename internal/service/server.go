@@ -329,4 +329,7 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.reg.WritePrometheus(w)
+	// Process-wide metrics (engine throughput histograms) live in the
+	// default registry; metric names are disjoint from the server's own.
+	telemetry.Default.WritePrometheus(w)
 }

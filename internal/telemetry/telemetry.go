@@ -179,6 +179,19 @@ func (r *Registry) checkFree(name, kind string) {
 	}
 }
 
+// Default is the process-wide registry for instrumentation that has no
+// natural owner — the simulation engine's throughput histograms, for
+// example, are observed from wherever a run happens (CLI, server worker,
+// test) and scraped alongside any server-owned registry.
+var Default = NewRegistry()
+
+// RateBuckets returns bucket bounds for simulator throughput in
+// accesses/second: roughly log-spaced from heavily-instrumented debug runs
+// (100K/s) through the zero-allocation hot path (tens of millions/s).
+func RateBuckets() []float64 {
+	return []float64{1e5, 2.5e5, 5e5, 1e6, 2.5e6, 5e6, 1e7, 2.5e7, 5e7, 1e8}
+}
+
 // LatencyBuckets returns bucket bounds (seconds) suited to simulation
 // cell durations: sub-millisecond unit tests through minute-scale runs.
 func LatencyBuckets() []float64 {

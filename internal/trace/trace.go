@@ -143,8 +143,15 @@ type Synthetic struct {
 	base addr.Phys
 	rng  *xrand.Rand
 	zipf *xrand.Zipf
-	// pending holds the remainder of the current episode.
+	// pending holds the current episode; head indexes the next access to
+	// hand out. Draining by index instead of re-slicing lets refill reuse
+	// the buffer's full capacity, so steady-state generation is
+	// allocation-free once the longest episode has been seen.
 	pending []Access
+	head    int
+	// spanMask is FootprintBytes-1 (the footprint is a power of two), for
+	// mask-based wraparound in sequential episodes.
+	spanMask addr.Phys
 	// permMul is an odd multiplier giving a bijective page permutation so
 	// popular pages are scattered across the address space.
 	permMul uint64
@@ -166,12 +173,13 @@ func NewSynthetic(prof Profile, base addr.Phys, seed uint64) *Synthetic {
 		window = 64
 	}
 	return &Synthetic{
-		prof:    prof,
-		base:    base,
-		rng:     rng,
-		zipf:    xrand.NewZipf(rng.Fork(), int(prof.FootprintPages), prof.ZipfS),
-		permMul: 0x9E3779B97F4A7C15 | 1,
-		recent:  make([]addr.Phys, 0, window),
+		prof:     prof,
+		base:     base,
+		rng:      rng,
+		zipf:     xrand.NewZipf(rng.Fork(), int(prof.FootprintPages), prof.ZipfS),
+		spanMask: addr.Phys(prof.FootprintBytes() - 1),
+		permMul:  0x9E3779B97F4A7C15 | 1,
+		recent:   make([]addr.Phys, 0, window),
 	}
 }
 
@@ -219,11 +227,13 @@ func (g *Synthetic) episodeLen(mean int) int {
 
 // Next implements Generator.
 func (g *Synthetic) Next() Access {
-	for len(g.pending) == 0 {
+	for g.head >= len(g.pending) {
+		g.pending = g.pending[:0]
+		g.head = 0
 		g.refill()
 	}
-	a := g.pending[0]
-	g.pending = g.pending[1:]
+	a := g.pending[g.head]
+	g.head++
 	return a
 }
 
@@ -294,10 +304,9 @@ func (g *Synthetic) emit(a addr.Phys, dep bool) {
 // continuing into following pages of the footprint when the run is long.
 func (g *Synthetic) seqEpisode(page addr.Phys) {
 	n := g.episodeLen(g.prof.RunLines)
-	span := addr.Phys(g.prof.FootprintBytes())
+	start := page - g.base
 	for i := 0; i < n; i++ {
-		off := addr.Phys(uint64(i)*LineBytes) % span
-		g.emit(g.base+(page-g.base+off)%span, false)
+		g.emit(g.base+(start+addr.Phys(uint64(i)*LineBytes))&g.spanMask, false)
 	}
 }
 
