@@ -419,21 +419,23 @@ func (c *Cache) victimSmall(s *cacheSet, si uint64, p addr.Phys, out *Outcome) i
 }
 
 // randomWay picks a random way in [0,n) avoiding the protected mask when
-// possible.
+// possible. It draws the rng exactly once: the k-th set bit of the
+// unprotected mask, rather than rejection-sampling until an unprotected
+// way comes up (which consumed a data-dependent number of draws).
 func (c *Cache) randomWay(n int, protected uint32) int {
 	if n <= 0 {
 		panic("core: randomWay with no ways")
 	}
-	free := n - popcount(protected&(1<<uint(n)-1))
-	if free <= 0 {
+	unprot := ^protected & (1<<uint(n) - 1)
+	free := popcount(unprot)
+	if free == 0 {
 		return c.rng.Intn(n)
 	}
-	for {
-		w := c.rng.Intn(n)
-		if protected&(1<<uint(w)) == 0 {
-			return w
-		}
+	k := c.rng.Intn(free)
+	for ; k > 0; k-- {
+		unprot &= unprot - 1
 	}
+	return bits.TrailingZeros32(unprot)
 }
 
 // evictBig removes big way w, recording the eviction and training the
