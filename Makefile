@@ -1,16 +1,33 @@
 GO ?= go
 
-.PHONY: build test race bench bench-compare
+.PHONY: all build lint vet test race fuzz-smoke bench bench-compare
+
+all: build lint test
 
 build:
 	$(GO) build ./...
+
+# lint runs the stock go vet analyzers plus the repo's own bmlint suite
+# (determinism, zero-alloc hot paths, context hygiene, error wrapping). The
+# suite runs both standalone (go run, fast iteration) and as a vettool in
+# CI; see DESIGN.md section 11 for the invariants and annotations.
+lint: vet
+	$(GO) run ./cmd/bmlint ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/engine ./internal/experiments ./internal/sim ./internal/cpu
-	$(GO) test -race ./internal/service/... ./internal/telemetry/...
+	$(GO) test -race -short ./...
+
+# fuzz-smoke runs each fuzz target briefly — a regression check over the
+# accumulated corpus plus a short exploration burst, mirroring CI.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzParseScheme -fuzztime=10s ./internal/sim
+	$(GO) test -run='^$$' -fuzz=FuzzTraceReader -fuzztime=10s ./internal/trace
 
 # bench re-measures the hot-path microbenchmarks and writes (or refreshes)
 # the dated baseline snapshot. Commit the file to update the baseline CI

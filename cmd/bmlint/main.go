@@ -1,0 +1,137 @@
+// Command bmlint runs the repository's custom static-analysis suite:
+//
+//	bmdeterminism  wall-clock, global-rand and map-order hazards in
+//	               simulator packages (golden-JSON byte-identity)
+//	bmhotpath      allocating constructs reachable from //bmlint:hotpath
+//	               roots (the 0 allocs/op contract)
+//	bmctxhygiene   context.Context struct fields; dropped contexts in
+//	               exported engine/service APIs
+//	bmerrwrap      fmt.Errorf without %w at package boundaries
+//
+// Standalone:
+//
+//	go run ./cmd/bmlint ./...          # lint packages, exit 1 on findings
+//	go run ./cmd/bmlint -json ./...    # machine-readable findings
+//
+// As a go vet tool (unit-checker protocol):
+//
+//	go build -o bmlint ./cmd/bmlint
+//	go vet -vettool=./bmlint ./...
+//
+// See DESIGN.md §11 for the enforced invariants and the annotation
+// conventions (//bmlint:hotpath, //bmlint:wallclock, //bmlint:orderok,
+// //bmlint:allow <check>).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"bimodal/internal/analysis"
+	"bimodal/internal/analysis/ctxhygiene"
+	"bimodal/internal/analysis/determinism"
+	"bimodal/internal/analysis/errwrap"
+	"bimodal/internal/analysis/hotpath"
+	"bimodal/internal/analysis/load"
+	"bimodal/internal/analysis/unitchecker"
+)
+
+// suite is every analyzer bmlint runs, in output order.
+var suite = []*analysis.Analyzer{
+	determinism.Analyzer,
+	hotpath.Analyzer,
+	ctxhygiene.Analyzer,
+	errwrap.Analyzer,
+}
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// go vet protocol, part 1: version and flag discovery. The go
+	// command probes `-V=full` for a cache key and `-flags` for the
+	// tool's supported flags before passing unit configs.
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			fmt.Println("bmlint version v1")
+			return 0
+		case a == "-flags" || a == "--flags":
+			fmt.Println("[]")
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("bmlint", flag.ExitOnError)
+	jsonOut := fs.Bool("json", false, "emit diagnostics as JSON")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(fs.Output(), "usage: bmlint [-json] [-list] package...\n")
+		fmt.Fprintf(fs.Output(), "       bmlint <unit>.cfg   (go vet -vettool protocol)\n\nAnalyzers:\n")
+		for _, a := range suite {
+			fmt.Fprintf(fs.Output(), "  %-14s %s\n", a.Name, a.Doc)
+		}
+	}
+	if err := fs.Parse(args); err != nil {
+		return 1
+	}
+
+	if *list {
+		for _, a := range suite {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	rest := fs.Args()
+
+	// go vet protocol, part 2: a single *.cfg argument selects
+	// unit-checker mode.
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return unitchecker.Run(rest[0], suite, *jsonOut, os.Stdout, os.Stderr)
+	}
+
+	if len(rest) == 0 {
+		rest = []string{"./..."}
+	}
+	pkgs, err := load.Packages("", rest)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bmlint: %v\n", err)
+		return 1
+	}
+	diags, err := load.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bmlint: %v\n", err)
+		return 1
+	}
+	if *jsonOut {
+		type jsonDiag struct {
+			Analyzer string `json:"analyzer"`
+			Position string `json:"position"`
+			Message  string `json:"message"`
+		}
+		out := make([]jsonDiag, 0, len(diags))
+		for _, d := range diags {
+			out = append(out, jsonDiag{d.Analyzer, d.Position.String(), d.Message})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(os.Stderr, "bmlint: %v\n", err)
+			return 1
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s: %s (%s)\n", d.Position, d.Message, d.Analyzer)
+		}
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "bmlint: %d finding(s) across %d package(s)\n", len(diags), len(pkgs))
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,231 @@
+// Package analysistest runs a bmlint analyzer over a fixture package and
+// checks its diagnostics against // want "regex" comments, mirroring
+// golang.org/x/tools/go/analysis/analysistest on top of the stdlib-only
+// loader. Fixtures live under internal/analysis/testdata/src/<name> and
+// may import the standard library and module packages (resolved through
+// `go list -export`, so everything works offline from the build cache).
+package analysistest
+
+import (
+	"fmt"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"bimodal/internal/analysis"
+	"bimodal/internal/analysis/load"
+)
+
+// Run analyzes the fixture directory (relative to the calling test's
+// working directory) as a package with the given import path, then
+// asserts that diagnostics and // want expectations match one-to-one.
+// The import path matters: several analyzers scope themselves to
+// simulator or API packages by path.
+func Run(t *testing.T, a *analysis.Analyzer, fixtureDir, importPath string) {
+	t.Helper()
+
+	files, err := fixtureFiles(fixtureDir)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	exports, err := exportData(fixtureDir, files)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	pkg, err := load.Check(importPath, fixtureDir, files, exports)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	if len(pkg.TypeErrors) > 0 {
+		t.Fatalf("analysistest: fixture %s has type errors: %v", fixtureDir, pkg.TypeErrors)
+	}
+	diags, err := load.RunPackage(pkg, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+
+	wants, err := parseWants(files)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	matchDiagnostics(t, diags, wants)
+}
+
+// want is one expectation: a diagnostic on file:line matching re.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+var wantRE = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// parseWants extracts // want "regex" expectations from the fixtures.
+func parseWants(files []string) ([]*want, error) {
+	var wants []*want
+	fset := token.NewFileSet()
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimSpace(m[1])
+				for rest != "" {
+					if rest[0] != '"' && rest[0] != '`' {
+						return nil, fmt.Errorf("%s: malformed want clause %q", pos, rest)
+					}
+					end := quotedEnd(rest)
+					if end < 0 {
+						return nil, fmt.Errorf("%s: unterminated want pattern %q", pos, rest)
+					}
+					pat, err := strconv.Unquote(rest[:end+1])
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, rest[:end+1], err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want regexp: %v", pos, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, re: re})
+					rest = strings.TrimSpace(rest[end+1:])
+				}
+			}
+		}
+	}
+	return wants, nil
+}
+
+// quotedEnd returns the index of the closing quote of the double- or
+// back-quoted string starting at s[0], honoring backslash escapes inside
+// double quotes, or -1.
+func quotedEnd(s string) int {
+	if s[0] == '`' {
+		for i := 1; i < len(s); i++ {
+			if s[i] == '`' {
+				return i
+			}
+		}
+		return -1
+	}
+	for i := 1; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+		case '"':
+			return i
+		}
+	}
+	return -1
+}
+
+// matchDiagnostics pairs diagnostics with expectations.
+func matchDiagnostics(t *testing.T, diags []load.Diagnostic, wants []*want) {
+	t.Helper()
+	for _, d := range diags {
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != d.Position.Filename || w.line != d.Position.Line {
+				continue
+			}
+			if w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", d.Position, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: expected diagnostic matching %q, got none", w.file, w.line, w.re)
+		}
+	}
+}
+
+// fixtureFiles lists the non-test .go files of the fixture directory.
+func fixtureFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []string
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		files = append(files, filepath.Join(dir, e.Name()))
+	}
+	sort.Strings(files)
+	if len(files) == 0 {
+		return nil, fmt.Errorf("no fixture files in %s", dir)
+	}
+	return files, nil
+}
+
+// exportData collects export-data files for every import of the fixture
+// (transitively) by asking the go command, from the module root so module
+// packages resolve.
+func exportData(dir string, files []string) (map[string]string, error) {
+	imports := map[string]bool{}
+	fset := token.NewFileSet()
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				return nil, err
+			}
+			imports[p] = true
+		}
+	}
+	if len(imports) == 0 {
+		return map[string]string{}, nil
+	}
+	paths := make([]string, 0, len(imports))
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	root, err := moduleRoot(dir)
+	if err != nil {
+		return nil, err
+	}
+	return load.ExportData(root, paths)
+}
+
+// moduleRoot walks up from dir to the directory holding go.mod.
+func moduleRoot(dir string) (string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for d := abs; ; {
+		if _, err := os.Stat(filepath.Join(d, "go.mod")); err == nil {
+			return d, nil
+		}
+		parent := filepath.Dir(d)
+		if parent == d {
+			return "", fmt.Errorf("no go.mod above %s", abs)
+		}
+		d = parent
+	}
+}

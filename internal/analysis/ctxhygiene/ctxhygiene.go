@@ -1,0 +1,154 @@
+// Package ctxhygiene implements the bmlint analyzer for context
+// discipline:
+//
+//  1. context.Context must not be stored in struct fields (anywhere in
+//     the module): a stored context outlives the call tree it belongs
+//     to, hides cancellation topology and breaks request scoping. Pass
+//     contexts per call instead.
+//  2. In the engine and service packages — the module's public
+//     concurrency boundary — an exported function that accepts a
+//     context must actually consume it: a ctx parameter named _ or
+//     never referenced silently drops cancellation, which is how
+//     graceful-shutdown bugs are born.
+//  3. Those same exported functions must not manufacture
+//     context.Background()/context.TODO() while an incoming ctx is in
+//     scope — that detaches the work from its caller's lifetime.
+package ctxhygiene
+
+import (
+	"go/ast"
+	"go/types"
+
+	"bimodal/internal/analysis"
+)
+
+// Analyzer is the context-hygiene checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "bmctxhygiene",
+	Doc: "forbid context.Context struct fields; require exported " +
+		"engine/service APIs to consume the contexts they accept",
+	Run: run,
+}
+
+// apiPackages are the packages whose exported API surface is held to the
+// dropped-context rules (rules 2 and 3 above). Rule 1 applies to every
+// analyzed package.
+var apiPackages = map[string]bool{
+	"bimodal/internal/engine":  true,
+	"bimodal/internal/service": true,
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	api := apiPackages[pass.Pkg.Path()]
+	for _, file := range pass.Files {
+		if analysis.TestFile(pass, file) {
+			continue
+		}
+		for _, decl := range file.Decls {
+			switch d := decl.(type) {
+			case *ast.GenDecl:
+				checkStructFields(pass, file, d)
+			case *ast.FuncDecl:
+				if api && d.Name.IsExported() && d.Body != nil {
+					checkExportedFunc(pass, d)
+				}
+			}
+		}
+	}
+	return nil, nil
+}
+
+// checkStructFields flags context.Context-typed fields in struct type
+// declarations.
+func checkStructFields(pass *analysis.Pass, file *ast.File, decl *ast.GenDecl) {
+	for _, spec := range decl.Specs {
+		ts, ok := spec.(*ast.TypeSpec)
+		if !ok {
+			continue
+		}
+		st, ok := ts.Type.(*ast.StructType)
+		if !ok {
+			continue
+		}
+		for _, f := range st.Fields.List {
+			tv, ok := pass.TypesInfo.Types[f.Type]
+			if !ok || !isContext(tv.Type) {
+				continue
+			}
+			if analysis.Allowed(pass, file, f.Pos(), "ctxfield") {
+				continue
+			}
+			pass.Reportf(f.Pos(),
+				"context.Context stored in struct %s: contexts are call-scoped, "+
+					"pass them per method instead (//bmlint:allow ctxfield to suppress)",
+				ts.Name.Name)
+		}
+	}
+}
+
+// checkExportedFunc flags dropped or shadowed contexts in an exported
+// function of an API package.
+func checkExportedFunc(pass *analysis.Pass, fn *ast.FuncDecl) {
+	var ctxParams []*types.Var
+	for _, f := range fn.Type.Params.List {
+		tv, ok := pass.TypesInfo.Types[f.Type]
+		if !ok || !isContext(tv.Type) {
+			continue
+		}
+		if len(f.Names) == 0 {
+			continue // unnamed in a signature-only position
+		}
+		for _, name := range f.Names {
+			if name.Name == "_" {
+				pass.Reportf(name.Pos(),
+					"exported %s discards its context parameter: accept and honor "+
+						"cancellation or drop the parameter", fn.Name.Name)
+				continue
+			}
+			if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+				ctxParams = append(ctxParams, v)
+			}
+		}
+	}
+	if len(ctxParams) == 0 {
+		return
+	}
+
+	used := map[*types.Var]bool{}
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.Ident:
+			if v, ok := pass.TypesInfo.Uses[n].(*types.Var); ok {
+				used[v] = true
+			}
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func); ok &&
+					f.Pkg() != nil && f.Pkg().Path() == "context" &&
+					(f.Name() == "Background" || f.Name() == "TODO") {
+					pass.Reportf(n.Pos(),
+						"context.%s inside exported %s which already receives a context: "+
+							"derive from the incoming ctx instead", f.Name(), fn.Name.Name)
+				}
+			}
+		}
+		return true
+	})
+	for _, v := range ctxParams {
+		if !used[v] {
+			pass.Reportf(v.Pos(),
+				"exported %s never uses its context parameter %q: honor cancellation "+
+					"or drop the parameter", fn.Name.Name, v.Name())
+		}
+	}
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

@@ -1,0 +1,13 @@
+package ctxhygiene_test
+
+import (
+	"testing"
+
+	"bimodal/internal/analysis/analysistest"
+	"bimodal/internal/analysis/ctxhygiene"
+)
+
+func TestCtxHygiene(t *testing.T) {
+	analysistest.Run(t, ctxhygiene.Analyzer,
+		"../testdata/src/ctxhygiene", "bimodal/internal/engine")
+}

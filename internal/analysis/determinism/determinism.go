@@ -1,0 +1,304 @@
+// Package determinism implements the bmlint analyzer that keeps the
+// simulator byte-identical per (request, seed). Three bug classes are
+// forbidden in simulator packages:
+//
+//  1. Wall-clock reads (time.Now, time.Since, time.Until): simulated time
+//     advances only through the timing model, so any wall-clock read in
+//     simulator code either perturbs results or is telemetry that belongs
+//     behind the annotated seam (telemetry.Now / telemetry.Since called
+//     from a line or function annotated //bmlint:wallclock).
+//  2. Global math/rand: the process-wide source is shared and unseeded
+//     per cell, so results depend on scheduling. All simulator randomness
+//     routes through internal/xrand, seeded from the cell.
+//  3. Map iteration feeding output: ranging over a map while appending to
+//     an output slice (without sorting it afterwards) or while writing to
+//     an io.Writer/fmt sink makes rendered tables, JSON and metrics
+//     depend on Go's randomized map order — exactly the drift that breaks
+//     golden-JSON tests. //bmlint:orderok on the range line suppresses
+//     the check for genuinely order-free loops.
+package determinism
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"bimodal/internal/analysis"
+)
+
+// Analyzer is the determinism checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "bmdeterminism",
+	Doc: "forbid wall-clock reads, global math/rand and order-dependent " +
+		"map iteration in simulator packages",
+	Run: run,
+}
+
+// simPackages are the deterministic-by-contract packages. Everything
+// under these paths must produce byte-identical results per (request,
+// seed) at any worker count.
+var simPackages = map[string]bool{
+	"bimodal/internal/core":        true,
+	"bimodal/internal/dramcache":   true,
+	"bimodal/internal/dram":        true,
+	"bimodal/internal/memctrl":     true,
+	"bimodal/internal/sram":        true,
+	"bimodal/internal/cpu":         true,
+	"bimodal/internal/sim":         true,
+	"bimodal/internal/trace":       true,
+	"bimodal/internal/experiments": true,
+	"bimodal/internal/stats":       true,
+	"bimodal/internal/energy":      true,
+	"bimodal/internal/telemetry":   true,
+	"bimodal/internal/addr":        true,
+	"bimodal/internal/workloads":   true,
+}
+
+// telemetrySeam is the one package allowed to own wall-clock reads (in
+// functions annotated //bmlint:wallclock) and whose Now/Since functions
+// simulator code may call from annotated call sites.
+const telemetrySeam = "bimodal/internal/telemetry"
+
+// AppliesTo reports whether the analyzer checks the given import path.
+// Exported so the fixture harness and docs can state the boundary.
+func AppliesTo(importPath string) bool { return simPackages[importPath] }
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	if !AppliesTo(pass.Pkg.Path()) {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if analysis.TestFile(pass, file) {
+			continue
+		}
+		checkFile(pass, file)
+	}
+	return nil, nil
+}
+
+func checkFile(pass *analysis.Pass, file *ast.File) {
+	for _, decl := range file.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		wallclockFn := analysis.FuncAnnotated(pass, file, fn, analysis.AnnotWallclock)
+		ast.Inspect(fn.Body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkCall(pass, file, n, wallclockFn)
+			case *ast.RangeStmt:
+				checkMapRange(pass, file, fn, n)
+			}
+			return true
+		})
+	}
+}
+
+// checkCall flags wall-clock and global-rand calls.
+func checkCall(pass *analysis.Pass, file *ast.File, call *ast.CallExpr, wallclockFn bool) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		switch fn.Name() {
+		case "Now", "Since", "Until":
+			if wallclockFn {
+				return // inside the annotated telemetry seam
+			}
+			pass.Reportf(call.Pos(),
+				"time.%s in simulator code: wall-clock reads perturb deterministic results; "+
+					"use the telemetry seam (telemetry.Now/Since at a //bmlint:wallclock call site)",
+				fn.Name())
+		}
+	case "math/rand", "math/rand/v2":
+		pass.Reportf(call.Pos(),
+			"%s.%s in simulator code: global math/rand is not seeded per cell; "+
+				"route randomness through internal/xrand", fn.Pkg().Name(), fn.Name())
+	case telemetrySeam:
+		switch fn.Name() {
+		case "Now", "Since":
+			if wallclockFn ||
+				analysis.LineAnnotated(pass, file, call.Pos(), analysis.AnnotWallclock) {
+				return
+			}
+			pass.Reportf(call.Pos(),
+				"telemetry.%s without a //bmlint:wallclock annotation: mark the call site "+
+					"to record that wall-clock telemetry never feeds simulated time", fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags map-iteration loops whose body writes output.
+func checkMapRange(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl, rng *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rng.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	if analysis.LineAnnotated(pass, file, rng.Pos(), analysis.AnnotOrderOK) {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if target, ok := appendTarget(pass, n); ok {
+				if declaredWithin(pass, target, rng.Body) {
+					return true // loop-local accumulator, discarded or reduced in-loop
+				}
+				if sortedLater(pass, fn, rng, target) {
+					return true // canonical collect-keys-then-sort pattern
+				}
+				pass.Reportf(n.Pos(),
+					"append to %q during map iteration without a subsequent sort: "+
+						"output order follows randomized map order (sort it, or annotate "+
+						"//bmlint:orderok if order truly cannot matter)", target.Name())
+				return true
+			}
+			if name := outputCall(pass, n); name != "" {
+				pass.Reportf(n.Pos(),
+					"%s during map iteration: emitted order follows randomized map order; "+
+						"collect and sort first (//bmlint:orderok to suppress)", name)
+			}
+		case *ast.SendStmt:
+			pass.Reportf(n.Pos(),
+				"channel send during map iteration: delivery order follows randomized "+
+					"map order (//bmlint:orderok to suppress)")
+		}
+		return true
+	})
+}
+
+// appendTarget returns the variable that call appends to, when call is
+// `append(x, ...)` with x rooted at a plain identifier.
+func appendTarget(pass *analysis.Pass, call *ast.CallExpr) (*types.Var, bool) {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || len(call.Args) == 0 {
+		return nil, false
+	}
+	if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); !ok || b.Name() != "append" {
+		return nil, false
+	}
+	root := rootIdent(call.Args[0])
+	if root == nil {
+		return nil, false
+	}
+	v, ok := pass.TypesInfo.Uses[root].(*types.Var)
+	return v, ok
+}
+
+// outputCall classifies call as an order-sensitive output write and
+// returns a short description, or "".
+func outputCall(pass *analysis.Pass, call *ast.CallExpr) string {
+	fn := calleeFunc(pass, call)
+	if fn == nil {
+		// The panic builtin: the message rendered depends on which entry
+		// the iteration reached first.
+		if id, ok := call.Fun.(*ast.Ident); ok {
+			if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+				return "panic"
+			}
+		}
+		return ""
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		switch {
+		case strings.HasPrefix(fn.Name(), "Fprint"),
+			strings.HasPrefix(fn.Name(), "Print"),
+			strings.HasPrefix(fn.Name(), "Sprint"),
+			strings.HasPrefix(fn.Name(), "Append"):
+			return "fmt." + fn.Name()
+		}
+	}
+	// Writer-shaped methods: Write, WriteString, WriteByte, ... on any
+	// receiver (io.Writer implementations, strings.Builder, bufio.Writer).
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil &&
+		strings.HasPrefix(fn.Name(), "Write") {
+		return fn.Name()
+	}
+	return ""
+}
+
+// sortedLater reports whether target is passed to a sort call after the
+// range loop within the same function body.
+func sortedLater(pass *analysis.Pass, fn *ast.FuncDecl, rng *ast.RangeStmt, target *types.Var) bool {
+	found := false
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		callee := calleeFunc(pass, call)
+		if callee == nil {
+			return true
+		}
+		isSort := false
+		if p := callee.Pkg(); p != nil && (p.Path() == "sort" || p.Path() == "slices") {
+			isSort = true
+		}
+		if strings.Contains(strings.ToLower(callee.Name()), "sort") {
+			isSort = true
+		}
+		if !isSort {
+			return true
+		}
+		for _, arg := range call.Args {
+			if root := rootIdent(arg); root != nil && pass.TypesInfo.Uses[root] == target {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// declaredWithin reports whether v's declaration lies inside node.
+func declaredWithin(pass *analysis.Pass, v *types.Var, node ast.Node) bool {
+	return node.Pos() <= v.Pos() && v.Pos() <= node.End()
+}
+
+// rootIdent unwraps selectors, indexing, slicing and parens down to the
+// base identifier, or nil (e.g. for a call result).
+func rootIdent(e ast.Expr) *ast.Ident {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+// calleeFunc resolves the called function or method, or nil for builtins,
+// type conversions and calls through function-typed values.
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"bimodal/internal/analysis/analysistest"
+	"bimodal/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, determinism.Analyzer,
+		"../testdata/src/determinism", "bimodal/internal/core")
+}
+
+// TestSkipsNonSimulatorPackages loads the same fixture under a
+// non-simulator import path: every violation must be ignored, proving the
+// package scoping works. The fixture's want comments are not asserted
+// here; zero diagnostics must be produced, so an empty want set matches.
+func TestSkipsNonSimulatorPackages(t *testing.T) {
+	if determinism.AppliesTo("bimodal/internal/service") {
+		t.Fatal("service must not be a determinism-scoped package")
+	}
+	if !determinism.AppliesTo("bimodal/internal/core") {
+		t.Fatal("core must be a determinism-scoped package")
+	}
+}

@@ -1,0 +1,13 @@
+package errwrap_test
+
+import (
+	"testing"
+
+	"bimodal/internal/analysis/analysistest"
+	"bimodal/internal/analysis/errwrap"
+)
+
+func TestErrWrap(t *testing.T) {
+	analysistest.Run(t, errwrap.Analyzer,
+		"../testdata/src/errwrap", "bimodal/internal/service")
+}

@@ -1,0 +1,13 @@
+package hotpath_test
+
+import (
+	"testing"
+
+	"bimodal/internal/analysis/analysistest"
+	"bimodal/internal/analysis/hotpath"
+)
+
+func TestHotpath(t *testing.T) {
+	analysistest.Run(t, hotpath.Analyzer,
+		"../testdata/src/hotpath", "bimodal/internal/core")
+}

@@ -1,0 +1,248 @@
+// Package load type-checks Go packages from source for the bmlint
+// analyzers without golang.org/x/tools/go/packages. It shells out to
+// `go list -export -json -deps`, which compiles (or reuses from the build
+// cache) export data for every dependency, then parses the target
+// packages with the standard parser and type-checks them against that
+// export data via go/importer's compiler-lookup hook. Everything works
+// offline: the go toolchain resolves imports and the build cache supplies
+// export files.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"bimodal/internal/analysis"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File
+	Pkg        *types.Package
+	Info       *types.Info
+	// TypeErrors holds soft type-checking problems. Analysis proceeds on
+	// a best-effort basis when non-empty (matching go vet behaviour of
+	// skipping, which the driver decides).
+	TypeErrors []error
+}
+
+// listEntry mirrors the fields of `go list -json` output we consume.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Packages loads the packages matching patterns (relative to dir, "" for
+// the current directory) and type-checks each from source. Dependencies
+// are consumed as export data only, so the cost of a whole-module load is
+// one `go list -export` plus parsing the matched packages.
+func Packages(dir string, patterns []string) ([]*Package, error) {
+	args := append([]string{"list", "-export", "-deps",
+		"-json=ImportPath,Dir,Export,GoFiles,Standard,DepOnly,Module,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+		if !e.DepOnly && !e.Standard {
+			targets = append(targets, e)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]string, len(t.GoFiles))
+		for i, f := range t.GoFiles {
+			files[i] = filepath.Join(t.Dir, f)
+		}
+		p, err := Check(t.ImportPath, t.Dir, files, exports)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportData compiles (or fetches from the build cache) export data for
+// the packages matching patterns and their dependencies, returning the
+// import-path -> export-file map used by Check. dir anchors pattern
+// resolution (it must be inside the module for module-path patterns).
+func ExportData(dir string, patterns []string) (map[string]string, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("load: go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	exports := map[string]string{}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("load: decoding go list output: %w", err)
+		}
+		if e.Error != nil {
+			return nil, fmt.Errorf("load: %s: %s", e.ImportPath, e.Error.Err)
+		}
+		if e.Export != "" {
+			exports[e.ImportPath] = e.Export
+		}
+	}
+	return exports, nil
+}
+
+// Check parses the named files and type-checks them as one package,
+// resolving every import through the exports map (import path -> export
+// data file). It is the shared core of standalone loading, the vettool
+// unit checker and the analysistest harness.
+func Check(importPath, dir string, files []string, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	var asts []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("load: %w", err)
+		}
+		asts = append(asts, f)
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	})
+	p := &Package{ImportPath: importPath, Dir: dir, Fset: fset, Files: asts}
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { p.TypeErrors = append(p.TypeErrors, err) },
+	}
+	p.Info = &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := conf.Check(importPath, fset, asts, p.Info)
+	p.Pkg = pkg
+	if err != nil && len(p.TypeErrors) == 0 {
+		return nil, fmt.Errorf("load: typechecking %s: %w", importPath, err)
+	}
+	return p, nil
+}
+
+// Diagnostic is one analyzer finding tagged with its origin.
+type Diagnostic struct {
+	Analyzer string
+	Position token.Position
+	Message  string
+}
+
+// Run applies every analyzer to every package and returns the combined
+// diagnostics sorted by position. Packages with type errors are skipped
+// (reported as an error) because analyzers assume complete type info.
+func Run(pkgs []*Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, p := range pkgs {
+		if len(p.TypeErrors) > 0 {
+			return nil, fmt.Errorf("load: %s has type errors: %v", p.ImportPath, p.TypeErrors[0])
+		}
+		ds, err := RunPackage(p, analyzers)
+		if err != nil {
+			return nil, err
+		}
+		diags = append(diags, ds...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// RunPackage applies the analyzers to one package.
+func RunPackage(p *Package, analyzers []*analysis.Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      p.Fset,
+			Files:     p.Files,
+			Pkg:       p.Pkg,
+			TypesInfo: p.Info,
+		}
+		name := a.Name
+		pass.Report = func(d analysis.Diagnostic) {
+			diags = append(diags, Diagnostic{
+				Analyzer: name,
+				Position: p.Fset.Position(d.Pos),
+				Message:  d.Message,
+			})
+		}
+		if _, err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("load: analyzer %s on %s: %w", a.Name, p.ImportPath, err)
+		}
+	}
+	return diags, nil
+}

@@ -1,0 +1,43 @@
+// Package ctxhygiene is the bmctxhygiene fixture, loaded under the
+// import path bimodal/internal/engine so the exported-API rules apply.
+package ctxhygiene
+
+import "context"
+
+// Pool stores a context: the canonical violation.
+type Pool struct {
+	ctx  context.Context // want `context.Context stored in struct Pool`
+	size int
+}
+
+// LegacyPool demonstrates the suppression for a justified exception.
+type LegacyPool struct {
+	ctx context.Context //bmlint:allow ctxfield — server-lifetime context, cancelled in Close
+}
+
+// Run consumes its context: fine.
+func Run(ctx context.Context, n int) error {
+	return ctx.Err()
+}
+
+// RunDropped accepts a context and never touches it.
+func RunDropped(ctx context.Context, n int) error { // want `exported RunDropped never uses its context parameter "ctx"`
+	return nil
+}
+
+// RunBlank explicitly discards its context.
+func RunBlank(_ context.Context, n int) error { // want `exported RunBlank discards its context parameter`
+	return nil
+}
+
+// RunDetached manufactures a fresh root context despite receiving one.
+func RunDetached(ctx context.Context) error {
+	_ = ctx.Err()
+	detached := context.Background() // want `context.Background inside exported RunDetached`
+	return detached.Err()
+}
+
+// runInternal is unexported: the dropped-context rules do not apply.
+func runInternal(ctx context.Context) error {
+	return nil
+}

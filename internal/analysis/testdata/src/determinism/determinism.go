@@ -1,0 +1,103 @@
+// Package determinism is the bmdeterminism fixture. The analysistest
+// harness loads it under the import path bimodal/internal/core, so the
+// simulator-package rules apply.
+package determinism
+
+import (
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"bimodal/internal/telemetry"
+)
+
+// wallClockReads exercises rule 1: raw time reads are forbidden.
+func wallClockReads() time.Duration {
+	start := time.Now()                       // want `time.Now in simulator code`
+	_ = time.Since(start)                     // want `time.Since in simulator code`
+	return time.Until(start.Add(time.Second)) // want `time.Until in simulator code`
+}
+
+// seamAnnotatedLine is the sanctioned pattern: the telemetry seam called
+// from an annotated line.
+func seamAnnotatedLine() {
+	start := telemetry.Now()   //bmlint:wallclock — throughput telemetry only
+	_ = telemetry.Since(start) //bmlint:wallclock
+}
+
+// seamAnnotatedFunc is the other sanctioned form: the whole function is a
+// wall-clock seam.
+//
+//bmlint:wallclock
+func seamAnnotatedFunc() time.Time {
+	_ = time.Now() // allowed: enclosing function is the seam
+	return telemetry.Now()
+}
+
+// seamUnannotated forgets the annotation.
+func seamUnannotated() {
+	_ = telemetry.Now() // want `telemetry.Now without a //bmlint:wallclock annotation`
+}
+
+// globalRand exercises rule 2.
+func globalRand(n int) int {
+	if rand.Intn(2) == 0 { // want `rand.Intn in simulator code`
+		return rand.Int() // want `rand.Int in simulator code`
+	}
+	rand.Shuffle(n, func(i, j int) {}) // want `rand.Shuffle in simulator code`
+	return 0
+}
+
+// mapRangeUnsorted exercises rule 3: accumulating during map iteration
+// with no subsequent sort.
+func mapRangeUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to "keys" during map iteration without a subsequent sort`
+	}
+	return keys
+}
+
+// mapRangeSorted is the canonical fix: collect, then sort.
+func mapRangeSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// mapRangeWrites exercises direct output writes during iteration.
+func mapRangeWrites(m map[string]int, sb *strings.Builder) {
+	for k, v := range m {
+		fmt.Fprintf(os.Stdout, "%s=%d\n", k, v) // want `fmt.Fprintf during map iteration`
+		sb.WriteString(k)                       // want `WriteString during map iteration`
+	}
+}
+
+// mapRangeSend exercises channel sends during iteration.
+func mapRangeSend(m map[string]int, ch chan string) {
+	for k := range m {
+		ch <- k // want `channel send during map iteration`
+	}
+}
+
+// mapRangeCommutative shows order-free reductions are fine.
+func mapRangeCommutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// mapRangeOrderOK shows the explicit suppression.
+func mapRangeOrderOK(m map[string]int, ch chan string) {
+	for k := range m { //bmlint:orderok — consumer deduplicates into a set
+		ch <- k
+	}
+}

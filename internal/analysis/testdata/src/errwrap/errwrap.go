@@ -1,0 +1,36 @@
+// Package errwrap is the bmerrwrap fixture, loaded under the import path
+// bimodal/internal/service (a package boundary).
+package errwrap
+
+import (
+	"errors"
+	"fmt"
+)
+
+var errBackpressure = errors.New("queue full")
+
+// flattened loses the error chain.
+func flattened(err error) error {
+	return fmt.Errorf("running job: %v", err) // want `fmt.Errorf formats an error without %w`
+}
+
+// wrapped keeps the chain intact.
+func wrapped(err error) error {
+	return fmt.Errorf("running job: %w", err)
+}
+
+// wrappedTwice uses Go 1.20 multi-%w wrapping.
+func wrappedTwice(a, b error) error {
+	return fmt.Errorf("submit: %w (after %w)", a, b)
+}
+
+// noError formats only plain values.
+func noError(n int) error {
+	return fmt.Errorf("queue depth %d exceeded", n)
+}
+
+// sentinel passes an error value positionally without a verb for it —
+// still a flattening bug, still flagged.
+func sentinel(n int) error {
+	return fmt.Errorf("rejected %d: %s", n, errBackpressure) // want `fmt.Errorf formats an error without %w`
+}

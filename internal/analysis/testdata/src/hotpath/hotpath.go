@@ -1,0 +1,66 @@
+// Package hotpath is the bmhotpath fixture: an annotated root, helpers
+// reachable from it (checked), and an unannotated cold function (not
+// checked). Loaded under import path bimodal/internal/core.
+package hotpath
+
+import "fmt"
+
+// Cache is a stand-in for a simulator structure with a reuse buffer.
+type Cache struct {
+	scratch []int
+	sets    [][]int
+	hits    int
+}
+
+// Access is the annotated hot-path root.
+//
+//bmlint:hotpath
+func (c *Cache) Access(p int) int {
+	c.scratch = c.scratch[:0]
+	c.scratch = append(c.scratch, p) // receiver-owned buffer: allowed
+	return c.lookup(p)
+}
+
+// lookup is reachable from Access and therefore checked.
+func (c *Cache) lookup(p int) int {
+	buf := make([]int, 8) // want `make allocates`
+	_ = buf
+	local := []int{}         // want `slice literal allocates`
+	local = append(local, p) // want `append to function-local slice "local" allocates`
+	q := c.sets[0]           // aliases receiver-owned storage
+	q = append(q, p)         // allowed: owned alias
+	c.sets[0] = q
+	msg := fmt.Sprintf("%d", p) // want `fmt.Sprintf allocates`
+	_ = msg
+	if p < 0 {
+		// Assertion failure: allocating while dying is fine.
+		panic(fmt.Sprintf("negative address %d", p))
+	}
+	return c.count(p)
+}
+
+// count is reachable two hops from the root.
+func (c *Cache) count(p int) int {
+	box := interface{}(p) // want `boxing int into interface\{\} allocates`
+	_ = box
+	ptr := &Cache{} // want `&composite literal escapes to the heap`
+	_ = ptr
+	np := new(Cache) // want `new allocates`
+	_ = np
+	s := "way" + fmt.Sprint(p) // want `string concatenation allocates` `fmt.Sprint allocates`
+	_ = s
+	f := func() int { return c.hits } // want `closure capturing "c" allocates`
+	defer f()                         // want `defer on the hot path`
+	reused := c.scratch[:0]           //bmlint:allow alloc — suppression demo (no allocation here anyway)
+	_ = reused
+	return c.hits
+}
+
+// cold is NOT reachable from any annotated root: nothing is flagged.
+func cold(n int) []string {
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, fmt.Sprintf("%d", i))
+	}
+	return out
+}

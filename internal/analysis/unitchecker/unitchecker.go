@@ -1,0 +1,140 @@
+// Package unitchecker implements the go vet driver protocol for bmlint,
+// mirroring golang.org/x/tools/go/analysis/unitchecker over the stdlib
+// loader. `go vet -vettool=bmlint ./...` invokes the tool once per
+// package ("unit") with a JSON config file describing the unit: source
+// files, the import map and export-data files for every dependency
+// (already compiled by the go command). The tool type-checks the unit
+// from source, runs the analyzers and reports diagnostics — plain text
+// on stderr with exit code 2 by default, JSON on stdout with -json.
+package unitchecker
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"bimodal/internal/analysis"
+	"bimodal/internal/analysis/load"
+)
+
+// Config is the JSON unit description written by the go command. Field
+// names and semantics follow x/tools' unitchecker.Config, which is the
+// contract the go command codes against.
+type Config struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// jsonDiagnostic is the go vet JSON output element.
+type jsonDiagnostic struct {
+	Posn    string `json:"posn"`
+	Message string `json:"message"`
+}
+
+// Run executes the protocol for one unit config file and returns the
+// process exit code (0 clean, 2 diagnostics, 1 operational failure).
+// useJSON selects go vet's -json output form.
+func Run(cfgFile string, analyzers []*analysis.Analyzer, useJSON bool, stdout, stderr io.Writer) int {
+	cfg, err := readConfig(cfgFile)
+	if err != nil {
+		fmt.Fprintf(stderr, "bmlint: %v\n", err)
+		return 1
+	}
+
+	// The go command expects the facts ("vetx") output file to exist
+	// after a successful run; bmlint computes no cross-package facts, so
+	// an empty file satisfies the cache.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintf(stderr, "bmlint: writing facts: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+
+	// Dependency export data: import path as written -> canonical path
+	// (ImportMap) -> export file (PackageFile).
+	exports := map[string]string{}
+	for src, canonical := range cfg.ImportMap {
+		if f, ok := cfg.PackageFile[canonical]; ok {
+			exports[src] = f
+		}
+	}
+	for path, f := range cfg.PackageFile {
+		if _, ok := exports[path]; !ok {
+			exports[path] = f
+		}
+	}
+
+	pkg, err := load.Check(cfg.ImportPath, cfg.Dir, cfg.GoFiles, exports)
+	if err != nil || len(pkg.TypeErrors) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		if err == nil {
+			err = pkg.TypeErrors[0]
+		}
+		fmt.Fprintf(stderr, "bmlint: typechecking %s: %v\n", cfg.ImportPath, err)
+		return 1
+	}
+
+	diags, err := load.RunPackage(pkg, analyzers)
+	if err != nil {
+		fmt.Fprintf(stderr, "bmlint: %v\n", err)
+		return 1
+	}
+
+	if useJSON {
+		byAnalyzer := map[string][]jsonDiagnostic{}
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiagnostic{
+				Posn:    d.Position.String(),
+				Message: d.Message,
+			})
+		}
+		out := map[string]map[string][]jsonDiagnostic{cfg.ID: byAnalyzer}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(out); err != nil {
+			fmt.Fprintf(stderr, "bmlint: encoding diagnostics: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	for _, d := range diags {
+		fmt.Fprintf(stderr, "%s: %s\n", d.Position, d.Message)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}
+
+func readConfig(path string) (*Config, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	cfg := new(Config)
+	if err := json.Unmarshal(data, cfg); err != nil {
+		return nil, fmt.Errorf("parsing vet config %s: %w", path, err)
+	}
+	return cfg, nil
+}

@@ -245,6 +245,8 @@ func (c *Cache) Contains(p addr.Phys) bool {
 
 // Access performs one 64B-line access and returns the outcome. write marks
 // stores (sets dirty state).
+//
+//bmlint:hotpath
 func (c *Cache) Access(p addr.Phys, write bool) Outcome {
 	c.Stats.Accesses++
 	c.scratch = c.scratch[:0]

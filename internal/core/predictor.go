@@ -158,16 +158,19 @@ func (g *GlobalState) NoteAccess() bool {
 //
 // where f is the number of small ways per big slot.
 func (g *GlobalState) adapt() {
-	defer func() { g.dBig, g.dSmall = 0, 0 }()
+	// Consume and reset the demand counters up front (no deferred
+	// closure: adapt is on the zero-allocation hot path via NoteAccess).
+	dBig, dSmall := g.dBig, g.dSmall
+	g.dBig, g.dSmall = 0, 0
 	f := float64(g.params.SubBlocks())
 	var r float64
 	switch {
-	case g.dBig == 0 && g.dSmall == 0:
+	case dBig == 0 && dSmall == 0:
 		return
-	case g.dBig == 0:
+	case dBig == 0:
 		r = 1e18 // unbounded preference for small
 	default:
-		r = g.params.Weight * float64(g.dSmall) / float64(g.dBig)
+		r = g.params.Weight * float64(dSmall) / float64(dBig)
 	}
 	x, y := float64(g.state.X), float64(g.state.Y)
 	// Note one deviation from the literal text: with zero small demand the
@@ -179,7 +182,7 @@ func (g *GlobalState) adapt() {
 		g.state.X--
 		g.state.Y += g.params.SubBlocks()
 		g.Transitions++
-	case (r < (y-f)/(x+1) || g.dSmall == 0) && g.state.Y > 0:
+	case (r < (y-f)/(x+1) || dSmall == 0) && g.state.Y > 0:
 		g.state.X++
 		g.state.Y -= g.params.SubBlocks()
 		g.Transitions++

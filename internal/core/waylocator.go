@@ -77,6 +77,8 @@ type Hit struct {
 
 // Lookup probes the locator for the line at p. ok reports a hit; the
 // result names the way and whether it is a big or small way.
+//
+//bmlint:hotpath
 func (w *WayLocator) Lookup(p addr.Phys) (Hit, bool) {
 	w.Lookups++
 	w.clock++

@@ -277,7 +277,7 @@ func observeRate(phase string, steps int64, elapsed time.Duration) {
 // runPhase is RunContext tagged with a phase label for throughput
 // telemetry (warmup vs measure).
 func (e *Engine) runPhase(ctx context.Context, accessesPerCore int64, phase string) ([]CoreResult, error) {
-	start := time.Now()
+	start := telemetry.Now() //bmlint:wallclock — phase throughput telemetry only
 	h := make(coreHeap, 0, len(e.cores))
 	active := 0
 	for _, c := range e.cores {
@@ -306,7 +306,7 @@ func (e *Engine) runPhase(ctx context.Context, accessesPerCore int64, phase stri
 		c.prime()
 		heap.Push(&h, c)
 	}
-	observeRate(phase, steps, time.Since(start))
+	observeRate(phase, steps, telemetry.Since(start)) //bmlint:wallclock
 	out := make([]CoreResult, len(e.cores))
 	for i, c := range e.cores {
 		out[i] = c.result

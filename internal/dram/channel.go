@@ -208,6 +208,8 @@ func (c *Channel) refreshAdjust(b *bank, t int64) int64 {
 // given number of bytes (ignored for OpOpen). It returns the CPU cycle at
 // which the operation's data transfer completes (for OpOpen: when the row
 // is open and a column command may issue) and the row-buffer outcome.
+//
+//bmlint:hotpath
 func (c *Channel) Access(op Op, l addr.Location, now int64, bytes int64) (done int64, rr RowResult) {
 	b := c.bankOf(l)
 	t := c.refreshAdjust(b, now)

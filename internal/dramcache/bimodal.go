@@ -229,6 +229,8 @@ func (b *BiModal) writeMeta(set uint64, at int64) {
 }
 
 // Access implements Scheme.
+//
+//bmlint:hotpath
 func (b *BiModal) Access(req Request, now int64) Result {
 	// Prefetch bypass: a missing prefetch is served straight from memory
 	// without disturbing cache state.

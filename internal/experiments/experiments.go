@@ -14,6 +14,7 @@ import (
 
 	"bimodal/internal/engine"
 	"bimodal/internal/stats"
+	"bimodal/internal/telemetry"
 	"bimodal/internal/workloads"
 )
 
@@ -142,10 +143,10 @@ func runCells[T any](ctx context.Context, o Options, id string, cells []cell[T])
 func RunCells[T any](ctx context.Context, o Options, id string, cells []Cell[T]) ([]T, error) {
 	n := &notifier{w: o.Progress, fn: o.OnCell, id: id, total: len(cells)}
 	return engine.Map(ctx, engine.Workers(o.Workers), len(cells), func(ctx context.Context, i int) (T, error) {
-		start := time.Now()
+		start := telemetry.Now() //bmlint:wallclock — per-cell progress timing only
 		v, err := cells[i].Run(ctx)
 		if err == nil {
-			n.cellDone(i, cells[i].Label, time.Since(start))
+			n.cellDone(i, cells[i].Label, telemetry.Since(start)) //bmlint:wallclock
 		}
 		return v, err
 	})

@@ -79,8 +79,8 @@ func extVictim(ctx context.Context, o Options) (*stats.Table, error) {
 	so := simOpts(o)
 	mixes := o.mixes(4)
 	type victimResult struct {
-		baseHit, vicHit   float64
-		baseLat, vicLat   float64
+		baseHit, vicHit    float64
+		baseLat, vicLat    float64
 		victimHits, misses int64
 	}
 	var cells []cell[victimResult]

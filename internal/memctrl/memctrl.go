@@ -186,6 +186,8 @@ func (c *Controller) Map(p addr.Phys) addr.Location { return c.il.Map(p) }
 // Read performs a demand read of the given number of bytes at physical
 // address p, arriving at CPU cycle now. It returns the completion time and
 // the row-buffer outcome.
+//
+//bmlint:hotpath
 func (c *Controller) Read(p addr.Phys, now int64, bytes int64) (done int64, rr dram.RowResult) {
 	l := c.il.Map(p)
 	c.observe(l.Channel, now)
@@ -195,6 +197,8 @@ func (c *Controller) Read(p addr.Phys, now int64, bytes int64) (done int64, rr d
 
 // ReadAt is Read for an explicit pre-computed location (used for metadata
 // banks whose placement is not a direct address map).
+//
+//bmlint:hotpath
 func (c *Controller) ReadAt(l addr.Location, now int64, bytes int64) (done int64, rr dram.RowResult) {
 	c.observe(l.Channel, now)
 	return c.channels[l.Channel].Access(dram.OpRead, l, now+c.cfg.FixedLatency, bytes)
@@ -202,6 +206,8 @@ func (c *Controller) ReadAt(l addr.Location, now int64, bytes int64) (done int64
 
 // Write schedules a write of bytes at p at CPU cycle now. The returned
 // completion time may be ignored by callers that treat writes as posted.
+//
+//bmlint:hotpath
 func (c *Controller) Write(p addr.Phys, now int64, bytes int64) (done int64, rr dram.RowResult) {
 	return c.WriteAt(c.il.Map(p), now, bytes)
 }
@@ -209,6 +215,8 @@ func (c *Controller) Write(p addr.Phys, now int64, bytes int64) (done int64, rr 
 // WriteAt is Write for an explicit location. With a write queue configured
 // the write is deferred (completion time is its enqueue acknowledgment);
 // otherwise it is issued immediately.
+//
+//bmlint:hotpath
 func (c *Controller) WriteAt(l addr.Location, now int64, bytes int64) (done int64, rr dram.RowResult) {
 	c.observe(l.Channel, now)
 	if c.cfg.WriteQueueDepth == 0 {
@@ -227,11 +235,15 @@ func (c *Controller) WriteAt(l addr.Location, now int64, bytes int64) (done int6
 // Open speculatively activates the row containing p. It returns the time at
 // which the row is open (a subsequent column command from then on sees a
 // row hit) and the row-buffer outcome observed.
+//
+//bmlint:hotpath
 func (c *Controller) Open(p addr.Phys, now int64) (ready int64, rr dram.RowResult) {
 	return c.OpenAt(c.il.Map(p), now)
 }
 
 // OpenAt is Open for an explicit location.
+//
+//bmlint:hotpath
 func (c *Controller) OpenAt(l addr.Location, now int64) (ready int64, rr dram.RowResult) {
 	c.observe(l.Channel, now)
 	return c.channels[l.Channel].Access(dram.OpOpen, l, now+c.cfg.FixedLatency, 0)

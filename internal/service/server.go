@@ -56,8 +56,7 @@ func (c Config) normalize() Config {
 type Server struct {
 	cfg    Config
 	reg    *telemetry.Registry
-	ctx    context.Context // cancels in-flight jobs on forced shutdown
-	cancel context.CancelFunc
+	cancel context.CancelFunc // cancels in-flight jobs on forced shutdown
 	queue  chan *job
 	wg     sync.WaitGroup
 
@@ -90,10 +89,14 @@ func New(cfg Config) *Server {
 		gInFlight:    reg.Gauge("bimodal_jobs_inflight"),
 		hCellSeconds: reg.Histogram("bimodal_cell_seconds", telemetry.LatencyBuckets()...),
 	}
-	s.ctx, s.cancel = context.WithCancel(context.Background())
+	// The run context is handed to each worker rather than stored on the
+	// Server: contexts are call-scoped (bmctxhygiene), and the only
+	// holder that needs it is the worker call tree.
+	ctx, cancel := context.WithCancel(context.Background())
+	s.cancel = cancel
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
-		go s.worker()
+		go s.worker(ctx)
 	}
 	return s
 }
@@ -125,21 +128,21 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	}
 }
 
-// worker drains the queue until it is closed.
-func (s *Server) worker() {
+// worker drains the queue until it is closed. ctx is the server's run
+// context; its cancellation (forced shutdown) cancels in-flight jobs.
+func (s *Server) worker(ctx context.Context) {
 	defer s.wg.Done()
 	for jb := range s.queue {
 		s.gQueueDepth.Add(-1)
-		s.runJob(jb)
+		s.runJob(ctx, jb)
 	}
 }
 
 // runJob executes one job end to end and records its terminal state.
-func (s *Server) runJob(jb *job) {
+func (s *Server) runJob(ctx context.Context, jb *job) {
 	s.gInFlight.Add(1)
 	defer s.gInFlight.Add(-1)
 	jb.setState(StateRunning, "")
-	ctx := s.ctx
 	if s.cfg.JobTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.cfg.JobTimeout)

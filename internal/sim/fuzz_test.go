@@ -1,0 +1,41 @@
+package sim
+
+import "testing"
+
+// FuzzParseScheme checks that ParseScheme never panics and that its
+// accept/reject decision is consistent with the typed SchemeID surface:
+// every accepted name resolves to a valid ID that round-trips through
+// String and has a working factory; every rejected name returns an
+// invalid ID.
+func FuzzParseScheme(f *testing.F) {
+	for _, name := range SchemeNames() {
+		f.Add(name)
+	}
+	f.Add("")
+	f.Add("bimodal ")
+	f.Add("BIMODAL")
+	f.Add("alloy\x00")
+	f.Add("scheme-that-does-not-exist")
+
+	f.Fuzz(func(t *testing.T, name string) {
+		id, err := ParseScheme(name)
+		if err != nil {
+			if id.Valid() {
+				t.Fatalf("ParseScheme(%q) = (%v, %v): error with valid ID", name, id, err)
+			}
+			return
+		}
+		if !id.Valid() {
+			t.Fatalf("ParseScheme(%q) accepted but ID %d invalid", name, int(id))
+		}
+		if got := id.String(); got != name {
+			t.Fatalf("ParseScheme(%q).String() = %q, want round-trip", name, got)
+		}
+		if id.Factory() == nil {
+			t.Fatalf("ParseScheme(%q): nil factory for valid scheme", name)
+		}
+		if _, err := SchemeFactory(name); err != nil {
+			t.Fatalf("SchemeFactory(%q) = %v after ParseScheme accepted it", name, err)
+		}
+	})
+}

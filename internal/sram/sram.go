@@ -102,6 +102,8 @@ func (c *Cache) NumSets() uint64 { return c.fields.NumSets() }
 
 // Lookup probes for p without modifying recency. It returns the way index
 // or -1.
+//
+//bmlint:hotpath
 func (c *Cache) Lookup(p addr.Phys) int {
 	set := c.sets[c.fields.Set(p)]
 	tag := c.fields.Tag(p)
@@ -115,6 +117,8 @@ func (c *Cache) Lookup(p addr.Phys) int {
 
 // Access probes for p, updating recency and hit/miss statistics. It returns
 // (hit, way index). On a miss the way index is -1 and nothing is inserted.
+//
+//bmlint:hotpath
 func (c *Cache) Access(p addr.Phys, write bool) (bool, int) {
 	si := c.fields.Set(p)
 	set := c.sets[si]

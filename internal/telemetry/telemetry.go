@@ -23,7 +23,27 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
+
+// Now and Since are the simulator's only sanctioned wall-clock access
+// points (the "wall-clock seam"). Simulated time advances exclusively
+// through the timing model; wall-clock reads exist purely for telemetry
+// (phase throughput, cell latency) and must never feed back into
+// simulated state. The bmdeterminism analyzer forbids raw time.Now /
+// time.Since in simulator packages and requires calls to these functions
+// to be annotated //bmlint:wallclock at the call site, which keeps every
+// wall-clock read greppable and reviewed.
+
+// Now returns the current wall-clock time for telemetry.
+//
+//bmlint:wallclock
+func Now() time.Time { return time.Now() }
+
+// Since returns the wall-clock duration since t for telemetry.
+//
+//bmlint:wallclock
+func Since(t time.Time) time.Duration { return time.Since(t) }
 
 // Counter is a monotonically increasing int64.
 type Counter struct{ v atomic.Int64 }
@@ -166,15 +186,19 @@ func (r *Registry) Histogram(name string, bounds ...float64) *Histogram {
 }
 
 // checkFree panics when name is already registered as another kind.
-// Callers hold r.mu.
+// Callers hold r.mu. The kinds are checked in a fixed order (not via a
+// map) so the panic message is deterministic.
 func (r *Registry) checkFree(name, kind string) {
-	for other, m := range map[string]bool{
-		"counter":   r.counters[name] != nil,
-		"gauge":     r.gauges[name] != nil,
-		"histogram": r.hists[name] != nil,
+	for _, k := range [...]struct {
+		kind  string
+		taken bool
+	}{
+		{"counter", r.counters[name] != nil},
+		{"gauge", r.gauges[name] != nil},
+		{"histogram", r.hists[name] != nil},
 	} {
-		if m {
-			panic(fmt.Sprintf("telemetry: %q already registered as %s, requested as %s", name, other, kind))
+		if k.taken {
+			panic(fmt.Sprintf("telemetry: %q already registered as %s, requested as %s", name, k.kind, kind))
 		}
 	}
 }

@@ -156,6 +156,8 @@ func decode(rec [recordSize]byte) Access {
 func (r *Reader) Len() int { return len(r.records) }
 
 // Next implements Generator, cycling through the records.
+//
+//bmlint:hotpath
 func (r *Reader) Next() Access {
 	if len(r.records) == 0 {
 		return Access{}

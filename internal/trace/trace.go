@@ -68,6 +68,8 @@ type SliceGen struct {
 }
 
 // Next implements Generator.
+//
+//bmlint:hotpath
 func (s *SliceGen) Next() Access {
 	if len(s.Accs) == 0 {
 		return Access{}
@@ -226,6 +228,8 @@ func (g *Synthetic) episodeLen(mean int) int {
 }
 
 // Next implements Generator.
+//
+//bmlint:hotpath
 func (g *Synthetic) Next() Access {
 	for g.head >= len(g.pending) {
 		g.pending = g.pending[:0]
