@@ -28,6 +28,7 @@ race:
 fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseScheme -fuzztime=10s ./internal/sim
 	$(GO) test -run='^$$' -fuzz=FuzzTraceReader -fuzztime=10s ./internal/trace
+	$(GO) test -run='^$$' -fuzz=FuzzSpec -fuzztime=10s ./internal/spec
 
 # bench re-measures the hot-path microbenchmarks and writes (or refreshes)
 # the dated baseline snapshot. Commit the file to update the baseline CI

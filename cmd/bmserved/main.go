@@ -42,16 +42,18 @@ func main() {
 		cellWorkers  = flag.Int("cell-workers", 0, "engine workers per job (0 = NumCPU/jobs)")
 		jobTimeout   = flag.Duration("job-timeout", 0, "per-job wall-clock cap (0 = none)")
 		maxCells     = flag.Int("max-cells", 256, "max mixes x schemes per job (-1 = unlimited)")
+		cacheEntries = flag.Int("result-cache", 256, "result memoization cache entries, keyed by spec hash (-1 = disabled)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a drain may take before in-flight jobs are cancelled")
 	)
 	flag.Parse()
 
 	srv := service.New(service.Config{
-		QueueDepth:  *queueDepth,
-		Workers:     *jobs,
-		CellWorkers: *cellWorkers,
-		JobTimeout:  *jobTimeout,
-		MaxCells:    *maxCells,
+		QueueDepth:         *queueDepth,
+		Workers:            *jobs,
+		CellWorkers:        *cellWorkers,
+		JobTimeout:         *jobTimeout,
+		MaxCells:           *maxCells,
+		ResultCacheEntries: *cacheEntries,
 	})
 	// The profiling endpoints ride on the API mux so a running server can
 	// always be profiled (go tool pprof .../debug/pprof/profile). Explicit

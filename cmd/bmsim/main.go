@@ -9,6 +9,14 @@
 //	bmsim -scheme alloy -mix E3 -accesses 500000
 //	bmsim -scheme bimodal -mix Q2 -prefetch 3 -antt -workers 0
 //	bmsim -scheme bimodal -mix Q7 -json | jq .cells[0].hit_rate
+//	bmsim -scheme bimodal-cometa -mix Q7 -dump-spec > run.json
+//	bmsim -spec run.json
+//
+// A run is fully described by its canonical run spec (internal/spec):
+// -dump-spec prints the canonical spec JSON for the given flags (with its
+// content hash on stderr) without running, and -spec replays a spec file
+// ("-" reads stdin), guaranteeing the same result bytes as any other
+// runner of the same spec — including the bmserved job service.
 //
 // -json emits the same machine-readable schema the bmserved job server
 // returns (a service.JobResult with one cell), so scripts consume CLI
@@ -21,6 +29,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"time"
@@ -30,19 +39,22 @@ import (
 	"bimodal/internal/profiling"
 	"bimodal/internal/service"
 	"bimodal/internal/sim"
+	"bimodal/internal/spec"
 	"bimodal/internal/stats"
 	"bimodal/internal/workloads"
 )
 
 func main() {
 	var (
-		schemeName = flag.String("scheme", "bimodal", "scheme: bimodal|bimodal-only|wl-only|bimodal-cometa|bimodal-bypass|alloy|lohhill|atcache|footprint")
+		schemeName = flag.String("scheme", "bimodal", "scheme name or alias (see paper -schemes for the registry)")
 		mixName    = flag.String("mix", "Q1", "workload mix (Q1..Q24, E1..E16, S1..S8)")
 		accesses   = flag.Int64("accesses", 300_000, "accesses per core")
 		seed       = flag.Uint64("seed", 1, "random seed")
 		cacheBytes = flag.Uint64("cache", 0, "DRAM cache bytes (0 = Table IV preset)")
 		prefetchN  = flag.Int("prefetch", 0, "next-N-lines prefetch depth (0 = off)")
 		withANTT   = flag.Bool("antt", false, "also run standalone baselines and report ANTT")
+		specFile   = flag.String("spec", "", "run a canonical run-spec JSON file instead of the scheme/mix flags (\"-\" reads stdin)")
+		dumpSpec   = flag.Bool("dump-spec", false, "print the canonical run spec and exit without simulating")
 		workers    = flag.Int("workers", 0, "worker pool for the ANTT standalone runs (0 = NumCPU, 1 = serial)")
 		timeout    = flag.Duration("timeout", 0, "run deadline (0 = none)")
 		jsonOut    = flag.Bool("json", false, "emit the service result schema (JSON) instead of tables")
@@ -50,6 +62,19 @@ func main() {
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	rs, err := buildSpec(*specFile, *schemeName, *mixName, *accesses, *seed, *cacheBytes, *prefetchN, *withANTT)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bmsim:", err)
+		os.Exit(1)
+	}
+	if *dumpSpec {
+		if err := printSpec(rs); err != nil {
+			fmt.Fprintln(os.Stderr, "bmsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer stop()
@@ -64,7 +89,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bmsim:", perr)
 		os.Exit(1)
 	}
-	err := run(ctx, *schemeName, *mixName, *accesses, *seed, *cacheBytes, *prefetchN, *withANTT, *workers, *jsonOut)
+	err = run(ctx, rs, *workers, *jsonOut)
 	// Flush profiles before any exit path: failed or interrupted runs are
 	// the ones most worth profiling.
 	stopCPU()
@@ -84,28 +109,82 @@ func main() {
 	}
 }
 
-func run(ctx context.Context, schemeName, mixName string, accesses int64, seed, cacheBytes uint64, prefetchN int, withANTT bool, workers int, jsonOut bool) error {
-	mix, err := workloads.ByName(mixName)
-	if err != nil {
-		return err
-	}
-	opts := sim.Options{
-		AccessesPerCore: accesses,
-		Seed:            seed,
-		CacheBytes:      cacheBytes,
-		PrefetchN:       prefetchN,
-		Workers:         engine.Workers(workers),
-	}
-	var factory sim.Factory
-	id, err := sim.ParseScheme(schemeName)
-	if err != nil {
-		return err
-	}
-	if id == sim.SchemeBiModal {
-		factory = sim.BiModalFactory(mix.Cores(), opts)
+// buildSpec resolves the run spec: from -spec when given (rejecting
+// conflicting per-run flags so a replay is exactly the file's spec), else
+// from the individual flags. The result is canonical either way.
+func buildSpec(specFile, schemeName, mixName string, accesses int64, seed, cacheBytes uint64, prefetchN int, withANTT bool) (spec.RunSpec, error) {
+	var rs spec.RunSpec
+	if specFile != "" {
+		conflicting := map[string]bool{
+			"scheme": true, "mix": true, "accesses": true, "seed": true,
+			"cache": true, "prefetch": true, "antt": true,
+		}
+		var clash []string
+		flag.Visit(func(f *flag.Flag) {
+			if conflicting[f.Name] {
+				clash = append(clash, "-"+f.Name)
+			}
+		})
+		if len(clash) > 0 {
+			return spec.RunSpec{}, fmt.Errorf("-spec conflicts with %v: the spec file is the whole run configuration", clash)
+		}
+		b, err := readSpecFile(specFile)
+		if err != nil {
+			return spec.RunSpec{}, err
+		}
+		if rs, err = spec.Parse(b); err != nil {
+			return spec.RunSpec{}, err
+		}
 	} else {
-		factory = id.Factory()
+		rs = spec.RunSpec{
+			Scheme: schemeName,
+			Mix:    mixName,
+			Seed:   seed,
+			Options: spec.Options{
+				AccessesPerCore: accesses,
+				CacheBytes:      cacheBytes,
+				Prefetch:        prefetchN,
+				ANTT:            withANTT,
+			},
+		}
 	}
+	return rs.Canonical()
+}
+
+func readSpecFile(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
+}
+
+// printSpec writes the canonical spec (indented, for humans and version
+// control) to stdout and its content hash to stderr.
+func printSpec(rs spec.RunSpec) error {
+	b, err := json.MarshalIndent(rs, "", "  ")
+	if err != nil {
+		return err
+	}
+	fmt.Println(string(b))
+	hash, err := rs.Hash()
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "bmsim: spec hash", hash)
+	return nil
+}
+
+func run(ctx context.Context, rs spec.RunSpec, workers int, jsonOut bool) error {
+	mix, err := workloads.ByName(rs.Mix)
+	if err != nil {
+		return err
+	}
+	factory, err := sim.FactoryForSpec(rs, mix.Cores())
+	if err != nil {
+		return err
+	}
+	opts := sim.OptionsForSpec(rs)
+	opts.Workers = engine.Workers(workers)
 
 	res, err := sim.RunContext(ctx, mix, factory, opts)
 	if err != nil {
@@ -114,11 +193,15 @@ func run(ctx context.Context, schemeName, mixName string, accesses int64, seed, 
 	r := res.Report
 
 	if jsonOut {
-		return printJSON(ctx, id, mix, res, opts, withANTT, factory)
+		return printJSON(ctx, rs, mix, res, opts, factory)
 	}
 
+	hash, err := rs.Hash()
+	if err != nil {
+		return err
+	}
 	tbl := stats.NewTable(fmt.Sprintf("%s on %s (%d cores, %d accesses/core)",
-		r.Scheme, mix.Name, mix.Cores(), accesses), "metric", "value")
+		r.Scheme, mix.Name, mix.Cores(), opts.AccessesPerCore), "metric", "value")
 	tbl.AddRow("hit rate", stats.FmtPct(r.HitRate()))
 	tbl.AddRow("avg access latency", fmt.Sprintf("%.1f cycles", r.AvgLatency()))
 	if r.LocatorLookups > 0 {
@@ -135,6 +218,7 @@ func run(ctx context.Context, schemeName, mixName string, accesses int64, seed, 
 	}
 	tbl.AddRow("stacked row-buffer hit rate", stats.FmtPct(r.Stacked.RowHitRate()))
 	tbl.AddRow("energy per access", fmt.Sprintf("%.1f nJ", energy.PerAccess(res.Energy, r.Accesses)))
+	tbl.AddRow("spec hash", hash)
 	fmt.Print(tbl)
 
 	per := stats.NewTable("per-core results", "core", "benchmark", "cycles", "IPC", "hit rate")
@@ -144,7 +228,7 @@ func run(ctx context.Context, schemeName, mixName string, accesses int64, seed, 
 	}
 	fmt.Print(per)
 
-	if withANTT {
+	if rs.Options.ANTT {
 		start := time.Now()
 		antt, _, err := sim.ANTTContext(ctx, mix, factory, opts)
 		if err != nil {
@@ -157,29 +241,30 @@ func run(ctx context.Context, schemeName, mixName string, accesses int64, seed, 
 
 // printJSON emits a service.JobResult with one cell — the same schema
 // bmserved returns — built from the run that already happened (plus the
-// standalone ANTT runs when requested).
-func printJSON(ctx context.Context, id sim.SchemeID, mix workloads.Mix, res sim.RunResult, opts sim.Options, withANTT bool, factory sim.Factory) error {
-	cell := service.NewCellResult(id.String(), res)
-	if withANTT {
+// standalone ANTT runs when requested). The echoed request is the
+// canonical form, exactly as the server would echo it.
+func printJSON(ctx context.Context, rs spec.RunSpec, mix workloads.Mix, res sim.RunResult, opts sim.Options, factory sim.Factory) error {
+	cell := service.NewCellResult(rs.Scheme, res)
+	if rs.Options.ANTT {
 		antt, _, err := sim.ANTTContext(ctx, mix, factory, opts)
 		if err != nil {
 			return err
 		}
 		cell.ANTT = antt
 	}
+	req := service.JobRequest{
+		Mixes:   []string{rs.Mix},
+		Schemes: []string{rs.Scheme},
+		Seed:    rs.Seed,
+		Options: rs.Options,
+	}
+	if len(rs.Params) > 0 {
+		// Scheme params are only expressible in the spec request form.
+		req = service.JobRequest{Specs: []spec.RunSpec{rs}}
+	}
 	out := service.JobResult{
-		Request: service.JobRequest{
-			Mixes:   []string{mix.Name},
-			Schemes: []string{id.String()},
-			Seed:    opts.Seed,
-			Options: service.RunOptions{
-				AccessesPerCore: opts.AccessesPerCore,
-				CacheBytes:      opts.CacheBytes,
-				Prefetch:        opts.PrefetchN,
-				ANTT:            withANTT,
-			},
-		},
-		Cells: []service.CellResult{cell},
+		Request: req,
+		Cells:   []service.CellResult{cell},
 	}
 	b, err := json.MarshalIndent(out, "", "  ")
 	if err != nil {

@@ -8,18 +8,27 @@
 //	bmsubmit -mixes Q1,Q7 -schemes bimodal,alloy -accesses 100000
 //	bmsubmit -server http://sim.host:8080 -mixes E3 -schemes bimodal -antt -follow
 //	bmsubmit -mixes Q1 -schemes alloy -no-wait          # fire and forget
+//	bmsim -dump-spec > run.json && bmsubmit -spec run.json
+//
+// -spec submits canonical run specs (a single spec object or an array of
+// them, e.g. from bmsim -dump-spec) instead of the mixes × schemes cross
+// product. Identical submissions share a spec hash (printed with the job
+// id), which the server uses to serve repeats from its result cache.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/signal"
 	"strings"
 	"time"
 
 	"bimodal/internal/service"
+	"bimodal/internal/spec"
 )
 
 func main() {
@@ -34,6 +43,7 @@ func main() {
 		divisor   = flag.Uint64("cache-divisor", 0, "divide the preset cache size (scale compensation)")
 		prefetchN = flag.Int("prefetch", 0, "next-N-lines prefetch depth")
 		antt      = flag.Bool("antt", false, "also compute per-cell ANTT (cores+1 sims per cell)")
+		specFile  = flag.String("spec", "", "submit run specs from a JSON file (one spec object or an array; \"-\" reads stdin)")
 		follow    = flag.Bool("follow", false, "stream per-cell progress events to stderr (SSE)")
 		noWait    = flag.Bool("no-wait", false, "submit and print the job id without waiting")
 		poll      = flag.Duration("poll", 200*time.Millisecond, "status poll interval when not following")
@@ -49,23 +59,63 @@ func main() {
 		defer cancel()
 	}
 
-	req := service.JobRequest{
-		Mixes:   splitList(*mixes),
-		Schemes: splitList(*schemes),
-		Seed:    *seed,
-		Options: service.RunOptions{
-			AccessesPerCore: *accesses,
-			WarmupPerCore:   *warmup,
-			CacheBytes:      *cache,
-			CacheDivisor:    *divisor,
-			Prefetch:        *prefetchN,
-			ANTT:            *antt,
-		},
+	var req service.JobRequest
+	if *specFile != "" {
+		specs, err := readSpecs(*specFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bmsubmit:", err)
+			os.Exit(1)
+		}
+		// Specs carry their own options; the job seed fills specs without
+		// one. Mix/scheme/option flags are left at their (ignored) defaults
+		// — the server rejects mixed-form requests.
+		req = service.JobRequest{Specs: specs, Seed: *seed}
+	} else {
+		req = service.JobRequest{
+			Mixes:   splitList(*mixes),
+			Schemes: splitList(*schemes),
+			Seed:    *seed,
+			Options: service.RunOptions{
+				AccessesPerCore: *accesses,
+				WarmupPerCore:   *warmup,
+				CacheBytes:      *cache,
+				CacheDivisor:    *divisor,
+				Prefetch:        *prefetchN,
+				ANTT:            *antt,
+			},
+		}
 	}
 	if err := run(ctx, service.NewClient(*server), req, *follow, *noWait, *poll); err != nil {
 		fmt.Fprintln(os.Stderr, "bmsubmit:", err)
 		os.Exit(1)
 	}
+}
+
+// readSpecs loads one spec object or an array of them.
+func readSpecs(path string) ([]spec.RunSpec, error) {
+	var b []byte
+	var err error
+	if path == "-" {
+		b, err = io.ReadAll(os.Stdin)
+	} else {
+		b, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	trimmed := strings.TrimSpace(string(b))
+	if strings.HasPrefix(trimmed, "[") {
+		var specs []spec.RunSpec
+		if err := json.Unmarshal(b, &specs); err != nil {
+			return nil, fmt.Errorf("decoding spec array: %w", err)
+		}
+		return specs, nil
+	}
+	rs, err := spec.Parse(b)
+	if err != nil {
+		return nil, err
+	}
+	return []spec.RunSpec{rs}, nil
 }
 
 func splitList(s string) []string {
@@ -83,7 +133,7 @@ func run(ctx context.Context, c *service.Client, req service.JobRequest, follow,
 	if err != nil {
 		return err
 	}
-	fmt.Fprintf(os.Stderr, "bmsubmit: %s %s (%d cells)\n", st.ID, st.State, st.Cells)
+	fmt.Fprintf(os.Stderr, "bmsubmit: %s %s (%d cells, %s)\n", st.ID, st.State, st.Cells, st.SpecHash)
 	if noWait {
 		fmt.Println(st.ID)
 		return nil

@@ -13,6 +13,7 @@
 //	paper -exp all -timeout 10m      # per-experiment deadline
 //	paper -exp fig7 -cpuprofile cpu.out -memprofile mem.out
 //	paper -list                      # show the experiment index
+//	paper -schemes                   # show the scheme registry
 package main
 
 import (
@@ -22,18 +23,21 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sort"
 	"strings"
 	"time"
 
 	"bimodal/internal/engine"
 	"bimodal/internal/experiments"
 	"bimodal/internal/profiling"
+	"bimodal/internal/spec"
 )
 
 func main() {
 	var (
 		exp      = flag.String("exp", "", "experiment id (fig1, fig7, table3, ...) or 'all'")
 		list     = flag.Bool("list", false, "list available experiments")
+		schemes  = flag.Bool("schemes", false, "list the scheme registry (names, aliases, parameters)")
 		quick    = flag.Bool("quick", false, "reduced scale (fast, noisier)")
 		accesses = flag.Int64("accesses", 0, "override accesses per core")
 		stream   = flag.Int64("stream", 0, "override stream-study access count")
@@ -69,6 +73,10 @@ func main() {
 		}
 	}()
 
+	if *schemes {
+		printSchemes()
+		return
+	}
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
 		for _, e := range experiments.All() {
@@ -148,4 +156,41 @@ func main() {
 			fmt.Println(tbl)
 		}
 	}
+}
+
+// printSchemes renders the scheme registry: every runnable scheme with
+// its aliases, role and declarative parameters, in comparison order.
+func printSchemes() {
+	fmt.Println("registered schemes (in comparison order):")
+	for _, d := range spec.Descriptors() {
+		role := ""
+		switch {
+		case d.Baseline:
+			role = " [baseline]"
+		case d.Family != "":
+			role = fmt.Sprintf(" [%s preset]", d.Family)
+		}
+		fmt.Printf("  %-16s %s%s\n", d.Name, d.Description, role)
+		if len(d.Aliases) > 0 {
+			fmt.Printf("  %-16s aliases: %s\n", "", strings.Join(d.Aliases, ", "))
+		}
+		if len(d.Preset) > 0 {
+			keys := make([]string, 0, len(d.Preset))
+			for k := range d.Preset {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			parts := make([]string, len(keys))
+			for i, k := range keys {
+				parts[i] = fmt.Sprintf("%s=%d", k, d.Preset[k])
+			}
+			fmt.Printf("  %-16s preset: %s\n", "", strings.Join(parts, ", "))
+		}
+		if d.Family == "" {
+			for _, p := range d.Params {
+				fmt.Printf("  %-16s   - %s: %s\n", "", p.Name, p.Doc)
+			}
+		}
+	}
+	fmt.Println("\nschemes and params are accepted anywhere a spec is: bmsim -spec, bmsubmit -spec, the service API")
 }

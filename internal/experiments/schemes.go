@@ -7,9 +7,38 @@ import (
 	"bimodal/internal/dramcache"
 	"bimodal/internal/energy"
 	"bimodal/internal/sim"
+	"bimodal/internal/spec"
 	"bimodal/internal/stats"
 	"bimodal/internal/workloads"
 )
+
+// schemeEntry pairs a scheme's canonical label with its factory.
+type schemeEntry struct {
+	label   string
+	factory sim.Factory
+}
+
+// baselineSchemes derives the comparison baselines (alloy, lohhill,
+// atcache, footprint) from the scheme registry, in registration order —
+// the single source of the list every figure used to rebuild by hand.
+func baselineSchemes() []schemeEntry {
+	ds := spec.Baselines()
+	out := make([]schemeEntry, len(ds))
+	for i, d := range ds {
+		out[i] = schemeEntry{label: d.Name, factory: sim.Factory(d.Factory())}
+	}
+	return out
+}
+
+// referenceBaseline is the scheme every figure normalizes against: the
+// registry's first baseline (AlloyCache).
+func referenceBaseline() sim.Factory {
+	bs := baselineSchemes()
+	if len(bs) == 0 {
+		panic("experiments: scheme registry has no baselines")
+	}
+	return bs[0].factory
+}
 
 func init() {
 	register(Experiment{ID: "fig7", Title: "Figure 7: ANTT improvement of BiModal over AlloyCache (4/8/16-core)", Run: fig7})
@@ -60,7 +89,7 @@ func fig7(ctx context.Context, o Options) (*stats.Table, error) {
 	tbl := stats.NewTable("Figure 7: ANTT improvement over AlloyCache",
 		"mix", "alloy ANTT", "bimodal ANTT", "improvement")
 	so := simOpts(o)
-	alloy := sim.SchemeAlloy.Factory()
+	alloy := referenceBaseline()
 	type group struct {
 		cores int
 		mixes []workloads.Mix
@@ -106,7 +135,7 @@ func fig8a(ctx context.Context, o Options) (*stats.Table, error) {
 	var cells []cell[float64]
 	for _, mix := range mixes {
 		cells = append(cells,
-			anttCell(mix.Name+" alloy", mix, sim.SchemeAlloy.Factory(), so),
+			anttCell(mix.Name+" alloy", mix, referenceBaseline(), so),
 			anttCell(mix.Name+" bimodal-only", mix, sim.BiModalFactory(8, so, dramcache.WithoutLocator()), so),
 			anttCell(mix.Name+" wl-only", mix, sim.BiModalFactory(8, so, dramcache.FixedBigBlocks()), so),
 			anttCell(mix.Name+" bimodal", mix, sim.BiModalFactory(8, so), so))
@@ -136,7 +165,7 @@ func fig8b(ctx context.Context, o Options) (*stats.Table, error) {
 	var cells []cell[dramcache.Report]
 	for _, mix := range mixes {
 		cells = append(cells,
-			reportCell(mix.Name+" alloy", mix, sim.SchemeAlloy.Factory(), so),
+			reportCell(mix.Name+" alloy", mix, referenceBaseline(), so),
 			reportCell(mix.Name+" fixed-512B", mix, sim.BiModalFactory(4, so, dramcache.FixedBigBlocks()), so),
 			reportCell(mix.Name+" bimodal", mix, sim.BiModalFactory(4, so), so))
 	}
@@ -162,16 +191,9 @@ func fig8b(ctx context.Context, o Options) (*stats.Table, error) {
 func fig8c(ctx context.Context, o Options) (*stats.Table, error) {
 	o = o.normalize()
 	so := simOpts(o)
-	schemes := []struct {
-		label   string
-		factory sim.Factory
-	}{
-		{"bimodal", sim.BiModalFactory(4, so)},
-		{"alloy", sim.SchemeAlloy.Factory()},
-		{"lohhill", sim.SchemeLohHill.Factory()},
-		{"atcache", sim.SchemeATCache.Factory()},
-		{"footprint", sim.SchemeFootprint.Factory()},
-	}
+	schemes := append(
+		[]schemeEntry{{"bimodal", sim.BiModalFactory(4, so)}},
+		baselineSchemes()...)
 	header := []string{"mix"}
 	for _, s := range schemes {
 		header = append(header, s.label)
@@ -368,7 +390,7 @@ func fig11(ctx context.Context, o Options) (*stats.Table, error) {
 	var cells []cell[float64]
 	for _, mix := range mixes {
 		cells = append(cells,
-			perAccess(mix.Name+" alloy", mix, sim.SchemeAlloy.Factory()),
+			perAccess(mix.Name+" alloy", mix, referenceBaseline()),
 			perAccess(mix.Name+" bimodal", mix, sim.BiModalFactory(8, so)))
 	}
 	res, err := runCells(ctx, o, "fig11", cells)
@@ -404,7 +426,7 @@ func table6(ctx context.Context, o Options) (*stats.Table, error) {
 		so.PrefetchN = n
 		for _, mix := range mixes {
 			cells = append(cells,
-				anttCell(fmt.Sprintf("%s N=%d alloy", mix.Name, n), mix, sim.SchemeAlloy.Factory(), so),
+				anttCell(fmt.Sprintf("%s N=%d alloy", mix.Name, n), mix, referenceBaseline(), so),
 				anttCell(fmt.Sprintf("%s N=%d normal", mix.Name, n), mix, sim.BiModalFactory(4, so), so),
 				anttCell(fmt.Sprintf("%s N=%d bypass", mix.Name, n), mix, sim.BiModalFactory(4, so, dramcache.WithPrefetchBypass()), so))
 		}
@@ -469,7 +491,7 @@ func fig12(ctx context.Context, o Options) (*stats.Table, error) {
 				return dramcache.NewBiModal(dc, dramcache.WithCoreParams(p))
 			}
 			cells = append(cells,
-				anttCell(mix.Name+" "+c.label+" alloy", mix, sim.SchemeAlloy.Factory(), so),
+				anttCell(mix.Name+" "+c.label+" alloy", mix, referenceBaseline(), so),
 				anttCell(mix.Name+" "+c.label, mix, factory, so))
 		}
 	}

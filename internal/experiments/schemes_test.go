@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bimodal/internal/dramcache"
 	"context"
 	"strings"
 	"testing"
@@ -114,5 +115,30 @@ func TestFig12MicroRun(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("fig12 missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestBaselineSchemesFromRegistry pins the derivation every figure relies
+// on: the baseline list comes from the scheme registry, in registration
+// order, with AlloyCache first (the normalization reference).
+func TestBaselineSchemesFromRegistry(t *testing.T) {
+	bs := baselineSchemes()
+	var labels []string
+	for _, s := range bs {
+		labels = append(labels, s.label)
+	}
+	want := []string{"alloy", "lohhill", "atcache", "footprint"}
+	if len(labels) != len(want) {
+		t.Fatalf("baselines = %v, want %v", labels, want)
+	}
+	for i := range want {
+		if labels[i] != want[i] {
+			t.Fatalf("baselines = %v, want %v", labels, want)
+		}
+	}
+	cfg := dramcache.DefaultConfig(4)
+	cfg.CacheBytes = 1 << 20
+	if name := referenceBaseline()(cfg).Name(); name != "AlloyCache" {
+		t.Errorf("reference baseline = %q, want AlloyCache", name)
 	}
 }

@@ -22,48 +22,89 @@ import (
 
 	"bimodal/internal/energy"
 	"bimodal/internal/sim"
+	"bimodal/internal/spec"
 	"bimodal/internal/workloads"
 )
 
-// JobRequest describes one evaluation job: every mix is run on every
-// scheme, one simulation cell per (mix, scheme) pair.
+// JobRequest describes one evaluation job. The classic form crosses Mixes
+// with Schemes (one cell per pair, shared Options/Seed); the spec form
+// lists explicit run specs, each carrying its own options and seed.
+// The two forms are mutually exclusive.
 type JobRequest struct {
 	// Mixes lists workload mix names (Q1..Q24, E1..E16, S1..S8).
-	Mixes []string `json:"mixes"`
-	// Schemes lists scheme names as accepted by sim.ParseScheme.
-	Schemes []string `json:"schemes"`
-	// Options scale the simulations.
+	Mixes []string `json:"mixes,omitempty"`
+	// Schemes lists scheme names or registry aliases.
+	Schemes []string `json:"schemes,omitempty"`
+	// Specs lists explicit run specs (one cell each). When set, Mixes,
+	// Schemes and Options must be empty; Seed fills any spec whose own
+	// seed is zero.
+	Specs []spec.RunSpec `json:"specs,omitempty"`
+	// Options scale the simulations (classic form only).
 	Options RunOptions `json:"options,omitempty"`
 	// Seed decorrelates reruns; 0 means 1 (the sim default).
 	Seed uint64 `json:"seed,omitempty"`
 }
 
-// RunOptions mirrors the sim.Options knobs exposed over the wire.
-type RunOptions struct {
-	AccessesPerCore int64  `json:"accesses_per_core,omitempty"`
-	WarmupPerCore   int64  `json:"warmup_per_core,omitempty"`
-	CacheBytes      uint64 `json:"cache_bytes,omitempty"`
-	CacheDivisor    uint64 `json:"cache_divisor,omitempty"`
-	Prefetch        int    `json:"prefetch,omitempty"`
-	// ANTT additionally runs each benchmark standalone and reports the
-	// average normalized turnaround time per cell (slower: cores+1
-	// simulations per cell instead of 1).
-	ANTT bool `json:"antt,omitempty"`
-}
+// RunOptions is the wire name for the canonical run-scaling options; the
+// schema is owned by internal/spec so the CLI, the spec files and the
+// service can never drift apart.
+type RunOptions = spec.Options
 
-// simOptions translates the wire options into sim.Options. Cell-internal
-// fan-out stays serial (Workers 1): the service parallelizes across
-// cells, and the serial path keeps the deterministic code path shortest.
-func (o RunOptions) simOptions(seed uint64) sim.Options {
-	return sim.Options{
-		AccessesPerCore: o.AccessesPerCore,
-		WarmupPerCore:   o.WarmupPerCore,
-		Seed:            seed,
-		CacheBytes:      o.CacheBytes,
-		CacheDivisor:    o.CacheDivisor,
-		PrefetchN:       o.Prefetch,
-		Workers:         1,
+// canonicalize validates the request and resolves it to its canonical
+// form: aliases to canonical scheme names, defaulted options and seeds to
+// explicit values. The returned hash is the SHA-256 of the canonical
+// request's JSON — the job's identity for memoization and ETags, sound
+// because result bytes are a pure function of the canonical request.
+func (r JobRequest) canonicalize() (JobRequest, string, error) {
+	if len(r.Specs) > 0 {
+		if len(r.Mixes) > 0 || len(r.Schemes) > 0 {
+			return r, "", fmt.Errorf("service: specs and mixes/schemes are mutually exclusive")
+		}
+		if r.Options != (RunOptions{}) {
+			return r, "", fmt.Errorf("service: options must be empty when specs are given (each spec carries its own)")
+		}
+		specs := make([]spec.RunSpec, len(r.Specs))
+		for i, rs := range r.Specs {
+			if rs.Seed == 0 {
+				rs.Seed = r.Seed
+			}
+			cs, err := rs.Canonical()
+			if err != nil {
+				return r, "", err
+			}
+			specs[i] = cs
+		}
+		r.Specs = specs
+		r.Seed = 0 // folded into every spec above
+	} else {
+		if len(r.Mixes) == 0 {
+			return r, "", fmt.Errorf("service: request needs at least one mix")
+		}
+		if len(r.Schemes) == 0 {
+			return r, "", fmt.Errorf("service: request needs at least one scheme")
+		}
+		names := make([]string, len(r.Schemes))
+		for i, n := range r.Schemes {
+			d, err := spec.Lookup(n)
+			if err != nil {
+				return r, "", err
+			}
+			names[i] = d.Name
+		}
+		r.Schemes = names
+		var err error
+		if r.Options, err = r.Options.Canonical(); err != nil {
+			return r, "", err
+		}
+		if r.Seed == 0 {
+			r.Seed = 1
+		}
 	}
+	hash, err := spec.HashJSON(r)
+	if err != nil {
+		return r, "", err
+	}
+	return r, hash, nil
 }
 
 // State is a job lifecycle state.
@@ -87,9 +128,13 @@ func (s State) Terminal() bool {
 // are exactly the JSON the server marshaled at completion (the
 // determinism contract applies to this field, not the envelope).
 type JobStatus struct {
-	ID        string          `json:"id"`
-	State     State           `json:"state"`
-	Error     string          `json:"error,omitempty"`
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+	// SpecHash is the job's identity: the SHA-256 of the canonical request
+	// JSON. Identical simulations always share a hash, which is what keys
+	// the server's result memoization cache and the result ETag.
+	SpecHash  string          `json:"spec_hash,omitempty"`
 	Cells     int             `json:"cells"`
 	CellsDone int             `json:"cells_done"`
 	Result    json.RawMessage `json:"result,omitempty"`
@@ -97,7 +142,9 @@ type JobStatus struct {
 
 // JobResult is the deterministic payload of a completed job.
 type JobResult struct {
-	// Request echoes the submitted request verbatim.
+	// Request echoes the canonical form of the submitted request (aliases
+	// resolved, defaults explicit) — the exact value the spec hash covers,
+	// so equal hashes guarantee equal result bytes.
 	Request JobRequest `json:"request"`
 	// Cells holds one result per (mix, scheme) pair, mixes outermost, in
 	// request order.
@@ -186,67 +233,74 @@ type Event struct {
 	Error string `json:"error,omitempty"`
 }
 
-// cellSpec is one validated (mix, scheme) pair ready to run.
+// cellSpec is one validated run spec with its resolved mix, ready to run.
 type cellSpec struct {
-	mix    workloads.Mix
-	scheme sim.SchemeID
-	so     sim.Options
-	antt   bool
+	mix workloads.Mix
+	rs  spec.RunSpec // canonical
 }
 
 // label identifies the cell in progress events.
-func (c cellSpec) label() string { return c.mix.Name + " " + c.scheme.String() }
+func (c cellSpec) label() string { return c.mix.Name + " " + c.rs.Scheme }
 
-// run executes the cell. BiModal gets the run-length-scaled core
-// parameters, exactly as cmd/bmsim and the experiment drivers configure
-// it, so service results line up with CLI results.
+// run executes the cell through the spec layer: sim.FactoryForSpec
+// applies the same run-length scaling rule as cmd/bmsim, so service
+// results line up with CLI results. Cell-internal fan-out stays serial
+// (Workers 1): the service parallelizes across cells, and the serial path
+// keeps the deterministic code path shortest.
 func (c cellSpec) run(ctx context.Context) (CellResult, error) {
-	factory := c.scheme.Factory()
-	if c.scheme == sim.SchemeBiModal {
-		factory = sim.BiModalFactory(c.mix.Cores(), c.so)
-	}
-	if c.antt {
-		antt, multi, err := sim.ANTTContext(ctx, c.mix, factory, c.so)
-		if err != nil {
-			return CellResult{}, err
-		}
-		cr := NewCellResult(c.scheme.String(), multi)
-		cr.ANTT = antt
-		return cr, nil
-	}
-	res, err := sim.RunContext(ctx, c.mix, factory, c.so)
+	factory, err := sim.FactoryForSpec(c.rs, c.mix.Cores())
 	if err != nil {
 		return CellResult{}, err
 	}
-	return NewCellResult(c.scheme.String(), res), nil
+	so := sim.OptionsForSpec(c.rs)
+	so.Workers = 1
+	if c.rs.Options.ANTT {
+		antt, multi, err := sim.ANTTContext(ctx, c.mix, factory, so)
+		if err != nil {
+			return CellResult{}, err
+		}
+		cr := NewCellResult(c.rs.Scheme, multi)
+		cr.ANTT = antt
+		return cr, nil
+	}
+	res, err := sim.RunContext(ctx, c.mix, factory, so)
+	if err != nil {
+		return CellResult{}, err
+	}
+	return NewCellResult(c.rs.Scheme, res), nil
 }
 
-// cells validates the request and expands it into its simulation cells,
-// mixes outermost. maxCells <= 0 disables the size bound.
+// cells expands a canonical request into its simulation cells — explicit
+// specs in order, or mixes × schemes with mixes outermost. maxCells <= 0
+// disables the size bound.
 func (r JobRequest) cells(maxCells int) ([]cellSpec, error) {
-	if len(r.Mixes) == 0 {
-		return nil, fmt.Errorf("service: request needs at least one mix")
-	}
-	if len(r.Schemes) == 0 {
-		return nil, fmt.Errorf("service: request needs at least one scheme")
+	if len(r.Specs) > 0 {
+		if maxCells > 0 && len(r.Specs) > maxCells {
+			return nil, fmt.Errorf("service: %d cells exceed the per-job limit of %d", len(r.Specs), maxCells)
+		}
+		out := make([]cellSpec, 0, len(r.Specs))
+		for _, rs := range r.Specs {
+			mix, err := workloads.ByName(rs.Mix)
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, cellSpec{mix: mix, rs: rs})
+		}
+		return out, nil
 	}
 	if maxCells > 0 && len(r.Mixes)*len(r.Schemes) > maxCells {
 		return nil, fmt.Errorf("service: %d cells exceed the per-job limit of %d", len(r.Mixes)*len(r.Schemes), maxCells)
 	}
-	so := r.Options.simOptions(r.Seed)
-	specs := make([]cellSpec, 0, len(r.Mixes)*len(r.Schemes))
+	out := make([]cellSpec, 0, len(r.Mixes)*len(r.Schemes))
 	for _, mixName := range r.Mixes {
 		mix, err := workloads.ByName(mixName)
 		if err != nil {
 			return nil, err
 		}
 		for _, schemeName := range r.Schemes {
-			id, err := sim.ParseScheme(schemeName)
-			if err != nil {
-				return nil, err
-			}
-			specs = append(specs, cellSpec{mix: mix, scheme: id, so: so, antt: r.Options.ANTT})
+			rs := spec.RunSpec{Scheme: schemeName, Mix: mixName, Options: r.Options, Seed: r.Seed}
+			out = append(out, cellSpec{mix: mix, rs: rs})
 		}
 	}
-	return specs, nil
+	return out, nil
 }

@@ -1,0 +1,83 @@
+package service
+
+import (
+	"container/list"
+	"sync"
+)
+
+// resultCache memoizes completed result payloads by spec hash, bounded to
+// a fixed number of entries with LRU eviction. Soundness rests on the
+// determinism contract: a result is a pure function of the canonical
+// request, so serving stored bytes for an equal hash is indistinguishable
+// from re-simulating — byte for byte.
+type resultCache struct {
+	mu     sync.Mutex
+	cap    int
+	lru    *list.List // front = most recently used; values are *cacheEntry
+	byHash map[string]*list.Element
+	bytes  int64
+}
+
+type cacheEntry struct {
+	hash   string
+	result []byte
+}
+
+// newResultCache builds a cache holding up to capacity entries;
+// capacity <= 0 disables caching (get always misses, put is a no-op).
+func newResultCache(capacity int) *resultCache {
+	c := &resultCache{cap: capacity}
+	if capacity > 0 {
+		c.lru = list.New()
+		c.byHash = make(map[string]*list.Element, capacity)
+	}
+	return c
+}
+
+// get returns the stored result bytes for hash and marks the entry most
+// recently used. The returned slice is the stored buffer; callers must
+// not mutate it (job.status copies before handing it out).
+func (c *resultCache) get(hash string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.byHash[hash]
+	if !ok {
+		return nil, false
+	}
+	c.lru.MoveToFront(el)
+	return el.Value.(*cacheEntry).result, true
+}
+
+// put stores result under hash, evicting the least recently used entry
+// when the cache is full. Storing an existing hash refreshes its
+// recency; by determinism the bytes are necessarily identical.
+func (c *resultCache) put(hash string, result []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.byHash[hash]; ok {
+		c.lru.MoveToFront(el)
+		return
+	}
+	for c.lru.Len() >= c.cap {
+		oldest := c.lru.Back()
+		ent := oldest.Value.(*cacheEntry)
+		c.lru.Remove(oldest)
+		delete(c.byHash, ent.hash)
+		c.bytes -= int64(len(ent.result))
+	}
+	c.byHash[hash] = c.lru.PushFront(&cacheEntry{hash: hash, result: result})
+	c.bytes += int64(len(result))
+}
+
+// stats snapshots the entry count and stored byte total for gauges.
+func (c *resultCache) stats() (entries int, bytes int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.lru == nil {
+		return 0, 0
+	}
+	return c.lru.Len(), c.bytes
+}

@@ -1,0 +1,384 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"bimodal/internal/spec"
+)
+
+// metricValue parses one counter/gauge/histogram-count line out of the
+// Prometheus exposition text.
+func metricValue(t *testing.T, metrics, name string) int {
+	t.Helper()
+	m := regexp.MustCompile(`(?m)^` + regexp.QuoteMeta(name) + ` (\d+)$`).FindStringSubmatch(metrics)
+	if m == nil {
+		t.Fatalf("metrics missing %s:\n%s", name, metrics)
+	}
+	n, err := strconv.Atoi(m[1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// TestMemoizedResubmission is the memoization acceptance test: submitting
+// the exact same request twice must serve the second job from the result
+// cache — identical result bytes, a cache-hit counter tick, and no second
+// simulation (the per-cell histogram count must not move).
+func TestMemoizedResubmission(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	req := tinyRequest()
+	st1, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.SpecHash == "" {
+		t.Fatal("submit status carries no spec hash")
+	}
+	st1, err = c.Wait(ctx, st1.ID, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.State != StateCompleted {
+		t.Fatalf("first job ended %s: %s", st1.State, st1.Error)
+	}
+
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cellsBefore := metricValue(t, metrics, "bimodal_cell_seconds_count")
+	if hits := metricValue(t, metrics, "bimodal_result_cache_hits_total"); hits != 0 {
+		t.Fatalf("cache hits before resubmission = %d", hits)
+	}
+	if misses := metricValue(t, metrics, "bimodal_result_cache_misses_total"); misses != 1 {
+		t.Fatalf("cache misses = %d, want 1", misses)
+	}
+
+	// The second submission must complete synchronously: the returned
+	// status is already terminal, before any poll.
+	st2, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.ID == st1.ID {
+		t.Fatal("resubmission reused the job id")
+	}
+	if st2.State != StateCompleted {
+		t.Fatalf("cached submission returned state %s, want completed", st2.State)
+	}
+	if st2.SpecHash != st1.SpecHash {
+		t.Fatalf("spec hash changed across identical submissions: %s vs %s", st1.SpecHash, st2.SpecHash)
+	}
+	if st2.CellsDone != st2.Cells || st2.Cells == 0 {
+		t.Fatalf("cached job reports %d/%d cells", st2.CellsDone, st2.Cells)
+	}
+
+	full2, err := c.Job(ctx, st2.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(full2.Result, st1.Result) {
+		t.Error("cached result bytes differ from the original run")
+	}
+
+	metrics, err = c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := metricValue(t, metrics, "bimodal_result_cache_hits_total"); hits != 1 {
+		t.Errorf("cache hits = %d, want 1", hits)
+	}
+	if cellsAfter := metricValue(t, metrics, "bimodal_cell_seconds_count"); cellsAfter != cellsBefore {
+		t.Errorf("cell count moved %d -> %d: the cached job re-simulated", cellsBefore, cellsAfter)
+	}
+	if entries := metricValue(t, metrics, "bimodal_result_cache_entries"); entries != 1 {
+		t.Errorf("cache entries = %d, want 1", entries)
+	}
+	if completed := metricValue(t, metrics, "bimodal_jobs_completed_total"); completed != 2 {
+		t.Errorf("completed jobs = %d, want 2 (cached jobs count as completions)", completed)
+	}
+
+	// A different seed is a different simulation: it must miss.
+	req.Seed = 8
+	st3, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.State == StateCompleted {
+		t.Error("different seed served from cache")
+	}
+	if st3.SpecHash == st1.SpecHash {
+		t.Error("different seed shares a spec hash")
+	}
+	if _, err := c.Wait(ctx, st3.ID, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMemoizationJoinsEquivalentRequests checks the cache keys on the
+// canonical form: a request spelled with aliases and explicit defaults
+// hits the entry stored by its canonically-spelled twin.
+func TestMemoizationJoinsEquivalentRequests(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	st1, err := c.Submit(ctx, JobRequest{
+		Mixes:   []string{"Q1"},
+		Schemes: []string{"alloy"},
+		Options: RunOptions{AccessesPerCore: 1500, CacheDivisor: 64},
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1, err = c.Wait(ctx, st1.ID, 50*time.Millisecond); err != nil || st1.State != StateCompleted {
+		t.Fatalf("first job: %v, state %s %s", err, st1.State, st1.Error)
+	}
+
+	st2, err := c.Submit(ctx, JobRequest{
+		Mixes:   []string{"Q1"},
+		Schemes: []string{"alloycache"}, // alias of alloy
+		Options: RunOptions{AccessesPerCore: 1500, WarmupPerCore: 1500, CacheDivisor: 64},
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.State != StateCompleted || st2.SpecHash != st1.SpecHash {
+		t.Errorf("equivalent request missed the cache: state %s, hash %s vs %s",
+			st2.State, st2.SpecHash, st1.SpecHash)
+	}
+}
+
+// TestSpecFormSubmission submits the spec request form and checks the
+// echoed request is canonical: aliases resolved, the job seed folded into
+// each spec, params validated.
+func TestSpecFormSubmission(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	req := JobRequest{
+		Specs: []spec.RunSpec{
+			{Scheme: "cometa", Mix: "Q1", Options: RunOptions{AccessesPerCore: 1500, CacheDivisor: 64}},
+			{Scheme: "bimodal", Mix: "Q1", Params: spec.Params{"fixed_big": 1},
+				Options: RunOptions{AccessesPerCore: 1500, CacheDivisor: 64}},
+		},
+		Seed: 7,
+	}
+	st, err := c.Submit(ctx, req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Cells != 2 {
+		t.Fatalf("cells = %d, want 2", st.Cells)
+	}
+	if st, err = c.Wait(ctx, st.ID, 50*time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if st.State != StateCompleted {
+		t.Fatalf("job ended %s: %s", st.State, st.Error)
+	}
+	var res JobResult
+	if err := json.Unmarshal(st.Result, &res); err != nil {
+		t.Fatal(err)
+	}
+	echo := res.Request
+	if len(echo.Specs) != 2 || echo.Seed != 0 {
+		t.Fatalf("echoed request not in canonical spec form: %+v", echo)
+	}
+	if echo.Specs[0].Scheme != "bimodal-cometa" {
+		t.Errorf("alias not canonicalized in echo: %q", echo.Specs[0].Scheme)
+	}
+	for i, rs := range echo.Specs {
+		if rs.Seed != 7 {
+			t.Errorf("spec %d seed = %d, want the folded job seed 7", i, rs.Seed)
+		}
+	}
+	if res.Cells[0].Scheme != "bimodal-cometa" || res.Cells[1].Scheme != "bimodal" {
+		t.Errorf("cell schemes = %q, %q", res.Cells[0].Scheme, res.Cells[1].Scheme)
+	}
+}
+
+func TestSpecFormValidation(t *testing.T) {
+	_, c := newTestServer(t, Config{})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+
+	cases := []struct {
+		req  JobRequest
+		want string
+	}{
+		{JobRequest{Specs: []spec.RunSpec{{Scheme: "bimodal", Mix: "Q1"}}, Mixes: []string{"Q1"}},
+			"mutually exclusive"},
+		{JobRequest{Specs: []spec.RunSpec{{Scheme: "bimodal", Mix: "Q1"}},
+			Options: RunOptions{AccessesPerCore: 100}},
+			"options must be empty"},
+		{JobRequest{Specs: []spec.RunSpec{{Scheme: "alloy", Mix: "Q1",
+			Params: spec.Params{"way_locator_k": 12}}}},
+			"takes no parameters"},
+		{JobRequest{Specs: []spec.RunSpec{{Scheme: "bogus", Mix: "Q1"}}},
+			"unknown scheme"},
+	}
+	for _, tc := range cases {
+		_, err := c.Submit(ctx, tc.req)
+		var se *StatusError
+		if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+			t.Errorf("%+v: got %v, want 400", tc.req, err)
+			continue
+		}
+		if !strings.Contains(se.Message, tc.want) {
+			t.Errorf("%+v: error %q does not mention %q", tc.req, se.Message, tc.want)
+		}
+	}
+}
+
+// TestETagRevalidation checks a completed job's GET carries the spec hash
+// as a strong ETag and honours If-None-Match with 304.
+func TestETagRevalidation(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	st, err := c.Submit(ctx, JobRequest{
+		Mixes:   []string{"Q1"},
+		Schemes: []string{"alloy"},
+		Options: RunOptions{AccessesPerCore: 1500, CacheDivisor: 64},
+		Seed:    7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st, err = c.Wait(ctx, st.ID, 50*time.Millisecond); err != nil || st.State != StateCompleted {
+		t.Fatalf("job: %v, state %s %s", err, st.State, st.Error)
+	}
+
+	url := c.base + "/v1/jobs/" + st.ID
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	etag := resp.Header.Get("ETag")
+	if want := `"` + st.SpecHash + `"`; etag != want {
+		t.Fatalf("ETag = %q, want %q", etag, want)
+	}
+
+	for _, header := range []string{etag, "W/" + etag, `"other", ` + etag, "*"} {
+		req, _ := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+		req.Header.Set("If-None-Match", header)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotModified {
+			t.Errorf("If-None-Match %q: status %d, want 304", header, resp.StatusCode)
+		}
+	}
+
+	req, _ := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	req.Header.Set("If-None-Match", `"sha256:feedface"`)
+	resp, err = http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("non-matching If-None-Match: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestResultCacheLRU unit-tests the bounded cache: eviction order, recency
+// refresh on get and put, byte accounting, and the disabled mode.
+func TestResultCacheLRU(t *testing.T) {
+	c := newResultCache(2)
+	c.put("a", []byte("aaaa"))
+	c.put("b", []byte("bb"))
+	if _, ok := c.get("a"); !ok { // refresh a: b is now LRU
+		t.Fatal("a missing")
+	}
+	c.put("c", []byte("c")) // evicts b
+	if _, ok := c.get("b"); ok {
+		t.Error("b survived eviction")
+	}
+	if got, ok := c.get("a"); !ok || string(got) != "aaaa" {
+		t.Errorf("a = %q, %v", got, ok)
+	}
+	entries, size := c.stats()
+	if entries != 2 || size != int64(len("aaaa")+len("c")) {
+		t.Errorf("stats = %d entries, %d bytes", entries, size)
+	}
+
+	// put on an existing hash refreshes recency without double-counting.
+	c.put("a", []byte("aaaa"))
+	if _, size2 := c.stats(); size2 != size {
+		t.Errorf("re-put changed byte count %d -> %d", size, size2)
+	}
+	c.put("d", []byte("dd")) // evicts c (a was refreshed)
+	if _, ok := c.get("c"); ok {
+		t.Error("c survived eviction after a's refresh")
+	}
+	if _, ok := c.get("a"); !ok {
+		t.Error("refreshed entry evicted")
+	}
+
+	disabled := newResultCache(0)
+	disabled.put("x", []byte("x"))
+	if _, ok := disabled.get("x"); ok {
+		t.Error("disabled cache stored an entry")
+	}
+	if entries, size := disabled.stats(); entries != 0 || size != 0 {
+		t.Errorf("disabled stats = %d, %d", entries, size)
+	}
+}
+
+// TestCacheDisabledConfig checks ResultCacheEntries < 0 turns memoization
+// off end to end: identical submissions both simulate.
+func TestCacheDisabledConfig(t *testing.T) {
+	_, c := newTestServer(t, Config{Workers: 1, ResultCacheEntries: -1})
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	req := JobRequest{
+		Mixes:   []string{"Q1"},
+		Schemes: []string{"alloy"},
+		Options: RunOptions{AccessesPerCore: 1500, CacheDivisor: 64},
+		Seed:    7,
+	}
+	var results [2][]byte
+	for i := range results {
+		st, err := c.Submit(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st, err = c.Wait(ctx, st.ID, 50*time.Millisecond); err != nil || st.State != StateCompleted {
+			t.Fatalf("job %d: %v, state %s %s", i, err, st.State, st.Error)
+		}
+		results[i] = st.Result
+	}
+	if !bytes.Equal(results[0], results[1]) {
+		t.Error("determinism broke: identical uncached runs differ")
+	}
+	metrics, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hits := metricValue(t, metrics, "bimodal_result_cache_hits_total"); hits != 0 {
+		t.Errorf("disabled cache recorded %d hits", hits)
+	}
+}

@@ -10,9 +10,10 @@ import (
 // attaches late replays the full history before tailing live events —
 // progress is a property of the job, not of who happened to be watching.
 type job struct {
-	id    string
-	req   JobRequest
-	specs []cellSpec
+	id       string
+	req      JobRequest // canonical form
+	specHash string     // sha256 of the canonical request JSON
+	specs    []cellSpec
 
 	mu     sync.Mutex
 	state  State
@@ -23,13 +24,14 @@ type job struct {
 	update chan struct{} // closed and replaced on every event append
 }
 
-func newJob(id string, req JobRequest, specs []cellSpec) *job {
+func newJob(id string, req JobRequest, specHash string, specs []cellSpec) *job {
 	j := &job{
-		id:     id,
-		req:    req,
-		specs:  specs,
-		state:  StateQueued,
-		update: make(chan struct{}),
+		id:       id,
+		req:      req,
+		specHash: specHash,
+		specs:    specs,
+		state:    StateQueued,
+		update:   make(chan struct{}),
 	}
 	j.events = append(j.events, Event{Type: "state", State: StateQueued, Total: len(specs)})
 	return j
@@ -60,6 +62,19 @@ func (j *job) complete(result []byte) {
 	j.publishLocked(Event{Type: "state", State: StateCompleted, Done: j.done, Total: len(j.specs)})
 }
 
+// completeCached marks the job as served from the result memoization
+// cache: every cell is accounted done without having run (no per-cell
+// events), and the stored bytes — byte-identical to a fresh run by the
+// determinism contract — become the result.
+func (j *job) completeCached(result []byte) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.done = len(j.specs)
+	j.result = result
+	j.state = StateCompleted
+	j.publishLocked(Event{Type: "state", State: StateCompleted, Done: j.done, Total: len(j.specs)})
+}
+
 // cellDone records one finished cell and publishes a cell event.
 func (j *job) cellDone(label string) {
 	j.mu.Lock()
@@ -77,6 +92,7 @@ func (j *job) status(includeResult bool) JobStatus {
 		ID:        j.id,
 		State:     j.state,
 		Error:     j.errMsg,
+		SpecHash:  j.specHash,
 		Cells:     len(j.specs),
 		CellsDone: j.done,
 	}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -29,6 +30,10 @@ type Config struct {
 	JobTimeout time.Duration
 	// MaxCells bounds mixes×schemes per job. Default 256; < 0 disables.
 	MaxCells int
+	// ResultCacheEntries bounds the result memoization cache (completed
+	// result payloads keyed by spec hash, LRU-evicted). Default 256;
+	// < 0 disables memoization.
+	ResultCacheEntries int
 }
 
 // normalize fills defaults.
@@ -48,6 +53,9 @@ func (c Config) normalize() Config {
 	if c.MaxCells == 0 {
 		c.MaxCells = 256
 	}
+	if c.ResultCacheEntries == 0 {
+		c.ResultCacheEntries = 256
+	}
 	return c
 }
 
@@ -58,6 +66,7 @@ type Server struct {
 	reg    *telemetry.Registry
 	cancel context.CancelFunc // cancels in-flight jobs on forced shutdown
 	queue  chan *job
+	cache  *resultCache
 	wg     sync.WaitGroup
 
 	mu       sync.Mutex
@@ -67,7 +76,9 @@ type Server struct {
 	draining bool
 
 	mSubmitted, mCompleted, mFailed, mCanceled, mRejected *telemetry.Counter
+	mCacheHits, mCacheMisses                              *telemetry.Counter
 	gQueueDepth, gInFlight                                *telemetry.Gauge
+	gCacheEntries, gCacheBytes                            *telemetry.Gauge
 	hCellSeconds                                          *telemetry.Histogram
 }
 
@@ -76,18 +87,23 @@ func New(cfg Config) *Server {
 	cfg = cfg.normalize()
 	reg := telemetry.NewRegistry()
 	s := &Server{
-		cfg:          cfg,
-		reg:          reg,
-		queue:        make(chan *job, cfg.QueueDepth),
-		jobs:         map[string]*job{},
-		mSubmitted:   reg.Counter("bimodal_jobs_submitted_total"),
-		mCompleted:   reg.Counter("bimodal_jobs_completed_total"),
-		mFailed:      reg.Counter("bimodal_jobs_failed_total"),
-		mCanceled:    reg.Counter("bimodal_jobs_canceled_total"),
-		mRejected:    reg.Counter("bimodal_jobs_rejected_total"),
-		gQueueDepth:  reg.Gauge("bimodal_queue_depth"),
-		gInFlight:    reg.Gauge("bimodal_jobs_inflight"),
-		hCellSeconds: reg.Histogram("bimodal_cell_seconds", telemetry.LatencyBuckets()...),
+		cfg:           cfg,
+		reg:           reg,
+		queue:         make(chan *job, cfg.QueueDepth),
+		cache:         newResultCache(cfg.ResultCacheEntries),
+		jobs:          map[string]*job{},
+		mSubmitted:    reg.Counter("bimodal_jobs_submitted_total"),
+		mCompleted:    reg.Counter("bimodal_jobs_completed_total"),
+		mFailed:       reg.Counter("bimodal_jobs_failed_total"),
+		mCanceled:     reg.Counter("bimodal_jobs_canceled_total"),
+		mRejected:     reg.Counter("bimodal_jobs_rejected_total"),
+		mCacheHits:    reg.Counter("bimodal_result_cache_hits_total"),
+		mCacheMisses:  reg.Counter("bimodal_result_cache_misses_total"),
+		gQueueDepth:   reg.Gauge("bimodal_queue_depth"),
+		gInFlight:     reg.Gauge("bimodal_jobs_inflight"),
+		gCacheEntries: reg.Gauge("bimodal_result_cache_entries"),
+		gCacheBytes:   reg.Gauge("bimodal_result_cache_bytes"),
+		hCellSeconds:  reg.Histogram("bimodal_cell_seconds", telemetry.LatencyBuckets()...),
 	}
 	// The run context is handed to each worker rather than stored on the
 	// Server: contexts are call-scoped (bmctxhygiene), and the only
@@ -168,6 +184,10 @@ func (s *Server) runJob(ctx context.Context, jb *job) {
 			s.reg.Histogram(fmt.Sprintf("bimodal_scheme_hit_rate{scheme=%q}", c.Scheme),
 				telemetry.HitRateBuckets()...).Observe(c.HitRate)
 		}
+		s.cache.put(jb.specHash, raw)
+		entries, bytes := s.cache.stats()
+		s.gCacheEntries.Set(int64(entries))
+		s.gCacheBytes.Set(bytes)
 		jb.complete(raw)
 	}
 }
@@ -229,6 +249,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "service: decoding request: "+err.Error(), http.StatusBadRequest)
 		return
 	}
+	req, hash, err := req.canonicalize()
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
 	specs, err := req.cells(s.cfg.MaxCells)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
@@ -241,13 +266,28 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.seq++
-	jb := newJob(fmt.Sprintf("job-%06d", s.seq), req, specs)
+	jb := newJob(fmt.Sprintf("job-%06d", s.seq), req, hash, specs)
+	if raw, ok := s.cache.get(hash); ok {
+		// Memoization hit: an identical canonical request already ran, and
+		// determinism guarantees a rerun would produce these exact bytes.
+		// The job completes immediately without touching the queue.
+		s.jobs[jb.id] = jb
+		s.order = append(s.order, jb.id)
+		s.mu.Unlock()
+		s.mSubmitted.Inc()
+		s.mCacheHits.Inc()
+		s.mCompleted.Inc()
+		jb.completeCached(raw)
+		writeJSON(w, http.StatusOK, jb.status(false))
+		return
+	}
 	select {
 	case s.queue <- jb:
 		s.jobs[jb.id] = jb
 		s.order = append(s.order, jb.id)
 		s.mu.Unlock()
 		s.mSubmitted.Inc()
+		s.mCacheMisses.Inc()
 		s.gQueueDepth.Add(1)
 		writeJSON(w, http.StatusOK, jb.status(false))
 	default:
@@ -270,9 +310,36 @@ func (s *Server) lookup(w http.ResponseWriter, r *http.Request) *job {
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
-	if jb := s.lookup(w, r); jb != nil {
-		writeJSON(w, http.StatusOK, jb.status(true))
+	jb := s.lookup(w, r)
+	if jb == nil {
+		return
 	}
+	st := jb.status(true)
+	// A completed job's result bytes are immutable and fully identified by
+	// the spec hash, so the hash doubles as a strong ETag: clients that
+	// cached the result revalidate for free.
+	if st.State == StateCompleted && st.SpecHash != "" {
+		etag := `"` + st.SpecHash + `"`
+		w.Header().Set("ETag", etag)
+		if matchesETag(r.Header.Get("If-None-Match"), etag) {
+			w.WriteHeader(http.StatusNotModified)
+			return
+		}
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// matchesETag implements the If-None-Match comparison: a comma-separated
+// list of entity tags (weak validators compare equal ignoring the W/
+// prefix) or the wildcard "*".
+func matchesETag(header, etag string) bool {
+	for _, part := range strings.Split(header, ",") {
+		part = strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(part), "W/"))
+		if part != "" && (part == "*" || part == etag) {
+			return true
+		}
+	}
+	return false
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {

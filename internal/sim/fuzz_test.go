@@ -1,12 +1,17 @@
 package sim
 
-import "testing"
+import (
+	"testing"
+
+	"bimodal/internal/spec"
+)
 
 // FuzzParseScheme checks that ParseScheme never panics and that its
-// accept/reject decision is consistent with the typed SchemeID surface:
-// every accepted name resolves to a valid ID that round-trips through
-// String and has a working factory; every rejected name returns an
-// invalid ID.
+// accept/reject decision is consistent with the typed SchemeID surface
+// and the scheme registry: every accepted name resolves to a valid ID
+// whose String is the registry's canonical name for that input (aliases
+// like "cometa" parse but canonicalize), and has a working factory; every
+// rejected name returns an invalid ID and is unknown to the registry too.
 func FuzzParseScheme(f *testing.F) {
 	for _, name := range SchemeNames() {
 		f.Add(name)
@@ -15,6 +20,8 @@ func FuzzParseScheme(f *testing.F) {
 	f.Add("bimodal ")
 	f.Add("BIMODAL")
 	f.Add("alloy\x00")
+	f.Add("cometa")
+	f.Add("without-locator")
 	f.Add("scheme-that-does-not-exist")
 
 	f.Fuzz(func(t *testing.T, name string) {
@@ -23,13 +30,20 @@ func FuzzParseScheme(f *testing.F) {
 			if id.Valid() {
 				t.Fatalf("ParseScheme(%q) = (%v, %v): error with valid ID", name, id, err)
 			}
+			if _, lerr := spec.Lookup(name); lerr == nil {
+				t.Fatalf("ParseScheme(%q) rejected a registry-known name", name)
+			}
 			return
 		}
 		if !id.Valid() {
 			t.Fatalf("ParseScheme(%q) accepted but ID %d invalid", name, int(id))
 		}
-		if got := id.String(); got != name {
-			t.Fatalf("ParseScheme(%q).String() = %q, want round-trip", name, got)
+		d, lerr := spec.Lookup(name)
+		if lerr != nil {
+			t.Fatalf("ParseScheme(%q) accepted a registry-unknown name: %v", name, lerr)
+		}
+		if got := id.String(); got != d.Name {
+			t.Fatalf("ParseScheme(%q).String() = %q, want canonical %q", name, got, d.Name)
 		}
 		if id.Factory() == nil {
 			t.Fatalf("ParseScheme(%q): nil factory for valid scheme", name)

@@ -3,13 +3,15 @@ package sim
 import (
 	"fmt"
 
-	"bimodal/internal/dramcache"
+	"bimodal/internal/spec"
 )
 
 // SchemeID identifies a DRAM cache scheme configuration. The typed
-// constants replace stringly-typed scheme names in library code; the
-// string forms remain the CLI/serialization surface via ParseScheme and
-// String.
+// constants are a thin shim over the scheme registry (internal/spec):
+// parsing, naming and factories all delegate to the registered
+// descriptors, so new schemes and variants are added by registering a
+// descriptor, not by growing a switch. The string forms remain the
+// CLI/serialization surface via ParseScheme and String.
 type SchemeID int
 
 const (
@@ -36,17 +38,27 @@ const (
 	numSchemes // sentinel; keep last
 )
 
-// schemeNames maps IDs to their canonical CLI names, in comparison order.
-var schemeNames = [numSchemes]string{
-	SchemeBiModal:       "bimodal",
-	SchemeBiModalOnly:   "bimodal-only",
-	SchemeWLOnly:        "wl-only",
-	SchemeBiModalCoMeta: "bimodal-cometa",
-	SchemeBiModalBypass: "bimodal-bypass",
-	SchemeAlloy:         "alloy",
-	SchemeLohHill:       "lohhill",
-	SchemeATCache:       "atcache",
-	SchemeFootprint:     "footprint",
+// schemeNames maps IDs to their canonical names, in comparison order.
+// idByName inverts it, including every registry alias, making ParseScheme
+// a map lookup instead of a linear scan.
+var (
+	schemeNames [numSchemes]string
+	idByName    map[string]SchemeID
+)
+
+func init() {
+	names := spec.Names()
+	if len(names) != int(numSchemes) {
+		panic(fmt.Sprintf("sim: registry has %d schemes, SchemeID has %d", len(names), numSchemes))
+	}
+	idByName = make(map[string]SchemeID, len(names))
+	for i, d := range spec.Descriptors() {
+		schemeNames[i] = d.Name
+		idByName[d.Name] = SchemeID(i)
+		for _, a := range d.Aliases {
+			idByName[a] = SchemeID(i)
+		}
+	}
 }
 
 // String returns the canonical name ("bimodal", "alloy", ...).
@@ -60,49 +72,33 @@ func (id SchemeID) String() string {
 // Valid reports whether id names a known scheme.
 func (id SchemeID) Valid() bool { return id >= 0 && id < numSchemes }
 
-// ParseScheme resolves a scheme name to its typed ID.
+// ParseScheme resolves a scheme name or registry alias to its typed ID.
+// Unknown names fail with the registry's known-name list and a
+// nearest-name suggestion.
 func ParseScheme(name string) (SchemeID, error) {
-	for id, n := range schemeNames {
-		if n == name {
-			return SchemeID(id), nil
-		}
+	if id, ok := idByName[name]; ok {
+		return id, nil
 	}
-	return -1, fmt.Errorf("sim: unknown scheme %q (known: %v)", name, SchemeNames())
+	_, err := spec.Lookup(name)
+	return -1, err
+}
+
+// Descriptor returns the registry descriptor backing the ID.
+func (id SchemeID) Descriptor() spec.Descriptor {
+	if !id.Valid() {
+		panic("sim: Descriptor on invalid " + id.String())
+	}
+	d, err := spec.Lookup(schemeNames[id])
+	if err != nil {
+		panic(err) // unreachable: every ID is registry-backed by init
+	}
+	return d
 }
 
 // Factory returns the builder for the scheme. Every valid ID has a
 // factory; invalid IDs panic (use ParseScheme to validate input).
 func (id SchemeID) Factory() Factory {
-	switch id {
-	case SchemeBiModal:
-		return func(cfg dramcache.Config) dramcache.Scheme { return dramcache.NewBiModal(cfg) }
-	case SchemeBiModalOnly:
-		return func(cfg dramcache.Config) dramcache.Scheme {
-			return dramcache.NewBiModal(cfg, dramcache.WithoutLocator())
-		}
-	case SchemeWLOnly:
-		return func(cfg dramcache.Config) dramcache.Scheme {
-			return dramcache.NewBiModal(cfg, dramcache.FixedBigBlocks())
-		}
-	case SchemeBiModalCoMeta:
-		return func(cfg dramcache.Config) dramcache.Scheme {
-			return dramcache.NewBiModal(cfg, dramcache.CoLocatedMetadata(), dramcache.WithName("BiModalCoMeta"))
-		}
-	case SchemeBiModalBypass:
-		return func(cfg dramcache.Config) dramcache.Scheme {
-			return dramcache.NewBiModal(cfg, dramcache.WithPrefetchBypass(), dramcache.WithName("BiModalPrefBypass"))
-		}
-	case SchemeAlloy:
-		return func(cfg dramcache.Config) dramcache.Scheme { return dramcache.NewAlloy(cfg) }
-	case SchemeLohHill:
-		return func(cfg dramcache.Config) dramcache.Scheme { return dramcache.NewLohHill(cfg) }
-	case SchemeATCache:
-		return func(cfg dramcache.Config) dramcache.Scheme { return dramcache.NewATCache(cfg) }
-	case SchemeFootprint:
-		return func(cfg dramcache.Config) dramcache.Scheme { return dramcache.NewFootprint(cfg) }
-	default:
-		panic("sim: Factory on invalid " + id.String())
-	}
+	return Factory(id.Descriptor().Factory())
 }
 
 // SchemeIDs lists every scheme in comparison order.
@@ -114,8 +110,9 @@ func SchemeIDs() []SchemeID {
 	return ids
 }
 
-// SchemeNames lists every scheme name in comparison order (including the
-// bimodal-cometa and bimodal-bypass variants).
+// SchemeNames lists every canonical scheme name in comparison order
+// (including the bimodal-cometa and bimodal-bypass variants; aliases are
+// accepted by ParseScheme but not listed).
 func SchemeNames() []string {
 	out := make([]string, numSchemes)
 	copy(out, schemeNames[:])

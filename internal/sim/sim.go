@@ -47,9 +47,6 @@ type Options struct {
 	// 0 or 1 runs them serially; results are collected in mix order either
 	// way, so the output is identical at any worker count.
 	Workers int
-	// BiModalOptions are applied when the factory builds a BiModal (they
-	// are encoded into the factory by the caller; present here only for
-	// documentation of the pattern).
 }
 
 // normalize fills defaults.

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"bimodal/internal/spec"
+	"bimodal/internal/workloads"
+)
+
+// TestFactoryForSpecMatchesLegacy checks the spec path is a pure
+// refactoring: for every scheme, running via FactoryForSpec produces the
+// exact result the legacy wiring (BiModalFactory for plain bimodal,
+// SchemeID.Factory() for everything else — what cmd/bmsim and the service
+// did before specs) produces. This is the parity guarantee behind the
+// golden result files staying byte-identical.
+func TestFactoryForSpecMatchesLegacy(t *testing.T) {
+	mix := workloads.MustByName("Q1")
+	for _, id := range SchemeIDs() {
+		rs := spec.RunSpec{
+			Scheme: id.String(),
+			Mix:    "Q1",
+			Seed:   7,
+			Options: spec.Options{
+				AccessesPerCore: 2000,
+				CacheDivisor:    64,
+			},
+		}
+		specFactory, err := FactoryForSpec(rs, mix.Cores())
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		c, err := rs.Canonical()
+		if err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		opts := OptionsForSpec(c)
+
+		var legacy Factory
+		if id == SchemeBiModal {
+			legacy = BiModalFactory(mix.Cores(), opts)
+		} else {
+			legacy = id.Factory()
+		}
+		want := Run(mix, legacy, opts)
+		got := Run(mix, specFactory, opts)
+		if !reflect.DeepEqual(want.Report, got.Report) {
+			t.Errorf("%s: report diverged\nlegacy %+v\nspec   %+v", id, want.Report, got.Report)
+		}
+		if !reflect.DeepEqual(want.PerCore, got.PerCore) {
+			t.Errorf("%s: per-core results diverged", id)
+		}
+		if want.Energy != got.Energy {
+			t.Errorf("%s: energy diverged", id)
+		}
+	}
+}
+
+// TestFactoryForSpecParamsChangeResult checks spec params actually reach
+// the builder: a geometry override must produce a different simulation
+// than the defaults.
+func TestFactoryForSpecParamsChangeResult(t *testing.T) {
+	mix := workloads.MustByName("Q1")
+	base := spec.RunSpec{
+		Scheme:  "bimodal",
+		Mix:     "Q1",
+		Seed:    7,
+		Options: spec.Options{AccessesPerCore: 2000, CacheDivisor: 64},
+	}
+	tweaked := base
+	tweaked.Params = spec.Params{"fixed_big": 1}
+
+	fa, err := FactoryForSpec(base, mix.Cores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := FactoryForSpec(tweaked, mix.Cores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := base.Canonical()
+	opts := OptionsForSpec(c)
+	a := Run(mix, fa, opts)
+	b := Run(mix, fb, opts)
+	if reflect.DeepEqual(a.Report, b.Report) {
+		t.Error("fixed_big param had no effect on the simulation")
+	}
+}
+
+func TestFactoryForSpecRejectsBadSpecs(t *testing.T) {
+	if _, err := FactoryForSpec(spec.RunSpec{Scheme: "bogus", Mix: "Q1"}, 4); err == nil ||
+		!strings.Contains(err.Error(), "unknown scheme") {
+		t.Errorf("unknown scheme: %v", err)
+	}
+	bad := spec.RunSpec{Scheme: "alloy", Mix: "Q1", Params: spec.Params{"way_locator_k": 12}}
+	if _, err := FactoryForSpec(bad, 4); err == nil ||
+		!strings.Contains(err.Error(), "takes no parameters") {
+		t.Errorf("baseline params: %v", err)
+	}
+}
