@@ -1,7 +1,7 @@
-// Command bmsubmit submits a job to a running bmserved instance, follows
-// its progress and prints the result JSON — the exact bytes the server
-// marshaled, so piping to a file preserves the determinism contract
-// (same request + seed => byte-identical output).
+// Command bmsubmit submits a job or sweep to a running bmserved instance,
+// follows its progress and prints the result JSON — the exact bytes the
+// server marshaled, so piping to a file preserves the determinism
+// contract (same request + seed => byte-identical output).
 //
 // Examples:
 //
@@ -9,11 +9,22 @@
 //	bmsubmit -server http://sim.host:8080 -mixes E3 -schemes bimodal -antt -follow
 //	bmsubmit -mixes Q1 -schemes alloy -no-wait          # fire and forget
 //	bmsim -dump-spec > run.json && bmsubmit -spec run.json
+//	bmsubmit -sweep -mixes Q1,Q7 -schemes bimodal,alloy -follow
 //
 // -spec submits canonical run specs (a single spec object or an array of
 // them, e.g. from bmsim -dump-spec) instead of the mixes × schemes cross
 // product. Identical submissions share a spec hash (printed with the job
 // id), which the server uses to serve repeats from its result cache.
+//
+// -sweep submits through the sweep API instead: each cell resolves
+// against the server's content-addressed result store before simulating
+// (progress events carry origin run|store), and on a coordinator the
+// remaining cells shard across the worker fleet. A resweep of an
+// identical request is served entirely from the store.
+//
+// When the server queue is full (HTTP 429), bmsubmit backs off and
+// retries with capped exponential delays plus jitter, honoring the
+// server's Retry-After hint; -retries bounds the attempts.
 package main
 
 import (
@@ -44,10 +55,12 @@ func main() {
 		prefetchN = flag.Int("prefetch", 0, "next-N-lines prefetch depth")
 		antt      = flag.Bool("antt", false, "also compute per-cell ANTT (cores+1 sims per cell)")
 		specFile  = flag.String("spec", "", "submit run specs from a JSON file (one spec object or an array; \"-\" reads stdin)")
+		sweep     = flag.Bool("sweep", false, "submit through the sweep API (store-resolved, cluster-dispatched cells)")
 		follow    = flag.Bool("follow", false, "stream per-cell progress events to stderr (SSE)")
 		noWait    = flag.Bool("no-wait", false, "submit and print the job id without waiting")
 		poll      = flag.Duration("poll", 200*time.Millisecond, "status poll interval when not following")
 		timeout   = flag.Duration("timeout", 0, "client-side deadline (0 = none)")
+		retries   = flag.Int("retries", 6, "total submission attempts while the server reports queue_full")
 	)
 	flag.Parse()
 
@@ -85,7 +98,15 @@ func main() {
 			},
 		}
 	}
-	if err := run(ctx, service.NewClient(*server), req, *follow, *noWait, *poll); err != nil {
+	c := service.NewClient(*server)
+	backoff := service.Backoff{Attempts: *retries}
+	var err error
+	if *sweep {
+		err = runSweep(ctx, c, service.SweepRequest(req), backoff, *follow, *noWait, *poll)
+	} else {
+		err = run(ctx, c, req, backoff, *follow, *noWait, *poll)
+	}
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "bmsubmit:", err)
 		os.Exit(1)
 	}
@@ -128,8 +149,24 @@ func splitList(s string) []string {
 	return out
 }
 
-func run(ctx context.Context, c *service.Client, req service.JobRequest, follow, noWait bool, poll time.Duration) error {
-	st, err := c.Submit(ctx, req)
+// progress renders one SSE event to stderr. Sweep cell events carry an
+// origin (run|store) showing whether the cell simulated or was answered
+// by the content-addressed store.
+func progress(e service.Event) {
+	switch e.Type {
+	case "cell":
+		origin := ""
+		if e.Origin != "" {
+			origin = " <" + e.Origin + ">"
+		}
+		fmt.Fprintf(os.Stderr, "bmsubmit: [%d/%d] %s%s\n", e.Done, e.Total, e.Cell, origin)
+	case "state":
+		fmt.Fprintf(os.Stderr, "bmsubmit: %s\n", e.State)
+	}
+}
+
+func run(ctx context.Context, c *service.Client, req service.JobRequest, b service.Backoff, follow, noWait bool, poll time.Duration) error {
+	st, err := c.SubmitRetry(ctx, req, b)
 	if err != nil {
 		return err
 	}
@@ -139,14 +176,7 @@ func run(ctx context.Context, c *service.Client, req service.JobRequest, follow,
 		return nil
 	}
 	if follow {
-		st, err = c.Follow(ctx, st.ID, func(e service.Event) {
-			switch e.Type {
-			case "cell":
-				fmt.Fprintf(os.Stderr, "bmsubmit: [%d/%d] %s\n", e.Done, e.Total, e.Cell)
-			case "state":
-				fmt.Fprintf(os.Stderr, "bmsubmit: %s\n", e.State)
-			}
-		})
+		st, err = c.Follow(ctx, st.ID, progress)
 	} else {
 		st, err = c.Wait(ctx, st.ID, poll)
 	}
@@ -156,6 +186,33 @@ func run(ctx context.Context, c *service.Client, req service.JobRequest, follow,
 	if st.State != service.StateCompleted {
 		return fmt.Errorf("job %s ended %s: %s", st.ID, st.State, st.Error)
 	}
+	os.Stdout.Write(st.Result)
+	fmt.Println()
+	return nil
+}
+
+func runSweep(ctx context.Context, c *service.Client, req service.SweepRequest, b service.Backoff, follow, noWait bool, poll time.Duration) error {
+	st, err := c.SubmitSweepRetry(ctx, req, b)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "bmsubmit: %s %s (%d cells, %s)\n", st.ID, st.State, st.Cells, st.SweepHash)
+	if noWait {
+		fmt.Println(st.ID)
+		return nil
+	}
+	if follow {
+		st, err = c.FollowSweep(ctx, st.ID, progress)
+	} else {
+		st, err = c.WaitSweep(ctx, st.ID, poll)
+	}
+	if err != nil {
+		return err
+	}
+	if st.State != service.StateCompleted {
+		return fmt.Errorf("sweep %s ended %s: %s", st.ID, st.State, st.Error)
+	}
+	fmt.Fprintf(os.Stderr, "bmsubmit: %d/%d cells from store\n", st.StoreHits, st.Cells)
 	os.Stdout.Write(st.Result)
 	fmt.Println()
 	return nil

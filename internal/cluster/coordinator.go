@@ -1,0 +1,583 @@
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"bimodal/internal/spec"
+	"bimodal/internal/telemetry"
+)
+
+// Config tunes a Coordinator. The zero value is usable; every field has a
+// production default.
+type Config struct {
+	// TTL is the worker liveness window: a worker that neither heartbeats
+	// nor pulls for this long is declared dead and its cells are requeued.
+	// Default 15s.
+	TTL time.Duration
+	// ReapEvery is the liveness sweep interval. Default TTL/3.
+	ReapEvery time.Duration
+	// PollWait bounds how long an idle pull request is held open before
+	// the coordinator answers 204 (long-poll). Default 10s.
+	PollWait time.Duration
+	// MaxAttempts caps how many workers a cell may be handed to before the
+	// coordinator gives up and fails it (each requeue after a worker death
+	// burns one attempt). Default 3.
+	MaxAttempts int
+	// Metrics receives the coordinator's instrumentation.
+	// Default telemetry.Default.
+	Metrics *telemetry.Registry
+	// Now is the clock (a test seam for deterministic reaper tests).
+	// Default time.Now. The cluster layer is outside the simulator's
+	// determinism boundary — placement never affects result bytes.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.TTL <= 0 {
+		c.TTL = 15 * time.Second
+	}
+	if c.ReapEvery <= 0 {
+		c.ReapEvery = c.TTL / 3
+	}
+	if c.PollWait <= 0 {
+		c.PollWait = 10 * time.Second
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 3
+	}
+	if c.Metrics == nil {
+		c.Metrics = telemetry.Default
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// taskResult is what a worker reported back for one cell.
+type taskResult struct {
+	blob []byte
+	err  error
+}
+
+// task is one cell in flight through the cluster.
+type task struct {
+	id   string
+	rs   spec.RunSpec
+	hash string
+	// owner is the worker whose queue holds the task (pending) or that is
+	// running it. Empty while orphaned (no workers registered).
+	owner string
+	// running flips when a worker pulls the task.
+	running bool
+	// attempts counts workers the task has been handed to.
+	attempts int
+	// result receives exactly one send (buffered so a report never blocks
+	// on a caller that already gave up).
+	result chan taskResult
+}
+
+// workerState is the coordinator's view of one registered worker.
+type workerState struct {
+	id       string
+	name     string
+	queue    []*task          // pending cells placed on this worker
+	running  map[string]*task // pulled, awaiting report
+	lastSeen time.Time
+	// waiters are parked pull requests, woken (FIFO) when work arrives.
+	waiters []chan *task
+	qGauge  *telemetry.Gauge
+}
+
+// depth is the worker's total outstanding load (queued + running).
+func (w *workerState) depth() int { return len(w.queue) + len(w.running) }
+
+// Coordinator shards sweep cells across registered workers. It implements
+// service.Dispatcher, so a service.Server configured with one transparently
+// fans cells out to the fleet; with no workers joined, cells wait (they are
+// "orphans") until one arrives. Create with New, release with Close.
+type Coordinator struct {
+	cfg Config
+
+	mu      sync.Mutex
+	ring    ring
+	workers map[string]*workerState
+	tasks   map[string]*task // pending + running, by task ID
+	orphans []*task          // cells with no worker to sit on
+	seq     int              // task ID source
+	wseq    int              // worker ID source
+	closed  bool
+
+	stop chan struct{}
+	wg   sync.WaitGroup
+
+	mWorkers     *telemetry.Gauge
+	mJoined      *telemetry.Counter
+	mDead        *telemetry.Counter
+	mDispatched  *telemetry.Counter
+	mCompleted   *telemetry.Counter
+	mStolen      *telemetry.Counter
+	mRequeued    *telemetry.Counter
+	mFailed      *telemetry.Counter
+	mLateReports *telemetry.Counter
+}
+
+// New builds a Coordinator and starts its liveness reaper.
+func New(cfg Config) *Coordinator {
+	cfg = cfg.withDefaults()
+	c := &Coordinator{
+		cfg:     cfg,
+		workers: map[string]*workerState{},
+		tasks:   map[string]*task{},
+		stop:    make(chan struct{}),
+
+		mWorkers:     cfg.Metrics.Gauge("bimodal_cluster_workers"),
+		mJoined:      cfg.Metrics.Counter("bimodal_cluster_workers_joined_total"),
+		mDead:        cfg.Metrics.Counter("bimodal_cluster_workers_dead_total"),
+		mDispatched:  cfg.Metrics.Counter("bimodal_cluster_cells_dispatched_total"),
+		mCompleted:   cfg.Metrics.Counter("bimodal_cluster_cells_completed_total"),
+		mStolen:      cfg.Metrics.Counter("bimodal_cluster_cells_stolen_total"),
+		mRequeued:    cfg.Metrics.Counter("bimodal_cluster_cells_requeued_total"),
+		mFailed:      cfg.Metrics.Counter("bimodal_cluster_cells_failed_total"),
+		mLateReports: cfg.Metrics.Counter("bimodal_cluster_late_reports_total"),
+	}
+	c.wg.Add(1)
+	go c.reapLoop()
+	return c
+}
+
+// Close stops the reaper and fails every outstanding cell. Parked pull
+// requests are released empty-handed.
+func (c *Coordinator) Close() {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return
+	}
+	c.closed = true
+	close(c.stop)
+	for _, t := range c.tasks {
+		t.result <- taskResult{err: fmt.Errorf("cluster: coordinator closed")}
+	}
+	c.tasks = map[string]*task{}
+	c.orphans = nil
+	for _, w := range c.workers {
+		w.queue = nil
+		w.running = map[string]*task{}
+		for _, ch := range w.waiters {
+			close(ch)
+		}
+		w.waiters = nil
+	}
+	c.mu.Unlock()
+	c.wg.Wait()
+}
+
+// RunCell implements service.Dispatcher: it enqueues the cell on the ring
+// owner's queue and blocks until a worker reports the result bytes, the
+// cell exhausts its attempts, or ctx ends. The returned bytes are exactly
+// what the executing worker marshaled — the coordinator never re-encodes
+// them, which is what keeps merged sweeps byte-identical across
+// placements.
+func (c *Coordinator) RunCell(ctx context.Context, rs spec.RunSpec, hash string) ([]byte, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("cluster: coordinator closed")
+	}
+	c.seq++
+	t := &task{
+		id:     fmt.Sprintf("task-%06d", c.seq),
+		rs:     rs,
+		hash:   hash,
+		result: make(chan taskResult, 1),
+	}
+	c.tasks[t.id] = t
+	c.placeLocked(t)
+	c.mu.Unlock()
+
+	select {
+	case r := <-t.result:
+		return r.blob, r.err
+	case <-ctx.Done():
+		c.abandon(t)
+		return nil, ctx.Err()
+	}
+}
+
+// abandon withdraws a task whose caller gave up. A pending task leaves
+// its queue; a running task stays with its worker, whose eventual report
+// is dropped as late.
+func (c *Coordinator) abandon(t *task) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, live := c.tasks[t.id]; !live {
+		return
+	}
+	delete(c.tasks, t.id)
+	if t.running {
+		if w := c.workers[t.owner]; w != nil {
+			delete(w.running, t.id)
+			w.qGauge.Set(int64(w.depth()))
+		}
+		return
+	}
+	if t.owner == "" {
+		c.orphans = removeTask(c.orphans, t)
+		return
+	}
+	if w := c.workers[t.owner]; w != nil {
+		w.queue = removeTask(w.queue, t)
+		w.qGauge.Set(int64(w.depth()))
+	}
+}
+
+// placeLocked assigns a pending task to the ring owner of its spec hash,
+// waking a parked pull if one is available. With an empty ring the task
+// joins the orphan list until a worker registers.
+func (c *Coordinator) placeLocked(t *task) {
+	t.running = false
+	owner := c.ring.owner(t.hash)
+	if owner == "" {
+		t.owner = ""
+		c.orphans = append(c.orphans, t)
+		return
+	}
+	t.owner = owner
+	w := c.workers[owner]
+	w.queue = append(w.queue, t)
+	w.qGauge.Set(int64(w.depth()))
+	c.wakeLocked(w)
+}
+
+// wakeLocked hands queued work to parked pulls. The owner's own waiters
+// drain first; remaining work then goes to any other parked worker (an
+// enqueue-time steal), so no worker idles while a peer's queue is
+// non-empty.
+func (c *Coordinator) wakeLocked(w *workerState) {
+	for len(w.queue) > 0 && len(w.waiters) > 0 {
+		ch := w.waiters[0]
+		w.waiters = w.waiters[1:]
+		ch <- c.takeLocked(w, w)
+	}
+	if len(w.queue) == 0 {
+		return
+	}
+	for _, other := range c.workers {
+		if other == w {
+			continue
+		}
+		for len(w.queue) > 0 && len(other.waiters) > 0 {
+			ch := other.waiters[0]
+			other.waiters = other.waiters[1:]
+			ch <- c.takeLocked(other, w)
+		}
+		if len(w.queue) == 0 {
+			return
+		}
+	}
+}
+
+// takeLocked moves the head of victim's queue into taker's running set
+// and returns it. A cross-worker take is counted as a steal.
+func (c *Coordinator) takeLocked(taker, victim *workerState) *task {
+	t := victim.queue[0]
+	victim.queue = victim.queue[1:]
+	t.owner = taker.id
+	t.running = true
+	t.attempts++
+	taker.running[t.id] = t
+	taker.lastSeen = c.cfg.Now()
+	victim.qGauge.Set(int64(victim.depth()))
+	taker.qGauge.Set(int64(taker.depth()))
+	c.mDispatched.Inc()
+	if taker != victim {
+		c.mStolen.Inc()
+	}
+	return t
+}
+
+// Join registers a worker and returns its ID plus the liveness window it
+// must heartbeat within. Orphaned cells are re-placed immediately.
+func (c *Coordinator) Join(name string) (id string, ttl time.Duration, err error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed {
+		return "", 0, fmt.Errorf("cluster: coordinator closed")
+	}
+	c.wseq++
+	id = fmt.Sprintf("worker-%04d", c.wseq)
+	w := &workerState{
+		id:       id,
+		name:     name,
+		running:  map[string]*task{},
+		lastSeen: c.cfg.Now(),
+		qGauge:   c.cfg.Metrics.Gauge(fmt.Sprintf("bimodal_cluster_queue_depth{worker=%q}", id)),
+	}
+	c.workers[id] = w
+	c.ring.add(id)
+	c.mJoined.Inc()
+	c.mWorkers.Set(int64(len(c.workers)))
+	orphans := c.orphans
+	c.orphans = nil
+	for _, t := range orphans {
+		c.placeLocked(t)
+	}
+	return id, c.cfg.TTL, nil
+}
+
+// Heartbeat refreshes a worker's liveness. ErrUnknownWorker tells a
+// reaped worker to rejoin under a fresh ID.
+func (c *Coordinator) Heartbeat(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[id]
+	if w == nil {
+		return ErrUnknownWorker
+	}
+	w.lastSeen = c.cfg.Now()
+	return nil
+}
+
+// ErrUnknownWorker marks calls naming a worker the coordinator does not
+// know — never joined, left, or declared dead. The HTTP layer maps it to
+// 410 worker_gone.
+var ErrUnknownWorker = fmt.Errorf("cluster: unknown worker")
+
+// Pull hands the worker its next cell. Order: the worker's own queue,
+// then a steal from the most-loaded peer's queue, then parking for up to
+// the coordinator's PollWait (or until ctx ends) in case work arrives.
+// A nil task with nil error means "nothing available, poll again".
+func (c *Coordinator) Pull(ctx context.Context, id string) (*Task, error) {
+	c.mu.Lock()
+	w := c.workers[id]
+	if w == nil || c.closed {
+		c.mu.Unlock()
+		return nil, ErrUnknownWorker
+	}
+	w.lastSeen = c.cfg.Now()
+	if t := c.pullLocked(w); t != nil {
+		c.mu.Unlock()
+		return exportTask(t), nil
+	}
+	ch := make(chan *task, 1)
+	w.waiters = append(w.waiters, ch)
+	c.mu.Unlock()
+
+	wait := time.NewTimer(c.cfg.PollWait)
+	defer wait.Stop()
+	select {
+	case t, ok := <-ch:
+		if !ok {
+			return nil, ErrUnknownWorker // reaped or closed while parked
+		}
+		return exportTask(t), nil
+	case <-wait.C:
+	case <-ctx.Done():
+	case <-c.stop:
+	}
+	// Timed out or canceled: withdraw the waiter; lose the race gracefully
+	// if a task was handed over at the same moment.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur := c.workers[id]; cur == w {
+		w.waiters = removeWaiter(w.waiters, ch)
+	}
+	select {
+	case t, ok := <-ch:
+		if ok && t != nil {
+			return exportTask(t), nil
+		}
+	default:
+	}
+	return nil, ctx.Err()
+}
+
+// pullLocked dequeues work for w: own queue first, else the head of the
+// most-loaded peer queue (work stealing).
+func (c *Coordinator) pullLocked(w *workerState) *task {
+	if len(w.queue) > 0 {
+		return c.takeLocked(w, w)
+	}
+	var victim *workerState
+	for _, other := range c.workers {
+		if other == w || len(other.queue) == 0 {
+			continue
+		}
+		if victim == nil || other.depth() > victim.depth() ||
+			(other.depth() == victim.depth() && other.id < victim.id) {
+			victim = other
+		}
+	}
+	if victim == nil {
+		return nil
+	}
+	return c.takeLocked(w, victim)
+}
+
+// Report delivers a worker's result for a task. Late or duplicate reports
+// — the task finished elsewhere after a requeue, or the caller abandoned
+// it — are dropped idempotently: reporting is always safe.
+func (c *Coordinator) Report(workerID, taskID string, blob []byte, workErr error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if w := c.workers[workerID]; w != nil {
+		w.lastSeen = c.cfg.Now()
+	}
+	t := c.tasks[taskID]
+	if t == nil || !t.running || t.owner != workerID {
+		c.mLateReports.Inc()
+		return
+	}
+	delete(c.tasks, taskID)
+	if w := c.workers[workerID]; w != nil {
+		delete(w.running, taskID)
+		w.qGauge.Set(int64(w.depth()))
+	}
+	c.mCompleted.Inc()
+	t.result <- taskResult{blob: blob, err: workErr}
+}
+
+// Leave deregisters a worker cleanly, requeueing anything it still holds
+// (without burning an attempt — a clean leave is not a failure).
+func (c *Coordinator) Leave(id string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	w := c.workers[id]
+	if w == nil {
+		return ErrUnknownWorker
+	}
+	c.dropWorkerLocked(w, false)
+	return nil
+}
+
+// reapLoop periodically declares workers dead after TTL of silence.
+func (c *Coordinator) reapLoop() {
+	defer c.wg.Done()
+	tick := time.NewTicker(c.cfg.ReapEvery)
+	defer tick.Stop()
+	for {
+		select {
+		case <-c.stop:
+			return
+		case <-tick.C:
+			c.reapOnce()
+		}
+	}
+}
+
+// reapOnce requeues the cells of every worker whose liveness window has
+// lapsed. Requeued in-flight cells burn one attempt; a cell over the
+// attempt budget fails instead of bouncing between dying workers forever.
+func (c *Coordinator) reapOnce() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	deadline := c.cfg.Now().Add(-c.cfg.TTL)
+	for _, w := range c.workers {
+		if w.lastSeen.After(deadline) {
+			continue
+		}
+		c.mDead.Inc()
+		c.dropWorkerLocked(w, true)
+	}
+}
+
+// dropWorkerLocked removes a worker and redistributes its cells. Every
+// in-flight cell moved back to pending counts as a requeue; died
+// additionally burns an attempt per in-flight cell (a reap is a failure,
+// a voluntary leave is not) and enforces the attempt budget.
+func (c *Coordinator) dropWorkerLocked(w *workerState, died bool) {
+	delete(c.workers, w.id)
+	c.ring.remove(w.id)
+	c.mWorkers.Set(int64(len(c.workers)))
+	c.cfg.Metrics.Remove(fmt.Sprintf("bimodal_cluster_queue_depth{worker=%q}", w.id))
+	for _, ch := range w.waiters {
+		close(ch)
+	}
+	w.waiters = nil
+
+	again := append([]*task(nil), w.queue...)
+	w.queue = nil
+	for id, t := range w.running {
+		delete(w.running, id)
+		c.mRequeued.Inc()
+		if died {
+			if t.attempts >= c.cfg.MaxAttempts {
+				delete(c.tasks, t.id)
+				c.mFailed.Inc()
+				t.result <- taskResult{err: fmt.Errorf(
+					"cluster: cell %s failed on %d workers (last: %s died)",
+					t.hash, t.attempts, w.id)}
+				continue
+			}
+		}
+		again = append(again, t)
+	}
+	for _, t := range again {
+		c.placeLocked(t)
+	}
+}
+
+// Task is the wire view of one dispatched cell.
+type Task struct {
+	ID   string       `json:"task_id"`
+	Spec spec.RunSpec `json:"spec"`
+	Hash string       `json:"hash"`
+}
+
+func exportTask(t *task) *Task {
+	return &Task{ID: t.id, Spec: t.rs, Hash: t.hash}
+}
+
+// WorkerInfo is the introspection view of one registered worker.
+type WorkerInfo struct {
+	ID      string `json:"id"`
+	Name    string `json:"name,omitempty"`
+	Queued  int    `json:"queued"`
+	Running int    `json:"running"`
+}
+
+// Workers lists the registered workers sorted by ID, plus the count of
+// orphaned cells waiting for any worker at all.
+func (c *Coordinator) Workers() (workers []WorkerInfo, orphans int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, w := range c.workers {
+		workers = append(workers, WorkerInfo{
+			ID: w.id, Name: w.name, Queued: len(w.queue), Running: len(w.running),
+		})
+	}
+	sortWorkers(workers)
+	return workers, len(c.orphans)
+}
+
+func sortWorkers(ws []WorkerInfo) {
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].ID < ws[j-1].ID; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+}
+
+// removeTask filters t out of a queue, preserving order.
+func removeTask(q []*task, t *task) []*task {
+	for i, cur := range q {
+		if cur == t {
+			return append(q[:i], q[i+1:]...)
+		}
+	}
+	return q
+}
+
+// removeWaiter filters ch out of a waiter list, preserving order.
+func removeWaiter(ws []chan *task, ch chan *task) []chan *task {
+	for i, cur := range ws {
+		if cur == ch {
+			return append(ws[:i], ws[i+1:]...)
+		}
+	}
+	return ws
+}

@@ -1,0 +1,94 @@
+package cluster
+
+import (
+	"fmt"
+	"testing"
+)
+
+func ringKeys(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("sha256:key-%05d", i)
+	}
+	return keys
+}
+
+func TestRingEmptyAndMembership(t *testing.T) {
+	var r ring
+	if got := r.owner("sha256:x"); got != "" {
+		t.Errorf("empty ring owner = %q, want \"\"", got)
+	}
+	r.add("w1")
+	r.add("w1") // idempotent
+	if r.size() != 1 {
+		t.Fatalf("size = %d, want 1", r.size())
+	}
+	if got := r.owner("sha256:x"); got != "w1" {
+		t.Errorf("single-member owner = %q, want w1", got)
+	}
+	r.remove("w2") // absent: no-op
+	r.remove("w1")
+	if r.size() != 0 || r.owner("sha256:x") != "" {
+		t.Errorf("ring not empty after removal: size %d", r.size())
+	}
+}
+
+// TestRingBalance checks that virtual nodes keep shard sizes within a
+// reasonable band of even.
+func TestRingBalance(t *testing.T) {
+	var r ring
+	workers := []string{"w1", "w2", "w3", "w4"}
+	for _, w := range workers {
+		r.add(w)
+	}
+	counts := map[string]int{}
+	keys := ringKeys(4000)
+	for _, k := range keys {
+		counts[r.owner(k)]++
+	}
+	for _, w := range workers {
+		if counts[w] < 500 || counts[w] > 1700 {
+			t.Errorf("worker %s owns %d/4000 keys, outside [500, 1700]: %v", w, counts[w], counts)
+		}
+	}
+}
+
+// TestRingStability checks the consistent-hashing property: removing one
+// of N workers relocates only that worker's keys, and re-adding it
+// restores the original placement exactly.
+func TestRingStability(t *testing.T) {
+	var r ring
+	for _, w := range []string{"w1", "w2", "w3", "w4"} {
+		r.add(w)
+	}
+	keys := ringKeys(2000)
+	before := make(map[string]string, len(keys))
+	for _, k := range keys {
+		before[k] = r.owner(k)
+	}
+
+	r.remove("w2")
+	moved := 0
+	for _, k := range keys {
+		after := r.owner(k)
+		if after == "w2" {
+			t.Fatalf("key %s still owned by removed worker", k)
+		}
+		if after != before[k] {
+			if before[k] != "w2" {
+				t.Fatalf("key %s moved from surviving worker %s to %s", k, before[k], after)
+			}
+			moved++
+		}
+	}
+	if moved == 0 {
+		t.Error("removing a worker relocated no keys")
+	}
+
+	r.add("w2")
+	for _, k := range keys {
+		if got := r.owner(k); got != before[k] {
+			t.Fatalf("key %s owned by %s after re-add, originally %s", k, got, before[k])
+		}
+	}
+}

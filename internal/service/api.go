@@ -107,6 +107,102 @@ func (r JobRequest) canonicalize() (JobRequest, string, error) {
 	return r, hash, nil
 }
 
+// SweepRequest describes one sweep: a batch of simulation cells executed
+// as a unit under POST /v1/sweeps. The shape mirrors JobRequest — an
+// explicit spec list or a mixes × schemes cross product — but sweeps are
+// built for cluster scale: each cell is hashed and resolved against the
+// content-addressed result store individually, cells the store cannot
+// answer are dispatched (locally or across cluster workers), and the
+// merged result is assembled from the per-cell bytes in request order,
+// which keeps it byte-identical whatever node ran which cell.
+type SweepRequest struct {
+	// Mixes × Schemes is the cross-product form (mixes outermost).
+	Mixes   []string `json:"mixes,omitempty"`
+	Schemes []string `json:"schemes,omitempty"`
+	// Specs lists explicit run specs (one cell each); mutually exclusive
+	// with Mixes/Schemes/Options. The field set and order mirror
+	// JobRequest exactly so the two forms share one canonicalization.
+	Specs []spec.RunSpec `json:"specs,omitempty"`
+	// Options scale the simulations (cross-product form only).
+	Options RunOptions `json:"options,omitempty"`
+	// Seed decorrelates reruns; fills specs whose own seed is zero.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// canonicalize resolves the sweep to canonical form and its content hash,
+// sharing JobRequest's rules so the two request forms can never drift.
+func (r SweepRequest) canonicalize() (SweepRequest, string, error) {
+	jr, hash, err := JobRequest(r).canonicalize()
+	return SweepRequest(jr), hash, err
+}
+
+// cells expands the canonical sweep into per-cell specs, each carrying
+// its canonical RunSpec; maxCells <= 0 disables the bound.
+func (r SweepRequest) cells(maxCells int) ([]cellSpec, error) {
+	return JobRequest(r).cells(maxCells)
+}
+
+// SweepStatus is the envelope returned by POST /v1/sweeps and GET
+// /v1/sweeps/{id}. As with jobs, only the Result bytes are covered by the
+// determinism contract.
+type SweepStatus struct {
+	ID    string `json:"id"`
+	State State  `json:"state"`
+	Error string `json:"error,omitempty"`
+	// SweepHash is the SHA-256 of the canonical sweep request.
+	SweepHash string `json:"sweep_hash,omitempty"`
+	Cells     int    `json:"cells"`
+	CellsDone int    `json:"cells_done"`
+	// StoreHits counts cells answered by the content-addressed result
+	// store without simulating. A resweep of an already-swept request
+	// reports StoreHits == Cells: zero re-simulations.
+	StoreHits int `json:"store_hits"`
+	// SpecHashes lists each cell's canonical spec hash in request order
+	// (detail view only; list views omit it). Any of them resolves under
+	// GET /v1/specs/{hash} and /v1/specs/{hash}/result.
+	SpecHashes []string        `json:"spec_hashes,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+}
+
+// Dispatcher executes one sweep cell that the result store could not
+// answer and returns the cell's compact CellResult JSON. The default
+// (nil) dispatcher runs the cell in-process; cluster coordinators inject
+// a dispatcher that shards cells across worker nodes. Because a cell's
+// bytes are a pure function of its canonical spec, the choice of
+// dispatcher can never change result bytes — only where the work runs.
+type Dispatcher interface {
+	RunCell(ctx context.Context, rs spec.RunSpec, hash string) ([]byte, error)
+}
+
+// RunCellSpec executes one canonical run spec in-process and returns its
+// compact CellResult JSON — the unit of work a cluster worker performs.
+// The spec must already be canonical (the coordinator only hands out
+// canonical specs); results are marshaled exactly once so every node
+// produces identical bytes for identical specs.
+func RunCellSpec(ctx context.Context, rs spec.RunSpec) ([]byte, error) {
+	mix, err := workloads.ByName(rs.Mix)
+	if err != nil {
+		return nil, err
+	}
+	res, err := cellSpec{mix: mix, rs: rs}.run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
+}
+
+// JobList is the paginated reply of GET /v1/jobs and GET /v1/sweeps.
+type JobList struct {
+	// Jobs holds the page in submission order (sweeps reuse the field
+	// name; the envelope is shared).
+	Jobs []JobStatus `json:"jobs,omitempty"`
+	// Sweeps holds the page for the sweep listing.
+	Sweeps []SweepStatus `json:"sweeps,omitempty"`
+	// NextCursor, when non-empty, fetches the next page via ?cursor=.
+	// The cursor is the last returned ID; treat it as opaque.
+	NextCursor string `json:"next_cursor,omitempty"`
+}
+
 // State is a job lifecycle state.
 type State string
 
@@ -229,6 +325,9 @@ type Event struct {
 	// Done/Total track cell progress.
 	Done  int `json:"done"`
 	Total int `json:"total"`
+	// Origin says what answered a cell event: "run" (simulated) or
+	// "store" (served from the content-addressed result store).
+	Origin string `json:"origin,omitempty"`
 	// Error carries the failure reason on terminal failed states.
 	Error string `json:"error,omitempty"`
 }

@@ -236,8 +236,8 @@ func TestSpecFormValidation(t *testing.T) {
 	}
 	for _, tc := range cases {
 		_, err := c.Submit(ctx, tc.req)
-		var se *StatusError
-		if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		var se *APIError
+		if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
 			t.Errorf("%+v: got %v, want 400", tc.req, err)
 			continue
 		}

@@ -5,16 +5,22 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
+	"math/rand"
 	"net/http"
+	"net/url"
 	"strings"
 	"time"
 )
 
 // Client is the thin typed client for the job server, shared by
 // cmd/bmsubmit and the end-to-end tests so every consumer speaks the same
-// structs the server does.
+// structs the server does. Failed calls return *APIError, which matches
+// the code sentinels (ErrQueueFull, ErrNotFound, ...) under errors.Is;
+// pre-v1 text/plain error bodies are still understood for one release
+// (the code is then inferred from the HTTP status).
 type Client struct {
 	base string
 	hc   *http.Client
@@ -25,16 +31,6 @@ type Client struct {
 // bound individual calls with their contexts.
 func NewClient(base string) *Client {
 	return &Client{base: strings.TrimRight(base, "/"), hc: &http.Client{}}
-}
-
-// StatusError is a non-2xx API reply.
-type StatusError struct {
-	Code    int
-	Message string
-}
-
-func (e *StatusError) Error() string {
-	return fmt.Sprintf("service: HTTP %d: %s", e.Code, e.Message)
 }
 
 // do issues the request and decodes a JSON reply into out (when non-nil).
@@ -60,8 +56,7 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(msg))}
+		return readAPIError(resp)
 	}
 	if out == nil {
 		return nil
@@ -69,10 +64,121 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 	return json.NewDecoder(resp.Body).Decode(out)
 }
 
+// readAPIError drains a non-2xx response into *APIError.
+func readAPIError(resp *http.Response) *APIError {
+	msg, _ := io.ReadAll(io.LimitReader(resp.Body, 64<<10))
+	return DecodeAPIError(resp.StatusCode, resp.Header.Get("Retry-After"),
+		bytes.TrimSpace(msg))
+}
+
 // Submit enqueues a job and returns its initial status.
 func (c *Client) Submit(ctx context.Context, req JobRequest) (JobStatus, error) {
 	var st JobStatus
 	err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &st)
+	return st, err
+}
+
+// SubmitSweep enqueues a sweep and returns its initial status.
+func (c *Client) SubmitSweep(ctx context.Context, req SweepRequest) (SweepStatus, error) {
+	var st SweepStatus
+	err := c.do(ctx, http.MethodPost, "/v1/sweeps", req, &st)
+	return st, err
+}
+
+// Backoff paces retries of back-pressured (queue_full) submissions:
+// capped exponential delays with jitter, preferring the server's
+// Retry-After hint when it is longer than the computed delay.
+type Backoff struct {
+	// Attempts caps total tries (including the first). 0 selects 6.
+	Attempts int
+	// Base is the first retry delay, doubled per retry. 0 selects 200ms.
+	Base time.Duration
+	// Cap bounds the delay growth. 0 selects 10s.
+	Cap time.Duration
+}
+
+func (b Backoff) normalize() Backoff {
+	if b.Attempts <= 0 {
+		b.Attempts = 6
+	}
+	if b.Base <= 0 {
+		b.Base = 200 * time.Millisecond
+	}
+	if b.Cap <= 0 {
+		b.Cap = 10 * time.Second
+	}
+	return b
+}
+
+// delay computes the pause before retry n (0-based): capped exponential
+// growth from Base, stretched to the server hint when that is longer,
+// with ±25% jitter so a fleet of backed-off clients does not re-stampede
+// the queue in lockstep.
+func (b Backoff) delay(n int, hint time.Duration) time.Duration {
+	d := b.Base << n
+	if d > b.Cap || d <= 0 {
+		d = b.Cap
+	}
+	if hint > d {
+		d = hint
+	}
+	q := d / 4
+	if q > 0 {
+		d += time.Duration(rand.Int63n(2*int64(q))) - q
+	}
+	return d
+}
+
+// retryQueueFull runs fn, retrying only queue_full rejections under the
+// backoff policy. Any other error — and exhaustion — returns the last
+// error unchanged.
+func retryQueueFull(ctx context.Context, b Backoff, fn func() error) error {
+	b = b.normalize()
+	var err error
+	for n := 0; n < b.Attempts; n++ {
+		if err = fn(); !errors.Is(err, ErrQueueFull) {
+			return err
+		}
+		if n == b.Attempts-1 {
+			break
+		}
+		var hint time.Duration
+		var ae *APIError
+		if errors.As(err, &ae) {
+			hint = ae.RetryAfter
+		}
+		t := time.NewTimer(b.delay(n, hint))
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		case <-t.C:
+		}
+	}
+	return err
+}
+
+// SubmitRetry submits a job, backing off and retrying while the server
+// reports queue_full (HTTP 429 with Retry-After).
+func (c *Client) SubmitRetry(ctx context.Context, req JobRequest, b Backoff) (JobStatus, error) {
+	var st JobStatus
+	err := retryQueueFull(ctx, b, func() error {
+		var ierr error
+		st, ierr = c.Submit(ctx, req)
+		return ierr
+	})
+	return st, err
+}
+
+// SubmitSweepRetry submits a sweep with the same back-pressure handling
+// as SubmitRetry.
+func (c *Client) SubmitSweepRetry(ctx context.Context, req SweepRequest, b Backoff) (SweepStatus, error) {
+	var st SweepStatus
+	err := retryQueueFull(ctx, b, func() error {
+		var ierr error
+		st, ierr = c.SubmitSweep(ctx, req)
+		return ierr
+	})
 	return st, err
 }
 
@@ -83,11 +189,68 @@ func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
 	return st, err
 }
 
-// Jobs lists every job's status (without results).
-func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
-	var st []JobStatus
-	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &st)
+// Sweep fetches one sweep's status (merged result once completed).
+func (c *Client) Sweep(ctx context.Context, id string) (SweepStatus, error) {
+	var st SweepStatus
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps/"+id, nil, &st)
 	return st, err
+}
+
+// ListQuery selects a listing page: Limit entries (server default 100,
+// cap 1000) starting after Cursor (the last ID of the previous page, as
+// returned in JobList.NextCursor), optionally filtered by State.
+type ListQuery struct {
+	Limit  int
+	Cursor string
+	State  State
+}
+
+// query renders the pagination parameters.
+func (q ListQuery) query() string {
+	v := url.Values{}
+	if q.Limit > 0 {
+		v.Set("limit", fmt.Sprint(q.Limit))
+	}
+	if q.Cursor != "" {
+		v.Set("cursor", q.Cursor)
+	}
+	if q.State != "" {
+		v.Set("state", string(q.State))
+	}
+	if len(v) == 0 {
+		return ""
+	}
+	return "?" + v.Encode()
+}
+
+// Jobs lists one page of job statuses (without results).
+func (c *Client) Jobs(ctx context.Context, q ListQuery) (JobList, error) {
+	var out JobList
+	err := c.do(ctx, http.MethodGet, "/v1/jobs"+q.query(), nil, &out)
+	return out, err
+}
+
+// Sweeps lists one page of sweep statuses (without results).
+func (c *Client) Sweeps(ctx context.Context, q ListQuery) (JobList, error) {
+	var out JobList
+	err := c.do(ctx, http.MethodGet, "/v1/sweeps"+q.query(), nil, &out)
+	return out, err
+}
+
+// Spec fetches the canonical spec JSON registered under a content hash.
+func (c *Client) Spec(ctx context.Context, hash string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	err := c.do(ctx, http.MethodGet, "/v1/specs/"+url.PathEscape(hash), nil, &raw)
+	return raw, err
+}
+
+// SpecResult fetches one cell's result bytes from the server's
+// content-addressed store (ErrNotFound when the cell never ran against
+// this store).
+func (c *Client) SpecResult(ctx context.Context, hash string) (json.RawMessage, error) {
+	var raw json.RawMessage
+	err := c.do(ctx, http.MethodGet, "/v1/specs/"+url.PathEscape(hash)+"/result", nil, &raw)
+	return raw, err
 }
 
 // Wait polls until the job reaches a terminal state or ctx ends.
@@ -114,22 +277,61 @@ func (c *Client) Wait(ctx context.Context, id string, poll time.Duration) (JobSt
 	}
 }
 
+// WaitSweep polls until the sweep reaches a terminal state or ctx ends.
+func (c *Client) WaitSweep(ctx context.Context, id string, poll time.Duration) (SweepStatus, error) {
+	if poll <= 0 {
+		poll = 100 * time.Millisecond
+	}
+	t := time.NewTicker(poll)
+	defer t.Stop()
+	for {
+		st, err := c.Sweep(ctx, id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		select {
+		case <-ctx.Done():
+			return st, ctx.Err()
+		case <-t.C:
+		}
+	}
+}
+
 // Follow consumes the job's SSE stream, invoking fn per event, then
 // returns the final status. The stream ends when the job reaches a
 // terminal state; fn may be nil to just block until then.
 func (c *Client) Follow(ctx context.Context, id string, fn func(Event)) (JobStatus, error) {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
-	if err != nil {
+	if err := c.follow(ctx, "/v1/jobs/"+id+"/events", fn); err != nil {
 		return JobStatus{}, err
+	}
+	return c.Job(ctx, id)
+}
+
+// FollowSweep consumes the sweep's SSE stream (merged progress across
+// store hits and dispatched cells), then returns the final status.
+func (c *Client) FollowSweep(ctx context.Context, id string, fn func(Event)) (SweepStatus, error) {
+	if err := c.follow(ctx, "/v1/sweeps/"+id+"/events", fn); err != nil {
+		return SweepStatus{}, err
+	}
+	return c.Sweep(ctx, id)
+}
+
+// follow drains one SSE stream to its end.
+func (c *Client) follow(ctx context.Context, path string, fn func(Event)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
+	if err != nil {
+		return err
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
-		return JobStatus{}, err
+		return err
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-		return JobStatus{}, &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(msg))}
+		return readAPIError(resp)
 	}
 	sc := bufio.NewScanner(resp.Body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
@@ -140,16 +342,13 @@ func (c *Client) Follow(ctx context.Context, id string, fn func(Event)) (JobStat
 		}
 		var e Event
 		if err := json.Unmarshal([]byte(line[len("data: "):]), &e); err != nil {
-			return JobStatus{}, fmt.Errorf("service: decoding event: %w", err)
+			return fmt.Errorf("service: decoding event: %w", err)
 		}
 		if fn != nil {
 			fn(e)
 		}
 	}
-	if err := sc.Err(); err != nil {
-		return JobStatus{}, err
-	}
-	return c.Job(ctx, id)
+	return sc.Err()
 }
 
 // Metrics fetches the Prometheus exposition text.
@@ -163,12 +362,12 @@ func (c *Client) Metrics(ctx context.Context) (string, error) {
 		return "", err
 	}
 	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return "", readAPIError(resp)
+	}
 	b, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return "", err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return "", &StatusError{Code: resp.StatusCode, Message: strings.TrimSpace(string(b))}
 	}
 	return string(b), nil
 }

@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"sync"
 )
@@ -36,6 +37,9 @@ func newJob(id string, req JobRequest, specHash string, specs []cellSpec) *job {
 	j.events = append(j.events, Event{Type: "state", State: StateQueued, Total: len(specs)})
 	return j
 }
+
+// execute implements the queue task interface.
+func (j *job) execute(ctx context.Context, s *Server) { s.runJob(ctx, j) }
 
 // publishLocked appends an event and wakes subscribers. Callers hold j.mu.
 func (j *job) publishLocked(e Event) {

@@ -75,9 +75,12 @@ func TestEndToEnd(t *testing.T) {
 	// Invalid scheme alongside: must be rejected with HTTP 400 carrying
 	// the sim.ParseScheme error.
 	_, err := c.Submit(ctx, JobRequest{Mixes: []string{"Q1"}, Schemes: []string{"no-such-scheme"}})
-	var se *StatusError
-	if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
-		t.Fatalf("invalid scheme: err = %v, want StatusError 400", err)
+	var se *APIError
+	if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
+		t.Fatalf("invalid scheme: err = %v, want APIError 400", err)
+	}
+	if !errors.Is(err, ErrInvalidRequest) || se.Code != CodeInvalidRequest {
+		t.Errorf("invalid scheme should carry code invalid_request, got %q", se.Code)
 	}
 	if !strings.Contains(se.Message, "unknown scheme") {
 		t.Errorf("400 body should carry the ParseScheme error, got %q", se.Message)
@@ -201,8 +204,8 @@ func TestValidationErrors(t *testing.T) {
 	}
 	for _, tc := range cases {
 		_, err := c.Submit(ctx, tc.req)
-		var se *StatusError
-		if !errors.As(err, &se) || se.Code != http.StatusBadRequest {
+		var se *APIError
+		if !errors.As(err, &se) || se.Status != http.StatusBadRequest {
 			t.Errorf("%s: err = %v, want 400", tc.name, err)
 			continue
 		}
@@ -210,8 +213,8 @@ func TestValidationErrors(t *testing.T) {
 			t.Errorf("%s: message %q missing %q", tc.name, se.Message, tc.want)
 		}
 	}
-	if _, err := c.Job(ctx, "job-999999"); err == nil {
-		t.Error("unknown job id should 404")
+	if _, err := c.Job(ctx, "job-999999"); !errors.Is(err, ErrNotFound) {
+		t.Errorf("unknown job id: err = %v, want ErrNotFound", err)
 	}
 }
 
@@ -248,9 +251,20 @@ func TestQueueBoundRejects(t *testing.T) {
 		t.Fatalf("second submit should occupy the queue slot: %v", err)
 	}
 	_, err = c.Submit(ctx, slow)
-	var se *StatusError
-	if !errors.As(err, &se) || se.Code != http.StatusTooManyRequests {
+	var se *APIError
+	if !errors.As(err, &se) || se.Status != http.StatusTooManyRequests {
 		t.Fatalf("overflow submit: err = %v, want 429", err)
+	}
+	if !errors.Is(err, ErrQueueFull) || se.Code != CodeQueueFull {
+		t.Errorf("overflow submit code = %q, want queue_full", se.Code)
+	}
+	if se.RetryAfter <= 0 {
+		t.Errorf("429 should carry Retry-After, got %v", se.RetryAfter)
+	}
+	if d, ok := se.Details["queue_depth"]; !ok {
+		t.Errorf("429 details missing queue_depth: %v", se.Details)
+	} else if n, ok := d.(float64); !ok || n != 1 {
+		t.Errorf("queue_depth = %v, want 1", d)
 	}
 	metrics, err := c.Metrics(ctx)
 	if err != nil {
@@ -299,8 +313,11 @@ func TestGracefulDrain(t *testing.T) {
 		t.Errorf("drained job state = %s (%s), want completed", got.State, got.Error)
 	}
 	_, err = c.Submit(ctx, req)
-	var se *StatusError
-	if !errors.As(err, &se) || se.Code != http.StatusServiceUnavailable {
+	if !errors.Is(err, ErrDraining) {
+		t.Errorf("submit after drain: err = %v, want ErrDraining", err)
+	}
+	var se *APIError
+	if !errors.As(err, &se) || se.Status != http.StatusServiceUnavailable {
 		t.Errorf("submit after drain: err = %v, want 503", err)
 	}
 }
@@ -318,14 +335,17 @@ func TestListJobs(t *testing.T) {
 		}
 		ids = append(ids, st.ID)
 	}
-	list, err := c.Jobs(ctx)
+	list, err := c.Jobs(ctx, ListQuery{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(list) != 3 {
-		t.Fatalf("listed %d jobs, want 3", len(list))
+	if len(list.Jobs) != 3 {
+		t.Fatalf("listed %d jobs, want 3", len(list.Jobs))
 	}
-	for i, st := range list {
+	if list.NextCursor != "" {
+		t.Errorf("next_cursor = %q for an exhausted listing", list.NextCursor)
+	}
+	for i, st := range list.Jobs {
 		if st.ID != ids[i] {
 			t.Errorf("list[%d] = %s, want %s", i, st.ID, ids[i])
 		}

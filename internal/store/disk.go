@@ -1,0 +1,100 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Disk is a filesystem-backed Store. Blobs live under root sharded by the
+// first two hex digits of the digest (root/ab/<digest>), the layout git
+// uses for loose objects, so directories stay small at hundreds of
+// thousands of results. Writes go through a temp file in the same
+// directory followed by an atomic rename, so readers — including other
+// processes sharing the volume — never observe a partial blob.
+type Disk struct {
+	root string
+}
+
+// NewDisk opens (creating if needed) a disk store rooted at dir.
+func NewDisk(dir string) (*Disk, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: creating root: %w", err)
+	}
+	return &Disk{root: dir}, nil
+}
+
+// path maps a validated hash to its blob file.
+func (s *Disk) path(hash string) string {
+	digest := strings.TrimPrefix(hash, "sha256:")
+	return filepath.Join(s.root, digest[:2], digest)
+}
+
+// Get implements Store.
+func (s *Disk) Get(hash string) ([]byte, bool, error) {
+	if err := CheckHash(hash); err != nil {
+		return nil, false, err
+	}
+	b, err := os.ReadFile(s.path(hash))
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("store: reading %s: %w", hash, err)
+	}
+	return b, true, nil
+}
+
+// Put implements Store.
+func (s *Disk) Put(hash string, blob []byte) error {
+	if err := CheckHash(hash); err != nil {
+		return err
+	}
+	dst := s.path(hash)
+	if _, err := os.Stat(dst); err == nil {
+		return nil // content-addressed: existing bytes are the right bytes
+	}
+	dir := filepath.Dir(dst)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("store: creating shard: %w", err)
+	}
+	tmp, err := os.CreateTemp(dir, ".put-*")
+	if err != nil {
+		return fmt.Errorf("store: temp file: %w", err)
+	}
+	if _, err := tmp.Write(blob); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: writing %s: %w", hash, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: closing %s: %w", hash, err)
+	}
+	if err := os.Rename(tmp.Name(), dst); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("store: publishing %s: %w", hash, err)
+	}
+	return nil
+}
+
+// Len implements Store by walking the shard directories.
+func (s *Disk) Len() (int, error) {
+	n := 0
+	err := filepath.WalkDir(s.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() && !strings.HasPrefix(d.Name(), ".") {
+			n++
+		}
+		return nil
+	})
+	if err != nil {
+		return 0, fmt.Errorf("store: counting blobs: %w", err)
+	}
+	return n, nil
+}

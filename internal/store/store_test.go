@@ -1,0 +1,128 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"bimodal/internal/spec"
+)
+
+// hashOf builds a well-formed content hash from arbitrary bytes.
+func hashOf(t *testing.T, b []byte) string {
+	t.Helper()
+	return spec.HashBytes(b)
+}
+
+// stores builds one of each implementation for table-driven tests.
+func stores(t *testing.T) map[string]Store {
+	t.Helper()
+	disk, err := NewDisk(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Store{"mem": NewMem(), "disk": disk}
+}
+
+func TestRoundTrip(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			blob := []byte(`{"hit_rate":0.5}`)
+			h := hashOf(t, blob)
+			if _, ok, err := s.Get(h); err != nil || ok {
+				t.Fatalf("empty store Get = %v, %v", ok, err)
+			}
+			if err := s.Put(h, blob); err != nil {
+				t.Fatal(err)
+			}
+			got, ok, err := s.Get(h)
+			if err != nil || !ok || !bytes.Equal(got, blob) {
+				t.Fatalf("Get = %q, %v, %v; want stored blob", got, ok, err)
+			}
+			// Re-putting is a no-op, not an error.
+			if err := s.Put(h, blob); err != nil {
+				t.Fatal(err)
+			}
+			if n, err := s.Len(); err != nil || n != 1 {
+				t.Fatalf("Len = %d, %v; want 1", n, err)
+			}
+		})
+	}
+}
+
+func TestMalformedHashRejected(t *testing.T) {
+	bad := []string{
+		"",
+		"sha256:short",
+		"md5:" + strings.Repeat("a", 64),
+		"sha256:" + strings.Repeat("A", 64),       // upper-case hex
+		"sha256:../" + strings.Repeat("a", 61),    // traversal attempt
+		"sha256:" + strings.Repeat("a", 63) + "/", // separator
+		strings.Repeat("a", 64) + strings.Repeat("b", 7), // no prefix
+	}
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			for _, h := range bad {
+				if err := s.Put(h, []byte("x")); err == nil {
+					t.Errorf("Put(%q) accepted a malformed hash", h)
+				}
+				if _, _, err := s.Get(h); err == nil {
+					t.Errorf("Get(%q) accepted a malformed hash", h)
+				}
+			}
+		})
+	}
+}
+
+func TestDiskPersistsAcrossReopen(t *testing.T) {
+	dir := t.TempDir()
+	s1, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob := []byte("persistent result")
+	h := hashOf(t, blob)
+	if err := s1.Put(h, blob); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewDisk(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := s2.Get(h)
+	if err != nil || !ok || !bytes.Equal(got, blob) {
+		t.Fatalf("reopened Get = %q, %v, %v", got, ok, err)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	for name, s := range stores(t) {
+		t.Run(name, func(t *testing.T) {
+			var wg sync.WaitGroup
+			for i := 0; i < 16; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					blob := []byte(fmt.Sprintf("blob-%d", i%4))
+					h := hashOf(t, blob)
+					for j := 0; j < 20; j++ {
+						if err := s.Put(h, blob); err != nil {
+							t.Error(err)
+							return
+						}
+						if got, ok, err := s.Get(h); err != nil || !ok || !bytes.Equal(got, blob) {
+							t.Errorf("Get = %q, %v, %v", got, ok, err)
+							return
+						}
+					}
+				}(i)
+			}
+			wg.Wait()
+			if n, err := s.Len(); err != nil || n != 4 {
+				t.Fatalf("Len = %d, %v; want 4", n, err)
+			}
+		})
+	}
+}
