@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build lint vet test race fuzz-smoke bench bench-compare
+.PHONY: all build lint vet test race fuzz-smoke snapshot-golden bench bench-compare
 
 all: build lint test
 
@@ -29,6 +29,15 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzParseScheme -fuzztime=10s ./internal/sim
 	$(GO) test -run='^$$' -fuzz=FuzzTraceReader -fuzztime=10s ./internal/trace
 	$(GO) test -run='^$$' -fuzz=FuzzSpec -fuzztime=10s ./internal/spec
+	$(GO) test -run='^$$' -fuzz=FuzzSnapshotRoundTrip -fuzztime=10s ./internal/snapshot
+
+# snapshot-golden runs the warm-state checkpointing gates on their own:
+# restore-then-run byte identity for every registered scheme, and the
+# warmup-exactly-once sweep contract. All of it also runs under `make
+# test`; this target names the gate for CI and local iteration.
+snapshot-golden:
+	$(GO) test -run 'TestRestore|TestPrefixHash' -v ./internal/sim
+	$(GO) test -run 'TestSweepWarmupRunsOnce|TestWarmRunner' -v ./internal/service
 
 # bench re-measures the hot-path microbenchmarks and writes (or refreshes)
 # the dated baseline snapshot. Commit the file to update the baseline CI

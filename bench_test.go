@@ -90,3 +90,5 @@ func BenchmarkDRAMChannelAccess(b *testing.B)      { bench.Run(b, "DRAMChannelAc
 func BenchmarkMemctrlRead(b *testing.B)            { bench.Run(b, "MemctrlRead") }
 func BenchmarkTraceGeneration(b *testing.B)        { bench.Run(b, "TraceGeneration") }
 func BenchmarkEndToEndMix(b *testing.B)            { bench.Run(b, "EndToEndMix") }
+func BenchmarkSweepColdWarmup(b *testing.B)        { bench.Run(b, "SweepColdWarmup") }
+func BenchmarkSweepWarmRestore(b *testing.B)       { bench.Run(b, "SweepWarmRestore") }

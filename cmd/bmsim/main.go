@@ -11,6 +11,14 @@
 //	bmsim -scheme bimodal -mix Q7 -json | jq .cells[0].hit_rate
 //	bmsim -scheme bimodal-cometa -mix Q7 -dump-spec > run.json
 //	bmsim -spec run.json
+//	bmsim -scheme alloy -mix Q7 -checkpoint warm.bmsn
+//	bmsim -scheme alloy -mix Q7 -restore warm.bmsn
+//
+// -checkpoint seals the complete simulator state at the warmup/measure
+// boundary into a file; -restore replays it instead of re-running warmup.
+// A checkpoint binds to its warmup prefix (spec.PrefixHash), so restoring
+// under an incompatible spec fails instead of producing wrong numbers;
+// results after a restore are byte-identical to a straight-through run.
 //
 // A run is fully described by its canonical run spec (internal/spec):
 // -dump-spec prints the canonical spec JSON for the given flags (with its
@@ -60,6 +68,8 @@ func main() {
 		jsonOut    = flag.Bool("json", false, "emit the service result schema (JSON) instead of tables")
 		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
+		checkpoint = flag.String("checkpoint", "", "write the warm-state snapshot (sealed at the warmup/measure boundary) to this file")
+		restoreF   = flag.String("restore", "", "restore the warm state from this checkpoint file instead of running warmup")
 	)
 	flag.Parse()
 
@@ -89,7 +99,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "bmsim:", perr)
 		os.Exit(1)
 	}
-	err = run(ctx, rs, *workers, *jsonOut)
+	err = run(ctx, rs, *workers, *jsonOut, *checkpoint, *restoreF)
 	// Flush profiles before any exit path: failed or interrupted runs are
 	// the ones most worth profiling.
 	stopCPU()
@@ -174,7 +184,7 @@ func printSpec(rs spec.RunSpec) error {
 	return nil
 }
 
-func run(ctx context.Context, rs spec.RunSpec, workers int, jsonOut bool) error {
+func run(ctx context.Context, rs spec.RunSpec, workers int, jsonOut bool, checkpoint, restore string) error {
 	mix, err := workloads.ByName(rs.Mix)
 	if err != nil {
 		return err
@@ -186,7 +196,12 @@ func run(ctx context.Context, rs spec.RunSpec, workers int, jsonOut bool) error 
 	opts := sim.OptionsForSpec(rs)
 	opts.Workers = engine.Workers(workers)
 
-	res, err := sim.RunContext(ctx, mix, factory, opts)
+	var res sim.RunResult
+	if checkpoint != "" || restore != "" {
+		res, err = runCheckpointed(ctx, rs, mix, factory, opts, checkpoint, restore)
+	} else {
+		res, err = sim.RunContext(ctx, mix, factory, opts)
+	}
 	if err != nil {
 		return err
 	}
@@ -237,6 +252,44 @@ func run(ctx context.Context, rs spec.RunSpec, workers int, jsonOut bool) error 
 		fmt.Printf("ANTT = %.3f (lower is better, computed in %s)\n", antt, time.Since(start).Round(time.Millisecond))
 	}
 	return nil
+}
+
+// runCheckpointed drives the run through the warm-state checkpoint seam:
+// -restore overwrites warmup with the file's sealed snapshot (validated
+// against this spec's warmup prefix hash, so a checkpoint from a
+// different configuration is rejected); -checkpoint seals the warm state
+// to a file at the warmup/measure boundary. Either way the measured
+// window runs afterwards and the results are byte-identical to a
+// straight-through run of the same spec.
+func runCheckpointed(ctx context.Context, rs spec.RunSpec, mix workloads.Mix, factory sim.Factory, opts sim.Options, checkpoint, restore string) (sim.RunResult, error) {
+	prefix, ok, err := rs.PrefixHash()
+	if err != nil {
+		return sim.RunResult{}, err
+	}
+	if !ok {
+		return sim.RunResult{}, fmt.Errorf("this spec has no reusable warmup prefix (-antt, or warmup disabled); -checkpoint/-restore do not apply")
+	}
+	s := sim.NewSim(mix, factory, opts)
+	if restore != "" {
+		blob, err := os.ReadFile(restore)
+		if err != nil {
+			return sim.RunResult{}, err
+		}
+		if err := s.Restore(blob, prefix); err != nil {
+			return sim.RunResult{}, fmt.Errorf("restoring %s: %w", restore, err)
+		}
+		fmt.Fprintf(os.Stderr, "bmsim: restored warm state from %s (prefix %s)\n", restore, prefix)
+	} else if err := s.Warmup(ctx); err != nil {
+		return sim.RunResult{}, err
+	}
+	if checkpoint != "" {
+		blob := s.Snapshot(prefix)
+		if err := os.WriteFile(checkpoint, blob, 0o644); err != nil {
+			return sim.RunResult{}, err
+		}
+		fmt.Fprintf(os.Stderr, "bmsim: wrote warm checkpoint %s (%d bytes, prefix %s)\n", checkpoint, len(blob), prefix)
+	}
+	return s.Measure(ctx)
 }
 
 // printJSON emits a service.JobResult with one cell — the same schema

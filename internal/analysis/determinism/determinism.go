@@ -45,6 +45,7 @@ var simPackages = map[string]bool{
 	"bimodal/internal/sram":        true,
 	"bimodal/internal/cpu":         true,
 	"bimodal/internal/sim":         true,
+	"bimodal/internal/snapshot":    true,
 	"bimodal/internal/spec":        true,
 	"bimodal/internal/trace":       true,
 	"bimodal/internal/experiments": true,

@@ -6,6 +6,8 @@
 package bench
 
 import (
+	"context"
+	"fmt"
 	"testing"
 
 	bimodal "bimodal"
@@ -14,7 +16,10 @@ import (
 	"bimodal/internal/dram"
 	"bimodal/internal/dramcache"
 	"bimodal/internal/memctrl"
+	"bimodal/internal/sim"
+	"bimodal/internal/spec"
 	"bimodal/internal/trace"
+	"bimodal/internal/workloads"
 	"bimodal/internal/xrand"
 )
 
@@ -63,6 +68,8 @@ var cases = []Case{
 	{"MemctrlRead", "memory-controller demand read (interleave + bank)", memctrlRead},
 	{"TraceGeneration", "synthetic access-stream generation", traceGeneration},
 	{"EndToEndMix", "complete small multiprogrammed run via the public facade", endToEndMix},
+	{"SweepColdWarmup", "10-cell same-prefix sweep, every cell warming from cold", sweepColdWarmup},
+	{"SweepWarmRestore", "10-cell same-prefix sweep warming once via snapshot restore", sweepWarmRestore},
 }
 
 // biModalAccess measures one end-to-end scheme access (functional cache +
@@ -182,5 +189,119 @@ func endToEndMix(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		bimodal.RunBiModal(mix, o)
+	}
+}
+
+// --- warm-state checkpointing: sweep warmup amortization ---
+//
+// The two sweep cases run the same 10-cell workload — cells identical up
+// to measured length, so they share one warmup prefix hash — first the
+// pre-snapshot way (every cell warms from cold), then through the
+// snapshot seam (warm once, seal, fork restored engines). The pair
+// quantifies what internal/snapshot buys a same-prefix sweep; the
+// warmup window is sized so warmup dominates, as it does in real
+// convergence sweeps. TestWarmSweepBeatsColdWarmup pins the ratio >= 2x.
+
+// warmSweepSpecs returns 10 cells differing only in measured length.
+func warmSweepSpecs() []spec.RunSpec {
+	var specs []spec.RunSpec
+	for i := 1; i <= 10; i++ {
+		specs = append(specs, spec.RunSpec{
+			Scheme: "alloy",
+			Mix:    "Q1",
+			Options: spec.Options{
+				AccessesPerCore: int64(100 * i),
+				WarmupPerCore:   80_000,
+				CacheDivisor:    64,
+			},
+			Seed: 7,
+		})
+	}
+	return specs
+}
+
+// runSweepColdWarmup executes the sweep with per-cell warmup.
+func runSweepColdWarmup() error {
+	ctx := context.Background()
+	for _, rs := range warmSweepSpecs() {
+		mix, err := workloads.ByName(rs.Mix)
+		if err != nil {
+			return err
+		}
+		factory, err := sim.FactoryForSpec(rs, mix.Cores())
+		if err != nil {
+			return err
+		}
+		so := sim.OptionsForSpec(rs)
+		so.Workers = 1
+		s := sim.NewSim(mix, factory, so)
+		if err := s.Warmup(ctx); err != nil {
+			return err
+		}
+		if _, err := s.Measure(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// runSweepWarmRestore executes the sweep warming exactly once: the first
+// cell warms, seals a snapshot, and measures on its own warm state; every
+// other cell forks a restored engine.
+func runSweepWarmRestore() error {
+	ctx := context.Background()
+	specs := warmSweepSpecs()
+	prefix, ok, err := specs[0].PrefixHash()
+	if err != nil {
+		return err
+	}
+	if !ok {
+		return fmt.Errorf("bench: sweep specs have no warmup prefix")
+	}
+	mix, err := workloads.ByName(specs[0].Mix)
+	if err != nil {
+		return err
+	}
+	factory, err := sim.FactoryForSpec(specs[0], mix.Cores())
+	if err != nil {
+		return err
+	}
+	var blob []byte
+	for i, rs := range specs {
+		so := sim.OptionsForSpec(rs)
+		so.Workers = 1
+		s := sim.NewSim(mix, factory, so)
+		if i == 0 {
+			if err := s.Warmup(ctx); err != nil {
+				return err
+			}
+			blob = s.Snapshot(prefix)
+		} else if err := s.Restore(blob, prefix); err != nil {
+			return err
+		}
+		if _, err := s.Measure(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sweepColdWarmup measures the pre-snapshot sweep path.
+func sweepColdWarmup(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runSweepColdWarmup(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sweepWarmRestore measures the snapshot-amortized sweep path.
+func sweepWarmRestore(b *testing.B) {
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runSweepWarmRestore(); err != nil {
+			b.Fatal(err)
+		}
 	}
 }

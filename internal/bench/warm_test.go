@@ -1,0 +1,38 @@
+package bench
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWarmSweepBeatsColdWarmup is the checkpointing subsystem's
+// performance contract: a 10-cell same-prefix sweep through the snapshot
+// seam (warm once, restore nine times) must beat the cold path (warm ten
+// times) by at least 2x. The true ratio approaches the cell count when
+// warmup dominates, so 2x leaves generous headroom for timer noise; each
+// path takes the best of three runs to shed scheduling outliers.
+func TestWarmSweepBeatsColdWarmup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock comparison; skipped in -short")
+	}
+	best := func(run func() error) time.Duration {
+		min := time.Duration(1<<63 - 1)
+		for i := 0; i < 3; i++ {
+			start := time.Now()
+			if err := run(); err != nil {
+				t.Fatal(err)
+			}
+			if d := time.Since(start); d < min {
+				min = d
+			}
+		}
+		return min
+	}
+	warm := best(runSweepWarmRestore)
+	cold := best(runSweepColdWarmup)
+	t.Logf("cold %v, warm %v (%.1fx)", cold, warm, float64(cold)/float64(warm))
+	if cold < 2*warm {
+		t.Errorf("warm sweep only %.2fx faster than cold (cold %v, warm %v); want >= 2x",
+			float64(cold)/float64(warm), cold, warm)
+	}
+}

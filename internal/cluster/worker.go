@@ -37,8 +37,11 @@ type Worker struct {
 	// answer any spec hash). Completed cells are written back. Nil
 	// disables the local store pass.
 	Store store.Store
-	// Run executes one cell — a test seam. Nil selects
-	// service.RunCellSpec, the production simulator path.
+	// Run executes one cell — a test seam. Nil selects the production
+	// simulator path: with a Store configured, service.NewWarmCellRunner
+	// (cells restore warm-state snapshots produced locally or by peers
+	// sharing the store instead of re-running warmup); otherwise plain
+	// service.RunCellSpec.
 	Run func(ctx context.Context, rs spec.RunSpec) ([]byte, error)
 	// Metrics receives worker instrumentation. Nil selects
 	// telemetry.Default.
@@ -65,10 +68,6 @@ func (w *Worker) Serve(ctx context.Context) error {
 	if hc == nil {
 		hc = &http.Client{}
 	}
-	run := w.Run
-	if run == nil {
-		run = service.RunCellSpec
-	}
 	slots := w.Slots
 	if slots <= 0 {
 		slots = runtime.GOMAXPROCS(0)
@@ -76,6 +75,14 @@ func (w *Worker) Serve(ctx context.Context) error {
 	metrics := w.Metrics
 	if metrics == nil {
 		metrics = telemetry.Default
+	}
+	run := w.Run
+	if run == nil {
+		if w.Store != nil {
+			run = service.NewWarmCellRunner(w.Store, metrics)
+		} else {
+			run = service.RunCellSpec
+		}
 	}
 	s := &workerSession{
 		base:    w.Coordinator,

@@ -1,0 +1,224 @@
+package core
+
+import "bimodal/internal/snapshot"
+
+// This file implements snapshot.Snapshotter for the functional Bi-Modal
+// cache and its satellite structures. Only mutable state is serialized;
+// geometry, derived constants and table sizes are reconstructed from
+// Params by the constructor, and the prefix spec hash guarantees the
+// restoring object was built from the same configuration as the producer
+// (see internal/snapshot and DESIGN.md section 14).
+
+// SnapshotState implements snapshot.Snapshotter.
+func (s *SizePredictor) SnapshotState(w *snapshot.Writer) {
+	w.Tag("sizepred")
+	w.U8s(s.table)
+	w.I64(s.Predictions)
+	w.I64(s.PredBig)
+	w.I64(s.Updates)
+	w.I64(s.UpBig)
+}
+
+// RestoreState implements snapshot.Snapshotter.
+func (s *SizePredictor) RestoreState(r *snapshot.Reader) {
+	r.Tag("sizepred")
+	r.U8s(s.table)
+	s.Predictions = r.I64()
+	s.PredBig = r.I64()
+	s.Updates = r.I64()
+	s.UpBig = r.I64()
+	if r.Err() != nil {
+		return
+	}
+	for i, v := range s.table {
+		if v > 3 {
+			r.Failf("size predictor counter %d saturates above 3 (entry %d)", v, i)
+			return
+		}
+	}
+}
+
+// SnapshotState implements snapshot.Snapshotter (the utilization
+// histogram; the predictor pointer is shared and snapshotted by its
+// owner).
+func (t *Tracker) SnapshotState(w *snapshot.Writer) {
+	w.Tag("tracker")
+	t.Hist.SnapshotState(w)
+}
+
+// RestoreState implements snapshot.Snapshotter.
+func (t *Tracker) RestoreState(r *snapshot.Reader) {
+	r.Tag("tracker")
+	t.Hist.RestoreState(r)
+}
+
+// SnapshotState implements snapshot.Snapshotter.
+func (g *GlobalState) SnapshotState(w *snapshot.Writer) {
+	w.Tag("global")
+	w.Int(g.state.X)
+	w.Int(g.state.Y)
+	w.I64(g.dBig)
+	w.I64(g.dSmall)
+	w.I64(g.accesses)
+	w.I64(g.Transitions)
+}
+
+// RestoreState implements snapshot.Snapshotter.
+func (g *GlobalState) RestoreState(r *snapshot.Reader) {
+	r.Tag("global")
+	st := State{X: r.Int(), Y: r.Int()}
+	dBig, dSmall, accesses, transitions := r.I64(), r.I64(), r.I64(), r.I64()
+	if r.Err() != nil {
+		return
+	}
+	if !g.params.stateValid(st) {
+		r.Failf("global state %s illegal for the cache geometry", st)
+		return
+	}
+	g.state = st
+	g.dBig, g.dSmall, g.accesses, g.Transitions = dBig, dSmall, accesses, transitions
+}
+
+// SnapshotState implements snapshot.Snapshotter.
+func (w *WayLocator) SnapshotState(sw *snapshot.Writer) {
+	sw.Tag("waylocator")
+	for _, e := range w.entries {
+		sw.Bool(e.valid)
+		sw.Bool(e.big)
+		sw.U64(e.blockID)
+		sw.Int(e.way)
+		sw.U64(e.lastUse)
+	}
+	sw.U64(w.clock)
+	sw.I64(w.Lookups)
+	sw.I64(w.HitsBig)
+	sw.I64(w.HitsSml)
+}
+
+// RestoreState implements snapshot.Snapshotter.
+func (w *WayLocator) RestoreState(r *snapshot.Reader) {
+	r.Tag("waylocator")
+	for i := range w.entries {
+		w.entries[i].valid = r.Bool()
+		w.entries[i].big = r.Bool()
+		w.entries[i].blockID = r.U64()
+		w.entries[i].way = r.Int()
+		w.entries[i].lastUse = r.U64()
+	}
+	w.clock = r.U64()
+	w.Lookups = r.I64()
+	w.HitsBig = r.I64()
+	w.HitsSml = r.I64()
+}
+
+// snapshotStats serializes the functional counter block.
+func snapshotStats(w *snapshot.Writer, s *CacheStats) {
+	w.I64(s.Accesses)
+	w.I64(s.Hits)
+	w.I64(s.HitsBig)
+	w.I64(s.HitsSmall)
+	w.I64(s.MissPredBig)
+	w.I64(s.MissPredSml)
+	w.I64(s.FallbackBig)
+	w.I64(s.FetchedBytes)
+	w.I64(s.WastedFetchBytes)
+	w.I64(s.WritebackBytes)
+	w.I64(s.Evictions)
+	w.I64(s.StateChanges)
+}
+
+// restoreStats deserializes the functional counter block.
+func restoreStats(r *snapshot.Reader, s *CacheStats) {
+	s.Accesses = r.I64()
+	s.Hits = r.I64()
+	s.HitsBig = r.I64()
+	s.HitsSmall = r.I64()
+	s.MissPredBig = r.I64()
+	s.MissPredSml = r.I64()
+	s.FallbackBig = r.I64()
+	s.FetchedBytes = r.I64()
+	s.WastedFetchBytes = r.I64()
+	s.WritebackBytes = r.I64()
+	s.Evictions = r.I64()
+	s.StateChanges = r.I64()
+}
+
+// SnapshotState implements snapshot.Snapshotter: per-set state, occupancy
+// bitmasks and way metadata, followed by the locator, predictor, tracker
+// histogram, global adaptation state, replacement rng and statistics. The
+// eviction scratch buffer is transient (truncated by every Access) and is
+// not part of the state.
+func (c *Cache) SnapshotState(w *snapshot.Writer) {
+	w.Tag("corecache")
+	for i := range c.sets {
+		s := &c.sets[i]
+		w.Int(s.st.X)
+		w.Int(s.st.Y)
+		w.U32(s.validBig)
+		w.U32(s.validSmall)
+		for _, b := range s.big {
+			w.Bool(b.valid)
+			w.U64(b.tag)
+			w.U32(b.dirty)
+			w.U32(b.used)
+		}
+		for _, sm := range s.small {
+			w.Bool(sm.valid)
+			w.U64(sm.lineID)
+			w.Bool(sm.dirty)
+		}
+	}
+	w.Bool(c.locator != nil)
+	if c.locator != nil {
+		c.locator.SnapshotState(w)
+	}
+	c.pred.SnapshotState(w)
+	c.tracker.SnapshotState(w)
+	c.global.SnapshotState(w)
+	c.rng.SnapshotState(w)
+	snapshotStats(w, &c.Stats)
+}
+
+// RestoreState implements snapshot.Snapshotter. c must have been built
+// with the same Params (and locator presence) as the producer; the
+// restored state is validated with CheckInvariants.
+func (c *Cache) RestoreState(r *snapshot.Reader) {
+	r.Tag("corecache")
+	for i := range c.sets {
+		s := &c.sets[i]
+		s.st.X = r.Int()
+		s.st.Y = r.Int()
+		s.validBig = r.U32()
+		s.validSmall = r.U32()
+		for j := range s.big {
+			s.big[j].valid = r.Bool()
+			s.big[j].tag = r.U64()
+			s.big[j].dirty = r.U32()
+			s.big[j].used = r.U32()
+		}
+		for j := range s.small {
+			s.small[j].valid = r.Bool()
+			s.small[j].lineID = r.U64()
+			s.small[j].dirty = r.Bool()
+		}
+	}
+	hasLocator := r.Bool()
+	if r.Err() == nil && hasLocator != (c.locator != nil) {
+		r.Failf("locator presence mismatch: blob %v, cache %v", hasLocator, c.locator != nil)
+		return
+	}
+	if c.locator != nil {
+		c.locator.RestoreState(r)
+	}
+	c.pred.RestoreState(r)
+	c.tracker.RestoreState(r)
+	c.global.RestoreState(r)
+	c.rng.RestoreState(r)
+	restoreStats(r, &c.Stats)
+	if r.Err() != nil {
+		return
+	}
+	if err := c.CheckInvariants(); err != nil {
+		r.Failf("restored cache state violates invariants: %v", err)
+	}
+}

@@ -232,6 +232,9 @@ func NewEngine(scheme dramcache.Scheme, gens []trace.Generator, cfg CoreConfig, 
 	return e
 }
 
+// Scheme returns the scheme the engine drives.
+func (e *Engine) Scheme() dramcache.Scheme { return e.scheme }
+
 // ctxCheckInterval is how many replayed accesses pass between context
 // checks in the tick loop. Coarse on purpose: one access is ~100ns of
 // host work, so cancellation latency stays under a millisecond while the
@@ -332,10 +335,27 @@ func (e *Engine) RunMeasuredContext(ctx context.Context, warmup, measure int64) 
 	if warmup <= 0 {
 		return e.RunContext(ctx, measure)
 	}
-	pre, err := e.runPhase(ctx, warmup, "warmup")
+	pre, err := e.WarmupContext(ctx, warmup)
 	if err != nil {
 		return nil, err
 	}
+	return e.MeasureAfterWarmupContext(ctx, measure, pre)
+}
+
+// WarmupContext runs the warmup window only and returns the cumulative
+// per-core results at its exit — the baseline the measured window is
+// later reported against. An engine may be snapshotted at exactly this
+// point (see SnapshotState): re-running the measured phase afterwards
+// replays the straight-through RunMeasuredContext sequence identically.
+func (e *Engine) WarmupContext(ctx context.Context, warmup int64) ([]CoreResult, error) {
+	return e.runPhase(ctx, warmup, "warmup")
+}
+
+// MeasureAfterWarmupContext resets scheme statistics (cache state stays
+// warm) and runs the measured window, reporting it relative to pre — the
+// cumulative results WarmupContext returned, or CumulativeResults() on an
+// engine restored from a warmup snapshot.
+func (e *Engine) MeasureAfterWarmupContext(ctx context.Context, measure int64, pre []CoreResult) ([]CoreResult, error) {
 	e.scheme.ResetStats()
 	post, err := e.RunContext(ctx, measure)
 	if err != nil {
@@ -355,6 +375,17 @@ func (e *Engine) RunMeasuredContext(ctx context.Context, warmup, measure int64) 
 		}
 	}
 	return out, nil
+}
+
+// CumulativeResults returns each core's cumulative counters — the same
+// values the last completed phase returned. After RestoreState this
+// reconstructs the warmup baseline for MeasureAfterWarmupContext.
+func (e *Engine) CumulativeResults() []CoreResult {
+	out := make([]CoreResult, len(e.cores))
+	for i, c := range e.cores {
+		out[i] = c.result
+	}
+	return out
 }
 
 // STP computes System Throughput (Eyerman & Eeckhout's companion metric to

@@ -1,0 +1,300 @@
+package dramcache
+
+import (
+	"sort"
+
+	"bimodal/internal/addr"
+	"bimodal/internal/snapshot"
+)
+
+// This file implements snapshot.Snapshotter for every registered scheme.
+// Only mutable state is serialized: geometry, latencies and derived
+// constants are reconstructed from Config by the constructor, and the
+// prefix spec hash binds a blob to the configuration that produced it
+// (DESIGN.md section 14).
+
+func (b *baseStats) snapshotState(w *snapshot.Writer) {
+	w.I64(b.accesses)
+	w.I64(b.hits)
+	w.I64(b.latencySum)
+	w.I64(b.latencyN)
+}
+
+func (b *baseStats) restoreState(r *snapshot.Reader) {
+	b.accesses = r.I64()
+	b.hits = r.I64()
+	b.latencySum = r.I64()
+	b.latencyN = r.I64()
+}
+
+// SnapshotState implements snapshot.Snapshotter.
+func (p *regionPredictor) SnapshotState(w *snapshot.Writer) {
+	w.Tag("regionpred")
+	w.U8s(p.counters[:])
+}
+
+// RestoreState implements snapshot.Snapshotter.
+func (p *regionPredictor) RestoreState(r *snapshot.Reader) {
+	r.Tag("regionpred")
+	r.U8s(p.counters[:])
+}
+
+func (a *assocArray) snapshotState(w *snapshot.Writer) {
+	w.Tag("assoc")
+	for _, e := range a.ways {
+		w.Bool(e.valid)
+		w.U64(e.tag)
+		w.U64(e.lastUse)
+		w.U64(e.aux)
+	}
+	w.U64(a.clock)
+}
+
+func (a *assocArray) restoreState(r *snapshot.Reader) {
+	r.Tag("assoc")
+	for i := range a.ways {
+		a.ways[i].valid = r.Bool()
+		a.ways[i].tag = r.U64()
+		a.ways[i].lastUse = r.U64()
+		a.ways[i].aux = r.U64()
+	}
+	a.clock = r.U64()
+}
+
+func (v *victimBuffer) snapshotState(w *snapshot.Writer) {
+	w.Tag("victimbuf")
+	w.U64(uint64(len(v.ring)))
+	for _, a := range v.ring {
+		w.U64(uint64(a))
+	}
+	w.Int(v.pos)
+}
+
+// restoreState rebuilds the presence map from the restored ring (zero
+// entries are empty slots: put never records address 0 twice and the
+// ring starts zeroed).
+func (v *victimBuffer) restoreState(r *snapshot.Reader) {
+	r.Tag("victimbuf")
+	n := r.U64()
+	if r.Err() != nil {
+		return
+	}
+	if n != uint64(len(v.ring)) {
+		r.Failf("victim buffer length %d does not match configured %d", n, len(v.ring))
+		return
+	}
+	for i := range v.ring {
+		v.ring[i] = addr.Phys(r.U64())
+	}
+	pos := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if pos < 0 || pos >= len(v.ring) {
+		r.Failf("victim buffer cursor %d out of range", pos)
+		return
+	}
+	v.pos = pos
+	clear(v.present)
+	for _, a := range v.ring {
+		if a != 0 {
+			v.present[a] = true
+		}
+	}
+}
+
+// SnapshotState implements snapshot.Snapshotter.
+func (b *BiModal) SnapshotState(w *snapshot.Writer) {
+	w.Tag("bimodal")
+	b.baseStats.snapshotState(w)
+	b.cache.SnapshotState(w)
+	b.stacked.SnapshotState(w)
+	b.offchip.SnapshotState(w)
+	w.I64(b.metaReads)
+	w.I64(b.metaRowHits)
+	w.I64(b.WastedProbeBytes)
+	w.I64(b.VictimHits)
+	for _, f := range b.metaWriteFilter {
+		w.U64(f)
+	}
+	w.I64(b.MetaWrites)
+	w.I64(b.MetaWritesCoalesced)
+	w.Bool(b.missPred != nil)
+	if b.missPred != nil {
+		b.missPred.SnapshotState(w)
+	}
+	w.Bool(b.victims != nil)
+	if b.victims != nil {
+		b.victims.snapshotState(w)
+	}
+}
+
+// RestoreState implements snapshot.Snapshotter. b must have been built
+// with the same Config and options as the producer.
+func (b *BiModal) RestoreState(r *snapshot.Reader) {
+	r.Tag("bimodal")
+	b.baseStats.restoreState(r)
+	b.cache.RestoreState(r)
+	b.stacked.RestoreState(r)
+	b.offchip.RestoreState(r)
+	b.metaReads = r.I64()
+	b.metaRowHits = r.I64()
+	b.WastedProbeBytes = r.I64()
+	b.VictimHits = r.I64()
+	for i := range b.metaWriteFilter {
+		b.metaWriteFilter[i] = r.U64()
+	}
+	b.MetaWrites = r.I64()
+	b.MetaWritesCoalesced = r.I64()
+	hasPred := r.Bool()
+	if r.Err() == nil && hasPred != (b.missPred != nil) {
+		r.Failf("miss predictor presence mismatch: blob %v, scheme %v", hasPred, b.missPred != nil)
+		return
+	}
+	if b.missPred != nil {
+		b.missPred.RestoreState(r)
+	}
+	hasVictims := r.Bool()
+	if r.Err() == nil && hasVictims != (b.victims != nil) {
+		r.Failf("victim buffer presence mismatch: blob %v, scheme %v", hasVictims, b.victims != nil)
+		return
+	}
+	if b.victims != nil {
+		b.victims.restoreState(r)
+	}
+}
+
+// SnapshotState implements snapshot.Snapshotter.
+func (a *Alloy) SnapshotState(w *snapshot.Writer) {
+	w.Tag("alloy")
+	a.baseStats.snapshotState(w)
+	w.U32s(a.tags)
+	a.pred.SnapshotState(w)
+	w.I64(a.WastedParallelBytes)
+	a.stacked.SnapshotState(w)
+	a.offchip.SnapshotState(w)
+}
+
+// RestoreState implements snapshot.Snapshotter.
+func (a *Alloy) RestoreState(r *snapshot.Reader) {
+	r.Tag("alloy")
+	a.baseStats.restoreState(r)
+	r.U32s(a.tags)
+	a.pred.RestoreState(r)
+	a.WastedParallelBytes = r.I64()
+	a.stacked.RestoreState(r)
+	a.offchip.RestoreState(r)
+}
+
+// SnapshotState implements snapshot.Snapshotter. The MissMap, being a
+// Go map, is serialized in sorted-key order so identical states always
+// produce identical blobs.
+func (l *LohHill) SnapshotState(w *snapshot.Writer) {
+	w.Tag("lohhill")
+	l.baseStats.snapshotState(w)
+	l.sets.snapshotState(w)
+	w.Bool(l.missMap != nil)
+	if l.missMap != nil {
+		keys := make([]uint64, 0, len(l.missMap))
+		for k := range l.missMap {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+		w.U32(uint32(len(keys)))
+		for _, k := range keys {
+			w.U64(k)
+		}
+	}
+	w.I64(l.metaReads)
+	w.I64(l.metaRowHits)
+	l.stacked.SnapshotState(w)
+	l.offchip.SnapshotState(w)
+}
+
+// RestoreState implements snapshot.Snapshotter.
+func (l *LohHill) RestoreState(r *snapshot.Reader) {
+	r.Tag("lohhill")
+	l.baseStats.restoreState(r)
+	l.sets.restoreState(r)
+	hasMap := r.Bool()
+	if r.Err() == nil && hasMap != (l.missMap != nil) {
+		r.Failf("MissMap presence mismatch: blob %v, scheme %v", hasMap, l.missMap != nil)
+		return
+	}
+	if l.missMap != nil {
+		n := r.SliceLen(8)
+		if r.Err() != nil {
+			return
+		}
+		clear(l.missMap)
+		for i := 0; i < n; i++ {
+			l.missMap[r.U64()] = struct{}{}
+		}
+	}
+	l.metaReads = r.I64()
+	l.metaRowHits = r.I64()
+	l.stacked.RestoreState(r)
+	l.offchip.RestoreState(r)
+}
+
+// SnapshotState implements snapshot.Snapshotter.
+func (a *ATCache) SnapshotState(w *snapshot.Writer) {
+	w.Tag("atcache")
+	a.baseStats.snapshotState(w)
+	a.sets.snapshotState(w)
+	a.tagCache.SnapshotState(w)
+	w.I64(a.metaReads)
+	w.I64(a.metaRowHits)
+	a.stacked.SnapshotState(w)
+	a.offchip.SnapshotState(w)
+}
+
+// RestoreState implements snapshot.Snapshotter.
+func (a *ATCache) RestoreState(r *snapshot.Reader) {
+	r.Tag("atcache")
+	a.baseStats.restoreState(r)
+	a.sets.restoreState(r)
+	a.tagCache.RestoreState(r)
+	a.metaReads = r.I64()
+	a.metaRowHits = r.I64()
+	a.stacked.RestoreState(r)
+	a.offchip.RestoreState(r)
+}
+
+// SnapshotState implements snapshot.Snapshotter.
+func (f *Footprint) SnapshotState(w *snapshot.Writer) {
+	w.Tag("footprint")
+	f.baseStats.snapshotState(w)
+	f.pages.snapshotState(w)
+	for _, p := range f.state {
+		w.U32(p.present)
+		w.U32(p.used)
+		w.U32(p.dirty)
+		w.U64(p.trigger)
+	}
+	w.U32s(f.hist)
+	w.I64(f.Bypassed)
+	w.I64(f.WastedFetchBytes)
+	w.I64(f.SubMisses)
+	f.stacked.SnapshotState(w)
+	f.offchip.SnapshotState(w)
+}
+
+// RestoreState implements snapshot.Snapshotter.
+func (f *Footprint) RestoreState(r *snapshot.Reader) {
+	r.Tag("footprint")
+	f.baseStats.restoreState(r)
+	f.pages.restoreState(r)
+	for i := range f.state {
+		f.state[i].present = r.U32()
+		f.state[i].used = r.U32()
+		f.state[i].dirty = r.U32()
+		f.state[i].trigger = r.U64()
+	}
+	r.U32s(f.hist)
+	f.Bypassed = r.I64()
+	f.WastedFetchBytes = r.I64()
+	f.SubMisses = r.I64()
+	f.stacked.RestoreState(r)
+	f.offchip.RestoreState(r)
+}

@@ -1,0 +1,59 @@
+package memctrl
+
+import (
+	"bimodal/internal/addr"
+	"bimodal/internal/snapshot"
+)
+
+// SnapshotState implements snapshot.Snapshotter: every channel's timing
+// state plus the deferred write queues and the controller's time horizon.
+func (c *Controller) SnapshotState(w *snapshot.Writer) {
+	w.Tag("memctrl")
+	for _, ch := range c.channels {
+		ch.SnapshotState(w)
+	}
+	for _, q := range c.writeQ {
+		w.U32(uint32(len(q)))
+		for _, pw := range q {
+			w.Int(pw.loc.Channel)
+			w.Int(pw.loc.Rank)
+			w.Int(pw.loc.Bank)
+			w.U64(pw.loc.Row)
+			w.U64(pw.loc.Column)
+			w.I64(pw.bytes)
+			w.I64(pw.at)
+		}
+	}
+	w.I64(c.lastNow)
+}
+
+// RestoreState implements snapshot.Snapshotter. c must have been built
+// from the same Config as the producer.
+func (c *Controller) RestoreState(r *snapshot.Reader) {
+	r.Tag("memctrl")
+	for _, ch := range c.channels {
+		ch.RestoreState(r)
+	}
+	for i := range c.writeQ {
+		n := r.SliceLen(48)
+		if r.Err() != nil {
+			return
+		}
+		q := c.writeQ[i][:0]
+		for j := 0; j < n; j++ {
+			q = append(q, pendingWrite{
+				loc: addr.Location{
+					Channel: r.Int(),
+					Rank:    r.Int(),
+					Bank:    r.Int(),
+					Row:     r.U64(),
+					Column:  r.U64(),
+				},
+				bytes: r.I64(),
+				at:    r.I64(),
+			})
+		}
+		c.writeQ[i] = q
+	}
+	c.lastNow = r.I64()
+}

@@ -325,8 +325,10 @@ type Event struct {
 	// Done/Total track cell progress.
 	Done  int `json:"done"`
 	Total int `json:"total"`
-	// Origin says what answered a cell event: "run" (simulated) or
-	// "store" (served from the content-addressed result store).
+	// Origin says what answered a cell event: "run" (simulated), "store"
+	// (served from the content-addressed result store) or "warm"
+	// (simulated from a restored warm-state snapshot — byte-identical to
+	// "run", but the warmup phase was reused).
 	Origin string `json:"origin,omitempty"`
 	// Error carries the failure reason on terminal failed states.
 	Error string `json:"error,omitempty"`

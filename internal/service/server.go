@@ -103,6 +103,7 @@ type Server struct {
 	queue  chan task
 	cache  *resultCache
 	store  store.Store
+	warm   *WarmRunner
 	wg     sync.WaitGroup
 
 	mu         sync.Mutex
@@ -158,6 +159,10 @@ func New(cfg Config) *Server {
 		gStoreEntries:   reg.Gauge("bimodal_store_entries"),
 		hCellSeconds:    reg.Histogram("bimodal_cell_seconds", telemetry.LatencyBuckets()...),
 	}
+	// In-process sweep cells share warmup work through the warm-state
+	// checkpoint subsystem; snapshot blobs live beside result bytes in
+	// the content-addressed store (prefix hashes are domain-separated).
+	s.warm = NewWarmRunner(s.store, reg)
 	// The run context is handed to each worker rather than stored on the
 	// Server: contexts are call-scoped (bmctxhygiene), and the only
 	// holder that needs it is the worker call tree.

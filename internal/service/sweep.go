@@ -169,7 +169,7 @@ func (s *Server) executeSweep(ctx context.Context, sw *sweep) ([]byte, error) {
 			func(ctx context.Context, k int) (struct{}, error) {
 				i := misses[k]
 				start := telemetry.Now()
-				raw, err := s.dispatchCell(ctx, sw, i)
+				raw, origin, err := s.dispatchCell(ctx, sw, i)
 				if err != nil {
 					return struct{}{}, err
 				}
@@ -179,7 +179,7 @@ func (s *Server) executeSweep(ctx context.Context, sw *sweep) ([]byte, error) {
 				}
 				s.storeGrew()
 				results[i] = raw
-				sw.cellDone(sw.cells[i].label(), "run")
+				sw.cellDone(sw.cells[i].label(), origin)
 				return struct{}{}, nil
 			})
 		if err != nil {
@@ -202,12 +202,20 @@ func (s *Server) executeSweep(ctx context.Context, sw *sweep) ([]byte, error) {
 }
 
 // dispatchCell routes one store-miss cell to the configured dispatcher,
-// or runs it in-process when none is configured.
-func (s *Server) dispatchCell(ctx context.Context, sw *sweep, i int) ([]byte, error) {
+// or runs it in-process through the warm runner when none is configured.
+// The returned origin is "run", or "warm" when a restored warm snapshot
+// replaced the cell's warmup phase.
+func (s *Server) dispatchCell(ctx context.Context, sw *sweep, i int) ([]byte, string, error) {
 	if s.cfg.Dispatcher != nil {
-		return s.cfg.Dispatcher.RunCell(ctx, sw.cells[i].rs, sw.hashes[i])
+		raw, err := s.cfg.Dispatcher.RunCell(ctx, sw.cells[i].rs, sw.hashes[i])
+		return raw, "run", err
 	}
-	return RunCellSpec(ctx, sw.cells[i].rs)
+	raw, warm, err := s.warm.RunCell(ctx, sw.cells[i].rs)
+	origin := "run"
+	if warm {
+		origin = "warm"
+	}
+	return raw, origin, err
 }
 
 // storeGrew refreshes the store-entries gauge after a put.

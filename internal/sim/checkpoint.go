@@ -1,0 +1,122 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"bimodal/internal/cpu"
+	"bimodal/internal/energy"
+	"bimodal/internal/snapshot"
+	"bimodal/internal/workloads"
+)
+
+// Sim is a simulation split at the warmup/measure phase boundary, the
+// seam the warm-state checkpointing subsystem operates on: warm up once,
+// snapshot, and fork restored engines into many measured runs. RunContext
+// is expressed through it, so the straight-through and checkpointed paths
+// execute the exact same engine call sequence and produce byte-identical
+// results (DESIGN.md section 14).
+type Sim struct {
+	mix    workloads.Mix
+	o      Options
+	eng    *cpu.Engine
+	pre    []cpu.CoreResult
+	warmed bool
+}
+
+// NewSim assembles a simulation without running it. The construction path
+// is identical to RunContext's: normalized options, derived config, a
+// fresh scheme from factory, generators seeded from o.Seed.
+func NewSim(mix workloads.Mix, factory Factory, o Options) *Sim {
+	o = o.normalize()
+	cfg := ConfigFor(mix, o)
+	scheme := factory(cfg)
+	var pf *cpu.Prefetcher
+	if o.PrefetchN > 0 {
+		pf = cpu.NewPrefetcher(o.PrefetchN, mix.Cores())
+	}
+	return &Sim{
+		mix: mix,
+		o:   o,
+		eng: cpu.NewEngine(scheme, mix.Generators(o.Seed), o.CoreCfg, pf),
+	}
+}
+
+// Warmup runs the warmup window. A no-op when warmup is disabled. Calling
+// it twice (or after Restore) is a misuse.
+func (s *Sim) Warmup(ctx context.Context) error {
+	if s.warmed {
+		return fmt.Errorf("sim: Warmup called on an already-warm simulation")
+	}
+	if s.o.WarmupPerCore <= 0 {
+		return nil
+	}
+	pre, err := s.eng.WarmupContext(ctx, s.o.WarmupPerCore)
+	if err != nil {
+		return err
+	}
+	s.pre = pre
+	s.warmed = true
+	return nil
+}
+
+// Snapshot seals the complete simulator state into a blob bound to
+// prefixHash (see spec.PrefixHash). Valid at the warmup/measure boundary:
+// after Warmup, before Measure.
+func (s *Sim) Snapshot(prefixHash string) []byte {
+	w := snapshot.NewWriter()
+	s.eng.SnapshotState(w)
+	return snapshot.Seal(prefixHash, w.Bytes())
+}
+
+// Restore overwrites the simulator state from a blob produced by Snapshot
+// on a congruent Sim (same mix, factory and warmup-prefix options — the
+// prefix hash encodes exactly that congruence). A non-empty wantPrefix is
+// checked against the hash sealed into the blob. On error the Sim must be
+// discarded: state may be partially overwritten.
+func (s *Sim) Restore(blob []byte, wantPrefix string) error {
+	prefixHash, payload, err := snapshot.Open(blob)
+	if err != nil {
+		return err
+	}
+	if wantPrefix != "" && prefixHash != wantPrefix {
+		return fmt.Errorf("sim: snapshot prefix %s does not match expected %s", prefixHash, wantPrefix)
+	}
+	r := snapshot.NewReader(payload)
+	s.eng.RestoreState(r)
+	if err := r.Err(); err != nil {
+		return fmt.Errorf("sim: restore: %w", err)
+	}
+	if n := r.Remaining(); n != 0 {
+		return fmt.Errorf("sim: restore: %d trailing payload bytes", n)
+	}
+	s.pre = s.eng.CumulativeResults()
+	s.warmed = true
+	return nil
+}
+
+// Measure runs the measured window and assembles the run result. With no
+// prior warmup it replays the plain single-phase path; after Warmup or
+// Restore it reports the measured window relative to the warmup baseline,
+// exactly as Engine.RunMeasuredContext does.
+func (s *Sim) Measure(ctx context.Context) (RunResult, error) {
+	var per []cpu.CoreResult
+	var err error
+	if s.warmed {
+		per, err = s.eng.MeasureAfterWarmupContext(ctx, s.o.AccessesPerCore, s.pre)
+	} else {
+		per, err = s.eng.RunContext(ctx, s.o.AccessesPerCore)
+	}
+	if err != nil {
+		return RunResult{}, err
+	}
+	scheme := s.eng.Scheme()
+	rep := scheme.Report()
+	return RunResult{
+		Mix:     s.mix.Name,
+		PerCore: per,
+		Report:  rep,
+		Energy:  energy.Compute(rep, energy.Default()),
+		Scheme:  scheme,
+	}, nil
+}

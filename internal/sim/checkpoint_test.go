@@ -1,0 +1,273 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+
+	"bimodal/internal/cpu"
+	"bimodal/internal/dramcache"
+	"bimodal/internal/energy"
+	"bimodal/internal/spec"
+	"bimodal/internal/workloads"
+)
+
+// resultView is RunResult minus the live Scheme handle: the comparable,
+// marshalable projection the golden tests compare byte-for-byte.
+type resultView struct {
+	Mix     string
+	PerCore []cpu.CoreResult
+	Report  dramcache.Report
+	Energy  energy.Breakdown
+}
+
+func viewJSON(t *testing.T, r RunResult) []byte {
+	t.Helper()
+	b, err := json.Marshal(resultView{Mix: r.Mix, PerCore: r.PerCore, Report: r.Report, Energy: r.Energy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func goldenSpec(t *testing.T, scheme string, params spec.Params, prefetch int) spec.RunSpec {
+	t.Helper()
+	rs := spec.RunSpec{
+		Scheme: scheme,
+		Params: params,
+		Mix:    "Q1",
+		Options: spec.Options{
+			AccessesPerCore: 1000,
+			CacheDivisor:    64,
+			Prefetch:        prefetch,
+		},
+		Seed: 3,
+	}
+	c, err := rs.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// checkRestoreGolden proves the tentpole property for one configuration:
+// warmup → snapshot → restore into a freshly built simulation → measure
+// produces results byte-identical to a straight-through run.
+func checkRestoreGolden(t *testing.T, mix workloads.Mix, factory Factory, o Options, prefix string) {
+	t.Helper()
+	ctx := context.Background()
+
+	straight, err := RunContext(ctx, mix, factory, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden := viewJSON(t, straight)
+
+	producer := NewSim(mix, factory, o)
+	if err := producer.Warmup(ctx); err != nil {
+		t.Fatal(err)
+	}
+	blob := producer.Snapshot(prefix)
+
+	restored := NewSim(mix, factory, o)
+	if err := restored.Restore(blob, prefix); err != nil {
+		t.Fatalf("restore: %v", err)
+	}
+	warmRes, err := restored.Measure(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := viewJSON(t, warmRes); !bytes.Equal(got, golden) {
+		t.Errorf("restore-then-run diverged from straight-through:\n got: %s\nwant: %s", got, golden)
+	}
+
+	// The producer's own measured window must also match: it warmed up
+	// in-process and measures without restoring.
+	prodRes, err := producer.Measure(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := viewJSON(t, prodRes); !bytes.Equal(got, golden) {
+		t.Errorf("producer measure diverged from straight-through:\n got: %s\nwant: %s", got, golden)
+	}
+}
+
+// TestRestoreThenRunGolden covers every registered scheme, plus variants
+// exercising the optional structures (miss predictor, victim buffer,
+// prefetcher) the plain registry entries leave disabled.
+func TestRestoreThenRunGolden(t *testing.T) {
+	type case_ struct {
+		name     string
+		scheme   string
+		params   spec.Params
+		prefetch int
+	}
+	cases := []case_{}
+	for _, name := range spec.Names() {
+		cases = append(cases, case_{name: name, scheme: name})
+	}
+	cases = append(cases,
+		case_{name: "bimodal+misspred+victims", scheme: "bimodal",
+			params: spec.Params{"miss_predictor": 1, "victim_entries": 8}},
+		case_{name: "bimodal+prefetch", scheme: "bimodal", prefetch: 2},
+	)
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rs := goldenSpec(t, tc.scheme, tc.params, tc.prefetch)
+			prefix, ok, err := rs.PrefixHash()
+			if err != nil || !ok {
+				t.Fatalf("PrefixHash: ok=%v err=%v", ok, err)
+			}
+			mix := workloads.MustByName(rs.Mix)
+			factory, err := FactoryForSpec(rs, mix.Cores())
+			if err != nil {
+				t.Fatal(err)
+			}
+			o := OptionsForSpec(rs)
+			o.Workers = 1
+			checkRestoreGolden(t, mix, factory, o, prefix)
+		})
+	}
+}
+
+// TestRestoreGoldenLohHillMissMap covers the MissMap (a Go map serialized
+// in sorted-key order), which no registry entry enables.
+func TestRestoreGoldenLohHillMissMap(t *testing.T) {
+	mix := workloads.MustByName("Q1")
+	factory := func(cfg dramcache.Config) dramcache.Scheme {
+		return dramcache.NewLohHill(cfg, dramcache.WithMissMap())
+	}
+	o := Options{AccessesPerCore: 1000, CacheDivisor: 64, Seed: 3, Workers: 1}
+	checkRestoreGolden(t, mix, factory, o, "sha256:"+string(bytes.Repeat([]byte{'a'}, 64)))
+}
+
+// TestRestorePrefixMismatch proves a blob cannot restore under a
+// different prefix hash: the envelope binding, not caller discipline,
+// enforces congruence.
+func TestRestorePrefixMismatch(t *testing.T) {
+	rs := goldenSpec(t, "alloy", nil, 0)
+	prefix, _, err := rs.PrefixHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workloads.MustByName(rs.Mix)
+	factory, err := FactoryForSpec(rs, mix.Cores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := OptionsForSpec(rs)
+	s := NewSim(mix, factory, o)
+	if err := s.Warmup(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	blob := s.Snapshot(prefix)
+	other := NewSim(mix, factory, o)
+	if err := other.Restore(blob, "sha256:"+string(bytes.Repeat([]byte{'0'}, 64))); err == nil {
+		t.Fatal("restore under a mismatched prefix hash succeeded")
+	}
+}
+
+// TestRestoreIncongruentGeometry proves structural validation: a blob
+// restored (with the binding check bypassed) into a simulation built from
+// a different configuration must fail loudly, not misread state.
+func TestRestoreIncongruentGeometry(t *testing.T) {
+	rs := goldenSpec(t, "bimodal", nil, 0)
+	prefix, _, err := rs.PrefixHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workloads.MustByName(rs.Mix)
+	factory, err := FactoryForSpec(rs, mix.Cores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := OptionsForSpec(rs)
+	s := NewSim(mix, factory, o)
+	if err := s.Warmup(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	blob := s.Snapshot(prefix)
+
+	smaller := o
+	smaller.CacheDivisor = o.CacheDivisor * 2
+	other := NewSim(mix, factory, smaller)
+	if err := other.Restore(blob, ""); err == nil {
+		t.Fatal("restore into a differently-sized cache succeeded")
+	}
+}
+
+// TestRestoreRejectsCorruptBlob proves the sealed envelope catches bit
+// rot before any state is overwritten.
+func TestRestoreRejectsCorruptBlob(t *testing.T) {
+	rs := goldenSpec(t, "footprint", nil, 0)
+	prefix, _, err := rs.PrefixHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mix := workloads.MustByName(rs.Mix)
+	factory, err := FactoryForSpec(rs, mix.Cores())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := OptionsForSpec(rs)
+	s := NewSim(mix, factory, o)
+	if err := s.Warmup(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	blob := s.Snapshot(prefix)
+	blob[len(blob)/2] ^= 0x10
+	if err := NewSim(mix, factory, o).Restore(blob, prefix); err == nil {
+		t.Fatal("corrupt blob restored")
+	}
+}
+
+// TestPrefixHashGrouping pins the prefix-hash semantics the warm runner
+// relies on: cells differing only in measured length share a prefix
+// (except the run-length-coupled plain bimodal scheme), cells differing
+// in seed or warmup do not, and ANTT or warmup-disabled cells have none.
+func TestPrefixHashGrouping(t *testing.T) {
+	base := spec.RunSpec{Scheme: "alloy", Mix: "Q1",
+		Options: spec.Options{AccessesPerCore: 1000, WarmupPerCore: 500, CacheDivisor: 64}, Seed: 3}
+	h1, ok, err := base.PrefixHash()
+	if err != nil || !ok {
+		t.Fatalf("ok=%v err=%v", ok, err)
+	}
+
+	longer := base
+	longer.Options.AccessesPerCore = 5000
+	if h2, _, _ := longer.PrefixHash(); h2 != h1 {
+		t.Error("measured length changed an alloy prefix hash")
+	}
+
+	coupled := base
+	coupled.Scheme = "bimodal"
+	ch1, _, _ := coupled.PrefixHash()
+	coupledLonger := coupled
+	coupledLonger.Options.AccessesPerCore = 5000
+	if ch2, _, _ := coupledLonger.PrefixHash(); ch2 == ch1 {
+		t.Error("bimodal scales core params from run length; prefix must differ")
+	}
+
+	seeded := base
+	seeded.Seed = 4
+	if h3, _, _ := seeded.PrefixHash(); h3 == h1 {
+		t.Error("seed change kept the prefix hash")
+	}
+
+	noWarm := base
+	noWarm.Options.WarmupPerCore = -1
+	if _, ok, _ := noWarm.PrefixHash(); ok {
+		t.Error("warmup-disabled spec reported a prefix")
+	}
+
+	antt := base
+	antt.Options.ANTT = true
+	if _, ok, _ := antt.PrefixHash(); ok {
+		t.Error("ANTT spec reported a prefix")
+	}
+
+	if h, err := base.Hash(); err != nil || h == h1 {
+		t.Errorf("prefix hash must be domain-separated from the result hash (%v)", err)
+	}
+}

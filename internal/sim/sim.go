@@ -119,26 +119,11 @@ func Run(mix workloads.Mix, factory Factory, o Options) RunResult {
 // thousand accesses and ctx.Err() is returned. The result is a pure
 // function of (mix, factory, o) — never of ctx or timing.
 func RunContext(ctx context.Context, mix workloads.Mix, factory Factory, o Options) (RunResult, error) {
-	o = o.normalize()
-	cfg := ConfigFor(mix, o)
-	scheme := factory(cfg)
-	var pf *cpu.Prefetcher
-	if o.PrefetchN > 0 {
-		pf = cpu.NewPrefetcher(o.PrefetchN, mix.Cores())
-	}
-	eng := cpu.NewEngine(scheme, mix.Generators(o.Seed), o.CoreCfg, pf)
-	per, err := eng.RunMeasuredContext(ctx, o.WarmupPerCore, o.AccessesPerCore)
-	if err != nil {
+	s := NewSim(mix, factory, o)
+	if err := s.Warmup(ctx); err != nil {
 		return RunResult{}, err
 	}
-	rep := scheme.Report()
-	return RunResult{
-		Mix:     mix.Name,
-		PerCore: per,
-		Report:  rep,
-		Energy:  energy.Compute(rep, energy.Default()),
-		Scheme:  scheme,
-	}, nil
+	return s.Measure(ctx)
 }
 
 // RunStandalone runs each benchmark of the mix alone on the same machine

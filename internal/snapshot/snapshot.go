@@ -1,0 +1,373 @@
+// Package snapshot provides the versioned, deterministic binary codec
+// behind warm-state checkpointing: a Writer/Reader pair over fixed-width
+// little-endian primitives, and a sealed envelope that binds a state blob
+// to the prefix spec hash it was produced under.
+//
+// Determinism contract: SnapshotState implementations must emit bytes
+// that are a pure function of the simulator state — no wall clock, no
+// map-iteration order (sort keys first), no pointer identities. The
+// bmdeterminism analyzer covers this package, and the golden tests in
+// internal/sim prove the end-to-end property: restoring a snapshot and
+// running the measured window produces result JSON byte-identical to a
+// straight-through run.
+//
+// The codec is deliberately structural, not self-describing: a blob only
+// restores into an object graph built from the same configuration that
+// produced it (the prefix hash guarantees congruence), so implementations
+// serialize mutable state only — geometry, tables derived from config,
+// and constants are rebuilt by the constructor. Section tags (Tag) mark
+// component boundaries so a producer/consumer skew fails loudly at the
+// first drifted field instead of silently misreading the rest.
+package snapshot
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Snapshotter is implemented by every simulator component that supports
+// warm-state checkpointing. SnapshotState appends the component's mutable
+// state to w; RestoreState overwrites the component's mutable state from
+// r, assuming the component was constructed from the same configuration
+// as the producer. Errors accumulate in the Reader (sticky), so deep
+// object graphs restore without error plumbing; callers check r.Err()
+// once at the top.
+type Snapshotter interface {
+	SnapshotState(w *Writer)
+	RestoreState(r *Reader)
+}
+
+// Version is the envelope format version. Bump it when the meaning of
+// sealed bytes changes incompatibly; Open rejects mismatches.
+const Version = 1
+
+// magic identifies a sealed snapshot blob.
+const magic = "BMSN"
+
+// Writer appends fixed-width little-endian primitives to a buffer.
+// The zero value is ready to use.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns an empty Writer.
+func NewWriter() *Writer { return &Writer{} }
+
+// Bytes returns the accumulated payload (not yet sealed).
+func (w *Writer) Bytes() []byte { return w.buf }
+
+// Len returns the number of bytes written so far.
+func (w *Writer) Len() int { return len(w.buf) }
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) { w.buf = binary.LittleEndian.AppendUint32(w.buf, v) }
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) { w.buf = binary.LittleEndian.AppendUint64(w.buf, v) }
+
+// I64 writes a little-endian int64 (two's complement).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// Bool writes a bool as one byte (0/1).
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// F64 writes a float64 as its IEEE-754 bits.
+func (w *Writer) F64(v float64) { w.U64(math.Float64bits(v)) }
+
+// Bytes8 writes a length-prefixed byte string.
+func (w *Writer) Bytes8(b []byte) {
+	w.U32(uint32(len(b)))
+	w.buf = append(w.buf, b...)
+}
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// U8s writes a length-prefixed []uint8.
+func (w *Writer) U8s(s []uint8) { w.Bytes8(s) }
+
+// U32s writes a length-prefixed []uint32.
+func (w *Writer) U32s(s []uint32) {
+	w.U32(uint32(len(s)))
+	for _, v := range s {
+		w.U32(v)
+	}
+}
+
+// U64s writes a length-prefixed []uint64.
+func (w *Writer) U64s(s []uint64) {
+	w.U32(uint32(len(s)))
+	for _, v := range s {
+		w.U64(v)
+	}
+}
+
+// I64s writes a length-prefixed []int64.
+func (w *Writer) I64s(s []int64) {
+	w.U32(uint32(len(s)))
+	for _, v := range s {
+		w.I64(v)
+	}
+}
+
+// Tag writes a section marker. Readers consume it with Tag(name); a
+// mismatch means producer and consumer disagree about the state layout
+// and fails the restore at the boundary instead of misreading fields.
+func (w *Writer) Tag(name string) {
+	w.U8(0xA5)
+	w.String(name)
+}
+
+// Reader consumes a payload written by Writer. Errors are sticky: the
+// first failure (short read, tag mismatch, semantic validation) is
+// recorded and every subsequent read returns zero values, so restore
+// code reads straight through and checks Err once.
+type Reader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+// NewReader wraps a payload.
+func NewReader(data []byte) *Reader { return &Reader{data: data} }
+
+// Err returns the sticky error, if any.
+func (r *Reader) Err() error { return r.err }
+
+// Failf records err (first failure wins).
+func (r *Reader) Failf(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("snapshot: "+format, args...)
+	}
+}
+
+// Remaining returns the number of unread bytes.
+func (r *Reader) Remaining() int { return len(r.data) - r.off }
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if r.Remaining() < n {
+		r.Failf("truncated payload: want %d bytes at offset %d, have %d", n, r.off, r.Remaining())
+		return nil
+	}
+	b := r.data[r.off : r.off+n]
+	r.off += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a little-endian int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// Bool reads a bool, rejecting bytes other than 0/1.
+func (r *Reader) Bool() bool {
+	switch v := r.U8(); v {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		r.Failf("invalid bool byte %d at offset %d", v, r.off-1)
+		return false
+	}
+}
+
+// F64 reads a float64 from its IEEE-754 bits.
+func (r *Reader) F64() float64 { return math.Float64frombits(r.U64()) }
+
+// Bytes8 reads a length-prefixed byte string.
+func (r *Reader) Bytes8() []byte {
+	n := int(r.U32())
+	if r.err != nil {
+		return nil
+	}
+	if n > r.Remaining() {
+		r.Failf("byte string length %d exceeds remaining %d", n, r.Remaining())
+		return nil
+	}
+	return append([]byte(nil), r.take(n)...)
+}
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string { return string(r.Bytes8()) }
+
+// SliceLen reads a variable slice length, validating it is non-negative
+// and cannot exceed the remaining payload at minWidth bytes per element.
+func (r *Reader) SliceLen(minWidth int) int {
+	n := int(r.U32())
+	if r.err != nil {
+		return 0
+	}
+	if minWidth < 1 {
+		minWidth = 1
+	}
+	if n*minWidth > r.Remaining() {
+		r.Failf("slice length %d exceeds remaining payload (%d bytes)", n, r.Remaining())
+		return 0
+	}
+	return n
+}
+
+// U8s fills dst from a length-prefixed []uint8, requiring the stored
+// length to match len(dst) (the restored object owns the geometry).
+func (r *Reader) U8s(dst []uint8) {
+	b := r.Bytes8()
+	if r.err != nil {
+		return
+	}
+	if len(b) != len(dst) {
+		r.Failf("u8 slice length %d, want %d", len(b), len(dst))
+		return
+	}
+	copy(dst, b)
+}
+
+// U32s fills dst from a length-prefixed []uint32 of matching length.
+func (r *Reader) U32s(dst []uint32) {
+	n := int(r.U32())
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.Failf("u32 slice length %d, want %d", n, len(dst))
+		return
+	}
+	for i := range dst {
+		dst[i] = r.U32()
+	}
+}
+
+// U64s fills dst from a length-prefixed []uint64 of matching length.
+func (r *Reader) U64s(dst []uint64) {
+	n := int(r.U32())
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.Failf("u64 slice length %d, want %d", n, len(dst))
+		return
+	}
+	for i := range dst {
+		dst[i] = r.U64()
+	}
+}
+
+// I64s fills dst from a length-prefixed []int64 of matching length.
+func (r *Reader) I64s(dst []int64) {
+	n := int(r.U32())
+	if r.err != nil {
+		return
+	}
+	if n != len(dst) {
+		r.Failf("i64 slice length %d, want %d", n, len(dst))
+		return
+	}
+	for i := range dst {
+		dst[i] = r.I64()
+	}
+}
+
+// Tag consumes a section marker and verifies its name.
+func (r *Reader) Tag(name string) {
+	if m := r.U8(); r.err == nil && m != 0xA5 {
+		r.Failf("expected section tag %q, found byte 0x%02x", name, m)
+		return
+	}
+	if got := r.String(); r.err == nil && got != name {
+		r.Failf("section tag mismatch: restoring %q, blob has %q", name, got)
+	}
+}
+
+// Seal wraps a payload in the versioned envelope:
+//
+//	"BMSN" | u32 version | u32 len(hash) | hash | u32 len(payload) | payload | sha256
+//
+// where the trailing checksum covers every preceding byte. prefixHash is
+// the prefix spec hash the blob was produced under (see spec.PrefixHash);
+// Open returns it so consumers can verify the binding before restoring.
+func Seal(prefixHash string, payload []byte) []byte {
+	w := &Writer{buf: make([]byte, 0, len(magic)+12+len(prefixHash)+len(payload)+sha256.Size)}
+	w.buf = append(w.buf, magic...)
+	w.U32(Version)
+	w.String(prefixHash)
+	w.Bytes8(payload)
+	sum := sha256.Sum256(w.buf)
+	w.buf = append(w.buf, sum[:]...)
+	return w.buf
+}
+
+// Open unwraps a sealed blob, verifying magic, version and checksum, and
+// returns the bound prefix hash and the payload.
+func Open(blob []byte) (prefixHash string, payload []byte, err error) {
+	if len(blob) < len(magic)+4+4+4+sha256.Size {
+		return "", nil, fmt.Errorf("snapshot: blob too short (%d bytes)", len(blob))
+	}
+	body, tail := blob[:len(blob)-sha256.Size], blob[len(blob)-sha256.Size:]
+	if sum := sha256.Sum256(body); string(sum[:]) != string(tail) {
+		return "", nil, fmt.Errorf("snapshot: checksum mismatch (corrupt blob)")
+	}
+	r := NewReader(body)
+	if got := string(r.take(len(magic))); r.err == nil && got != magic {
+		return "", nil, fmt.Errorf("snapshot: bad magic %q", got)
+	}
+	if v := r.U32(); r.err == nil && v != Version {
+		return "", nil, fmt.Errorf("snapshot: unsupported version %d (want %d)", v, Version)
+	}
+	prefixHash = r.String()
+	payload = r.Bytes8()
+	if r.err != nil {
+		return "", nil, r.err
+	}
+	if r.Remaining() != 0 {
+		return "", nil, fmt.Errorf("snapshot: %d trailing bytes after payload", r.Remaining())
+	}
+	return prefixHash, payload, nil
+}

@@ -72,6 +72,12 @@ type Descriptor struct {
 	// CrossCheck validates relations between merged parameters that
 	// per-key bounds cannot express.
 	CrossCheck func(Params) error
+	// MeasuredCoupled marks schemes whose construction depends on the
+	// measured-run length (the plain bimodal scheme scales its core
+	// parameters from AccessesPerCore). The warmup prefix hash must keep
+	// AccessesPerCore for such schemes, so their warm snapshots are only
+	// shared between cells with equal run lengths.
+	MeasuredCoupled bool
 	// Build constructs the scheme.
 	Build Builder
 }

@@ -21,6 +21,9 @@ func init() {
 		Params:      biModalParams,
 		CrossCheck:  biModalCrossCheck,
 		Build:       buildBiModal,
+		// sim.FactoryForSpec scales the plain scheme's core parameters
+		// from the measured run length (ScaledCoreParams).
+		MeasuredCoupled: true,
 	})
 	mustRegister(Descriptor{
 		Name:        "bimodal-only",

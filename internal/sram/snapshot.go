@@ -1,0 +1,42 @@
+package sram
+
+import "bimodal/internal/snapshot"
+
+// SnapshotState implements snapshot.Snapshotter: every way (the backing
+// array is walked set-major, way-minor), the recency clock, the
+// replacement rng and the hit/miss counters. Geometry is configuration.
+func (c *Cache) SnapshotState(w *snapshot.Writer) {
+	w.Tag("sram")
+	for _, set := range c.sets {
+		for _, way := range set {
+			w.Bool(way.Valid)
+			w.Bool(way.Dirty)
+			w.U64(way.Tag)
+			w.U64(way.Aux)
+			w.U64(way.lastUse)
+		}
+	}
+	w.U64(c.clock)
+	c.rng.SnapshotState(w)
+	w.I64(c.Hits)
+	w.I64(c.Misses)
+}
+
+// RestoreState implements snapshot.Snapshotter. c must have been built
+// with the same Config as the producer.
+func (c *Cache) RestoreState(r *snapshot.Reader) {
+	r.Tag("sram")
+	for _, set := range c.sets {
+		for i := range set {
+			set[i].Valid = r.Bool()
+			set[i].Dirty = r.Bool()
+			set[i].Tag = r.U64()
+			set[i].Aux = r.U64()
+			set[i].lastUse = r.U64()
+		}
+	}
+	c.clock = r.U64()
+	c.rng.RestoreState(r)
+	c.Hits = r.I64()
+	c.Misses = r.I64()
+}

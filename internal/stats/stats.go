@@ -11,6 +11,8 @@ import (
 	"math"
 	"sort"
 	"strings"
+
+	"bimodal/internal/snapshot"
 )
 
 // Ratio returns num/den, or 0 when den is zero. Handy for hit rates over
@@ -81,6 +83,22 @@ func (h *Histogram) CumFraction(i int) float64 {
 		c += h.buckets[j]
 	}
 	return Ratio(c, h.total)
+}
+
+// SnapshotState implements snapshot.Snapshotter (bucket counts and the
+// running total; the bucket count itself is configuration).
+func (h *Histogram) SnapshotState(w *snapshot.Writer) {
+	w.Tag("hist")
+	w.I64s(h.buckets)
+	w.I64(h.total)
+}
+
+// RestoreState implements snapshot.Snapshotter. h must have been built
+// with the same bucket count as the producer.
+func (h *Histogram) RestoreState(r *snapshot.Reader) {
+	r.Tag("hist")
+	r.I64s(h.buckets)
+	h.total = r.I64()
 }
 
 // Reset clears all buckets.

@@ -1,0 +1,98 @@
+package trace
+
+import (
+	"bimodal/internal/addr"
+	"bimodal/internal/snapshot"
+)
+
+// snapshotAccess serializes one Access.
+func snapshotAccess(w *snapshot.Writer, a Access) {
+	w.U64(uint64(a.Addr))
+	w.Bool(a.Write)
+	w.U32(a.Gap)
+	w.Bool(a.Dep)
+}
+
+// restoreAccess deserializes one Access.
+func restoreAccess(r *snapshot.Reader) Access {
+	return Access{
+		Addr:  addr.Phys(r.U64()),
+		Write: r.Bool(),
+		Gap:   r.U32(),
+		Dep:   r.Bool(),
+	}
+}
+
+// SnapshotState implements snapshot.Snapshotter. The profile, base and
+// permutation are construction-time configuration; the mutable state is
+// the two rng cursors, the undrained tail of the current episode and the
+// revisit history ring.
+func (g *Synthetic) SnapshotState(w *snapshot.Writer) {
+	w.Tag("synthetic")
+	g.rng.SnapshotState(w)
+	g.zipf.SnapshotState(w)
+	tail := g.pending[g.head:]
+	w.U32(uint32(len(tail)))
+	for _, a := range tail {
+		snapshotAccess(w, a)
+	}
+	w.U32(uint32(len(g.recent)))
+	for _, p := range g.recent {
+		w.U64(uint64(p))
+	}
+	w.Int(g.rpos)
+}
+
+// RestoreState implements snapshot.Snapshotter. g must have been built by
+// NewSynthetic with the same profile, base and seed family as the
+// producer; only mutable state is overwritten.
+func (g *Synthetic) RestoreState(r *snapshot.Reader) {
+	r.Tag("synthetic")
+	g.rng.RestoreState(r)
+	g.zipf.RestoreState(r)
+	n := r.SliceLen(14) // 8+1+4+1 bytes per access
+	g.pending = g.pending[:0]
+	g.head = 0
+	for i := 0; i < n; i++ {
+		g.pending = append(g.pending, restoreAccess(r))
+	}
+	m := r.SliceLen(8)
+	if m > cap(g.recent) {
+		r.Failf("revisit ring length %d exceeds window %d", m, cap(g.recent))
+		return
+	}
+	g.recent = g.recent[:0]
+	for i := 0; i < m; i++ {
+		g.recent = append(g.recent, addr.Phys(r.U64()))
+	}
+	rpos := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if rpos < 0 || (m > 0 && rpos >= cap(g.recent)) || (m == 0 && rpos != 0) {
+		r.Failf("revisit ring cursor %d out of range for window %d", rpos, cap(g.recent))
+		return
+	}
+	g.rpos = rpos
+}
+
+// SnapshotState implements snapshot.Snapshotter (the replay cursor).
+func (s *SliceGen) SnapshotState(w *snapshot.Writer) {
+	w.Tag("slicegen")
+	w.Int(s.pos)
+}
+
+// RestoreState implements snapshot.Snapshotter. The slice itself is
+// configuration: the restored generator must carry the same accesses.
+func (s *SliceGen) RestoreState(r *snapshot.Reader) {
+	r.Tag("slicegen")
+	pos := r.Int()
+	if r.Err() != nil {
+		return
+	}
+	if pos < 0 || (len(s.Accs) > 0 && pos >= len(s.Accs)) || (len(s.Accs) == 0 && pos != 0) {
+		r.Failf("slicegen cursor %d out of range for %d accesses", pos, len(s.Accs))
+		return
+	}
+	s.pos = pos
+}

@@ -5,7 +5,11 @@
 // initialization order or parallelism.
 package xrand
 
-import "math"
+import (
+	"math"
+
+	"bimodal/internal/snapshot"
+)
 
 // Rand is a SplitMix64-seeded xorshift128+ generator. The zero value is not
 // usable; construct with New.
@@ -69,6 +73,28 @@ func (r *Rand) Bool(p float64) bool { return r.Float64() < p }
 // single Uint64 used to seed it.
 func (r *Rand) Fork() *Rand { return New(r.Uint64()) }
 
+// SnapshotState implements snapshot.Snapshotter: the generator's cursor
+// is exactly its two state words.
+func (r *Rand) SnapshotState(w *snapshot.Writer) {
+	w.Tag("xrand")
+	w.U64(r.s0)
+	w.U64(r.s1)
+}
+
+// RestoreState implements snapshot.Snapshotter.
+func (r *Rand) RestoreState(rd *snapshot.Reader) {
+	rd.Tag("xrand")
+	s0, s1 := rd.U64(), rd.U64()
+	if rd.Err() != nil {
+		return
+	}
+	if s0 == 0 && s1 == 0 {
+		rd.Failf("xrand state words both zero (invalid xorshift128+ state)")
+		return
+	}
+	r.s0, r.s1 = s0, s1
+}
+
 // Zipf draws Zipf(s)-distributed values over [0, n) using inverse-CDF on a
 // precomputed table. Construct with NewZipf.
 type Zipf struct {
@@ -93,6 +119,20 @@ func NewZipf(r *Rand, n int, s float64) *Zipf {
 		cdf[i] /= sum
 	}
 	return &Zipf{cdf: cdf, r: r}
+}
+
+// SnapshotState implements snapshot.Snapshotter. The CDF table is a pure
+// function of (n, s) and is rebuilt by NewZipf; only the sampler's rng
+// cursor is mutable.
+func (z *Zipf) SnapshotState(w *snapshot.Writer) {
+	w.Tag("zipf")
+	z.r.SnapshotState(w)
+}
+
+// RestoreState implements snapshot.Snapshotter.
+func (z *Zipf) RestoreState(rd *snapshot.Reader) {
+	rd.Tag("zipf")
+	z.r.RestoreState(rd)
 }
 
 // Next returns the next Zipf-distributed value in [0, n).
