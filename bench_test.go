@@ -90,5 +90,7 @@ func BenchmarkDRAMChannelAccess(b *testing.B)      { bench.Run(b, "DRAMChannelAc
 func BenchmarkMemctrlRead(b *testing.B)            { bench.Run(b, "MemctrlRead") }
 func BenchmarkTraceGeneration(b *testing.B)        { bench.Run(b, "TraceGeneration") }
 func BenchmarkEndToEndMix(b *testing.B)            { bench.Run(b, "EndToEndMix") }
+func BenchmarkEndToEndMixPooled(b *testing.B)      { bench.Run(b, "EndToEndMixPooled") }
 func BenchmarkSweepColdWarmup(b *testing.B)        { bench.Run(b, "SweepColdWarmup") }
 func BenchmarkSweepWarmRestore(b *testing.B)       { bench.Run(b, "SweepWarmRestore") }
+func BenchmarkSweepPooled(b *testing.B)            { bench.Run(b, "SweepPooled") }

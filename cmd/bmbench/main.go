@@ -57,6 +57,7 @@ func main() {
 		out       = flag.String("out", "", "snapshot output path (default BENCH_<date>.json; '-' suppresses)")
 		baseline  = flag.String("baseline", "", "compare against this snapshot; exit 1 on regression")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression vs the baseline")
+		ratchet   = flag.String("ratchet", "EndToEndMix", "comma-separated cases whose ns/op and allocs/op may only ratchet down: no tolerance band, any increase over the baseline fails")
 		list      = flag.Bool("list", false, "list registered cases and exit")
 	)
 	testing.Init() // registers -test.* flags so benchtime can be set below
@@ -113,7 +114,13 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		if !compare(base, snap, *tolerance) {
+		ratcheted := map[string]bool{}
+		for _, n := range strings.Split(*ratchet, ",") {
+			if n = strings.TrimSpace(n); n != "" {
+				ratcheted[n] = true
+			}
+		}
+		if !compare(base, snap, *tolerance, ratcheted) {
 			os.Exit(1)
 		}
 	}
@@ -144,16 +151,19 @@ func measure(c bench.Case, runs int) caseResult {
 
 // compare reports whether current holds up against base: every shared case
 // must stay within tolerance on ns/op and must not allocate more per op.
-// Cases present only on one side are reported but never fail the run, so
-// adding or retiring a benchmark does not require a synchronized baseline
-// update.
-func compare(base, cur snapshot, tolerance float64) bool {
+// Ratcheted cases get no tolerance band at all — their ns/op and allocs/op
+// may only move down, so refreshing the committed baseline can only lower
+// the bar for them. Cases present only on one side are reported but never
+// fail the run, so adding or retiring a benchmark does not require a
+// synchronized baseline update.
+func compare(base, cur snapshot, tolerance float64, ratcheted map[string]bool) bool {
 	names := make([]string, 0, len(cur.Results))
 	for n := range cur.Results {
 		names = append(names, n)
 	}
 	sort.Strings(names)
 	ok := true
+	var allocBase, allocCur int64
 	fmt.Printf("\ncomparison vs baseline (%s, tolerance %.0f%%):\n", base.Date, tolerance*100)
 	for _, n := range names {
 		c := cur.Results[n]
@@ -162,16 +172,24 @@ func compare(base, cur snapshot, tolerance float64) bool {
 			fmt.Printf("  %-24s new case, no baseline\n", n)
 			continue
 		}
+		allocBase += b.AllocsPerOp
+		allocCur += c.AllocsPerOp
+		tol := tolerance
+		tag := ""
+		if ratcheted[n] {
+			tol = 0
+			tag = " [ratchet]"
+		}
 		delta := (c.NsPerOp - b.NsPerOp) / b.NsPerOp
 		switch {
 		case c.AllocsPerOp > b.AllocsPerOp:
 			ok = false
-			fmt.Printf("  %-24s FAIL: %d allocs/op (baseline %d)\n", n, c.AllocsPerOp, b.AllocsPerOp)
-		case delta > tolerance:
+			fmt.Printf("  %-24s FAIL: %d allocs/op (baseline %d)%s\n", n, c.AllocsPerOp, b.AllocsPerOp, tag)
+		case delta > tol:
 			ok = false
-			fmt.Printf("  %-24s FAIL: %+.1f%% (%.1f -> %.1f ns/op)\n", n, delta*100, b.NsPerOp, c.NsPerOp)
+			fmt.Printf("  %-24s FAIL: %+.1f%% (%.1f -> %.1f ns/op)%s\n", n, delta*100, b.NsPerOp, c.NsPerOp, tag)
 		default:
-			fmt.Printf("  %-24s ok:   %+.1f%% (%.1f -> %.1f ns/op)\n", n, delta*100, b.NsPerOp, c.NsPerOp)
+			fmt.Printf("  %-24s ok:   %+.1f%% (%.1f -> %.1f ns/op)%s\n", n, delta*100, b.NsPerOp, c.NsPerOp, tag)
 		}
 	}
 	for n := range base.Results {
@@ -179,6 +197,7 @@ func compare(base, cur snapshot, tolerance float64) bool {
 			fmt.Printf("  %-24s in baseline but not run\n", n)
 		}
 	}
+	fmt.Printf("alloc-delta: %d -> %d allocs/op across shared cases (%+d)\n", allocBase, allocCur, allocCur-allocBase)
 	if !ok {
 		fmt.Println("bmbench: REGRESSION — rerun on a quiet machine, or update the baseline with `make bench` if the change is intended")
 	}

@@ -68,8 +68,10 @@ var cases = []Case{
 	{"MemctrlRead", "memory-controller demand read (interleave + bank)", memctrlRead},
 	{"TraceGeneration", "synthetic access-stream generation", traceGeneration},
 	{"EndToEndMix", "complete small multiprogrammed run via the public facade", endToEndMix},
+	{"EndToEndMixPooled", "the EndToEndMix cell recycled through a RunPool (steady-state Reset)", endToEndMixPooled},
 	{"SweepColdWarmup", "10-cell same-prefix sweep, every cell warming from cold", sweepColdWarmup},
 	{"SweepWarmRestore", "10-cell same-prefix sweep warming once via snapshot restore", sweepWarmRestore},
+	{"SweepPooled", "10-seed one-cell sweep recycling a single pooled simulator", sweepPooled},
 }
 
 // biModalAccess measures one end-to-end scheme access (functional cache +
@@ -192,6 +194,33 @@ func endToEndMix(b *testing.B) {
 	}
 }
 
+// endToEndMixPooled runs the same cell as endToEndMix but draws the
+// simulator from a RunPool, varying the seed each iteration the way a
+// sweep does. After the first iteration every run is an in-place Reset of
+// the same simulator, so the delta against EndToEndMix is exactly what
+// pooling buys: construction (metadata arrays, Zipf CDFs, generators)
+// drops out and only array clears plus the access loop remain.
+func endToEndMixPooled(b *testing.B) {
+	mix := bimodal.Workload("Q7")
+	o := bimodal.Options{AccessesPerCore: 2000, CacheDivisor: 16, Seed: 1}
+	factory := sim.BiModalFactory(mix.Cores(), o)
+	pool := sim.NewRunPool(1)
+	ctx := context.Background()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Seed = uint64(i) + 1
+		s := pool.Get("bimodal", mix, factory, o)
+		if err := s.Warmup(ctx); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Measure(ctx); err != nil {
+			b.Fatal(err)
+		}
+		pool.Put(s)
+	}
+}
+
 // --- warm-state checkpointing: sweep warmup amortization ---
 //
 // The two sweep cases run the same 10-cell workload — cells identical up
@@ -301,6 +330,40 @@ func sweepWarmRestore(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if err := runSweepWarmRestore(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// runSweepPooled executes a 10-seed sweep of one alloy/Q1 cell through a
+// shared RunPool — the pool's designed case: cells differing only in seed
+// share one geometry key, so one simulator serves the whole sweep.
+func runSweepPooled(pool *sim.RunPool) error {
+	ctx := context.Background()
+	mix := workloads.MustByName("Q1")
+	factory := sim.SchemeAlloy.Factory()
+	for seed := uint64(1); seed <= 10; seed++ {
+		o := sim.Options{AccessesPerCore: 1000, CacheDivisor: 64, Seed: seed}
+		s := pool.Get("alloy", mix, factory, o)
+		if err := s.Warmup(ctx); err != nil {
+			return err
+		}
+		if _, err := s.Measure(ctx); err != nil {
+			return err
+		}
+		pool.Put(s)
+	}
+	return nil
+}
+
+// sweepPooled measures the pooled seed-sweep path; the pool outlives the
+// benchmark loop, so iterations after the first run at steady state.
+func sweepPooled(b *testing.B) {
+	pool := sim.NewRunPool(1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := runSweepPooled(pool); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -190,6 +190,46 @@ func NewCache(p Params, locator *WayLocator) *Cache {
 	return c
 }
 
+// Reset returns the cache to its just-constructed state in place, reusing
+// every metadata backing array, and reports whether it could. Only the Seed
+// may differ from the construction parameters: any other difference changes
+// geometry or policy sizing and Reset declines (returns false) so the caller
+// rebuilds via NewCache instead. On success every set is back to the all-big
+// state with no valid ways, the locator, predictor, tracker and global
+// adapter are reset, the victim rng is re-seeded and statistics are cleared.
+//
+//bmlint:hotpath
+func (c *Cache) Reset(p Params) bool {
+	a, b := p, c.params
+	a.Seed, b.Seed = 0, 0
+	if a != b {
+		return false
+	}
+	c.params = p
+	allBig := State{X: p.MaxBig(), Y: 0}
+	for i := range c.sets {
+		s := &c.sets[i]
+		s.st = allBig
+		s.validBig, s.validSmall = 0, 0
+		for w := range s.big {
+			s.big[w] = bigWay{}
+		}
+		for w := range s.small {
+			s.small[w] = smallWay{}
+		}
+	}
+	if c.locator != nil {
+		c.locator.Reset()
+	}
+	c.pred.Reset()
+	c.tracker.Reset()
+	c.global.Reset()
+	c.rng.Seed(p.Seed + 0xb1d0)
+	c.scratch = c.scratch[:0]
+	c.Stats = CacheStats{}
+	return true
+}
+
 // Params returns the configuration.
 func (c *Cache) Params() Params { return c.params }
 

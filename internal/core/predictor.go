@@ -31,6 +31,18 @@ func NewSizePredictor(p uint) *SizePredictor {
 	return &SizePredictor{table: t, mask: (1 << p) - 1}
 }
 
+// Reset returns the predictor to its just-constructed state in place: every
+// counter back to weakly-big (2) and statistics cleared.
+//
+//bmlint:hotpath
+func (s *SizePredictor) Reset() {
+	for i := range s.table {
+		s.table[i] = 2
+	}
+	s.Predictions, s.PredBig = 0, 0
+	s.Updates, s.UpBig = 0, 0
+}
+
 // index hashes a big-block identity into the table.
 func (s *SizePredictor) index(blockID uint64) uint64 {
 	h := blockID * 0x9E3779B97F4A7C15
@@ -93,6 +105,12 @@ func NewTracker(p Params, pred *SizePredictor) *Tracker {
 	}
 }
 
+// Reset clears the utilization histogram in place. The linked predictor is
+// reset separately by its owner.
+//
+//bmlint:hotpath
+func (t *Tracker) Reset() { t.Hist.Reset() }
+
 // Sampled reports whether the tracker monitors the given set.
 func (t *Tracker) Sampled(set uint64) bool { return set&t.sampleMask == 0 }
 
@@ -124,6 +142,17 @@ type GlobalState struct {
 // NewGlobalState starts in the all-big state, as the paper initializes.
 func NewGlobalState(p Params) *GlobalState {
 	return &GlobalState{params: p, state: State{X: p.MaxBig(), Y: 0}}
+}
+
+// Reset returns the adapter to its just-constructed state: all-big target,
+// demand counters and interval cursor cleared.
+//
+//bmlint:hotpath
+func (g *GlobalState) Reset() {
+	g.state = State{X: g.params.MaxBig(), Y: 0}
+	g.dBig, g.dSmall = 0, 0
+	g.accesses = 0
+	g.Transitions = 0
 }
 
 // State returns the current global target.

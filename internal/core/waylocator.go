@@ -50,6 +50,18 @@ func NewWayLocator(k uint, bigBlock uint64) *WayLocator {
 	}
 }
 
+// Reset returns the locator to its just-constructed state in place, reusing
+// the entry array: all entries invalidated, clock and statistics cleared.
+//
+//bmlint:hotpath
+func (w *WayLocator) Reset() {
+	for i := range w.entries {
+		w.entries[i] = wlEntry{}
+	}
+	w.clock = 0
+	w.Lookups, w.HitsBig, w.HitsSml = 0, 0, 0
+}
+
 // K returns the index width.
 func (w *WayLocator) K() uint { return w.k }
 

@@ -11,7 +11,6 @@
 package cpu
 
 import (
-	"container/heap"
 	"context"
 	"fmt"
 	"time"
@@ -79,8 +78,11 @@ type core struct {
 	time int64
 	// outstanding in-flight misses ordered by issue: done is the memory
 	// completion time, inst the instruction count at issue (for the ROB
-	// window).
+	// window). outHead indexes the oldest live miss — popping advances the
+	// head instead of re-slicing, so the backing array's full capacity
+	// stays reusable and steady-state insertion never reallocates.
 	outstanding []inflight
+	outHead     int
 	lastDone    int64
 	insts       int64 // total instructions replayed (incl. uncounted)
 	result      CoreResult
@@ -98,10 +100,13 @@ type inflight struct {
 }
 
 // prime draws the upcoming access and computes its exact issue time (the
-// heap key). All stall sources — the instruction gap, a dependence on the
-// previous miss, a full MSHR file, the ROB window — are resolved here, so
-// requests reach the memory system in strictly non-decreasing time order
-// across cores (the busy-time DRAM model requires monotonic arrivals).
+// scheduler key). All stall sources — the instruction gap, a dependence on
+// the previous miss, a full MSHR file, the ROB window — are resolved here,
+// so requests reach the memory system in strictly non-decreasing time
+// order across cores (the busy-time DRAM model requires monotonic
+// arrivals).
+//
+//bmlint:hotpath
 func (c *core) prime() {
 	c.next = c.gen.Next()
 	t := c.time + int64(float64(c.next.Gap)*c.cfg.CPIBase)
@@ -114,21 +119,21 @@ func (c *core) prime() {
 	// miss returns. This is what serializes far-apart misses on a real
 	// out-of-order core.
 	if c.cfg.ROBInsts > 0 {
-		for len(c.outstanding) > 0 && instNow-c.outstanding[0].inst >= c.cfg.ROBInsts {
-			if c.outstanding[0].done > t {
-				t = c.outstanding[0].done
+		for c.outHead < len(c.outstanding) && instNow-c.outstanding[c.outHead].inst >= c.cfg.ROBInsts {
+			if c.outstanding[c.outHead].done > t {
+				t = c.outstanding[c.outHead].done
 			}
-			c.outstanding = c.outstanding[1:]
+			c.outHead++
 		}
 	}
 	// Retire completed misses; a full MSHR file stalls until the oldest
 	// in-flight miss returns.
-	for len(c.outstanding) > 0 && c.outstanding[0].done <= t {
-		c.outstanding = c.outstanding[1:]
+	for c.outHead < len(c.outstanding) && c.outstanding[c.outHead].done <= t {
+		c.outHead++
 	}
-	if len(c.outstanding) >= c.cfg.MSHRs {
-		t = c.outstanding[0].done
-		c.outstanding = c.outstanding[1:]
+	if len(c.outstanding)-c.outHead >= c.cfg.MSHRs {
+		t = c.outstanding[c.outHead].done
+		c.outHead++
 	}
 	c.key = t
 }
@@ -136,6 +141,8 @@ func (c *core) prime() {
 // step replays the primed access against the scheme at the issue time
 // prime computed. It returns true when this access completed the core's
 // measured quota (results freeze at that point; execution continues).
+//
+//bmlint:hotpath
 func (c *core) step(s dramcache.Scheme, pf *Prefetcher) bool {
 	a := c.next
 	c.time = c.key
@@ -173,15 +180,25 @@ func (c *core) step(s dramcache.Scheme, pf *Prefetcher) bool {
 
 // insertOutstanding appends the miss in issue order (the ROB retires in
 // order, so the oldest-issued miss is the binding one for both the ROB
-// window and the MSHR stall).
+// window and the MSHR stall). When the buffer is full but has a drained
+// head, the live tail is copied down so the backing array is reused — the
+// queue reaches a steady capacity (bounded by the MSHR file) after the
+// first few insertions and never reallocates again.
+//
+//bmlint:hotpath
 func (c *core) insertOutstanding(done int64) {
+	if len(c.outstanding) == cap(c.outstanding) && c.outHead > 0 {
+		n := copy(c.outstanding, c.outstanding[c.outHead:])
+		c.outstanding = c.outstanding[:n]
+		c.outHead = 0
+	}
 	c.outstanding = append(c.outstanding, inflight{done: done, inst: c.insts})
 }
 
 // finish drains in-flight misses into the final cycle count.
 func (c *core) finish() {
 	t := c.time
-	for _, m := range c.outstanding {
+	for _, m := range c.outstanding[c.outHead:] {
 		if m.done > t {
 			t = m.done
 		}
@@ -189,20 +206,32 @@ func (c *core) finish() {
 	c.result.Cycles = t
 }
 
-// coreHeap orders cores by current time so requests reach the memory
-// system in (approximately) global time order.
-type coreHeap []*core
+// reset returns the core to its just-constructed replay state, keeping
+// the generator binding and the outstanding buffer's capacity. The
+// generator itself is reseeded separately (Engine.Reset).
+//
+//bmlint:hotpath
+func (c *core) reset() {
+	c.time = 0
+	c.outstanding = c.outstanding[:0]
+	c.outHead = 0
+	c.lastDone = 0
+	c.insts = 0
+	c.result = CoreResult{Core: c.id, Benchmark: c.gen.Name()}
+	c.remaining = 0
+	c.next = trace.Access{}
+	c.key = 0
+}
 
-func (h coreHeap) Len() int            { return len(h) }
-func (h coreHeap) Less(i, j int) bool  { return h[i].key < h[j].key }
-func (h coreHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *coreHeap) Push(x interface{}) { *h = append(*h, x.(*core)) }
-func (h *coreHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	x := old[n-1]
-	*h = old[:n-1]
-	return x
+// before orders cores by (issue time, core id). The tie-break makes this
+// a total order, so the scheduler's dispatch sequence is a pure function
+// of the pending keys — never of internal heap arrangement — which is
+// exactly the property that lets batched dispatch skip the push/pop pair
+// while remaining byte-identical to one-at-a-time dispatch.
+//
+//bmlint:hotpath
+func (c *core) before(o *core) bool {
+	return c.key < o.key || (c.key == o.key && c.id < o.id)
 }
 
 // Engine drives a set of cores against one scheme.
@@ -210,6 +239,9 @@ type Engine struct {
 	cores  []*core
 	scheme dramcache.Scheme
 	pf     *Prefetcher
+	// sched is the dispatch min-heap, owned by the engine and reused
+	// across phases and pooled runs so runPhase never reallocates it.
+	sched []*core
 }
 
 // NewEngine builds an engine. gens supplies one generator per core.
@@ -217,7 +249,7 @@ func NewEngine(scheme dramcache.Scheme, gens []trace.Generator, cfg CoreConfig, 
 	if err := cfg.Validate(); err != nil {
 		panic(err)
 	}
-	e := &Engine{scheme: scheme, pf: pf}
+	e := &Engine{scheme: scheme, pf: pf, sched: make([]*core, 0, len(gens))}
 	for i, g := range gens {
 		e.cores = append(e.cores, &core{
 			id:  i,
@@ -230,6 +262,85 @@ func NewEngine(scheme dramcache.Scheme, gens []trace.Generator, cfg CoreConfig, 
 		})
 	}
 	return e
+}
+
+// push inserts c into the dispatch heap (standard binary-heap sift-up,
+// specialized to *core — no interface boxing).
+//
+//bmlint:hotpath
+func (e *Engine) push(c *core) {
+	h := append(e.sched, c)
+	e.sched = h
+	j := len(h) - 1
+	for j > 0 {
+		i := (j - 1) / 2
+		if !h[j].before(h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		j = i
+	}
+}
+
+// pop removes and returns the scheduling minimum (sift-down specialized
+// to *core).
+//
+//bmlint:hotpath
+func (e *Engine) pop() *core {
+	h := e.sched
+	n := len(h) - 1
+	c := h[0]
+	h[0] = h[n]
+	h = h[:n]
+	e.sched = h
+	i := 0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j+1 < n && h[j+1].before(h[j]) {
+			j++
+		}
+		if !h[j].before(h[i]) {
+			break
+		}
+		h[i], h[j] = h[j], h[i]
+		i = j
+	}
+	return c
+}
+
+// resettableGen is implemented by generators that can return to their
+// initial state under a new seed in place (trace.Synthetic, trace.SliceGen).
+type resettableGen interface{ Reset(seed uint64) }
+
+// Reset returns the engine to its just-constructed state for a new run:
+// every core's replay state is zeroed in place, its generator reseeded
+// with the matching entry of seeds (one per core — workloads.CoreSeed
+// derivation is the caller's job), and the prefetcher filters cleared.
+// It reports false, leaving the engine untouched, when the seed count
+// does not match or any generator cannot be reseeded in place; the caller
+// must then rebuild the engine instead.
+//
+//bmlint:hotpath
+func (e *Engine) Reset(seeds []uint64) bool {
+	if len(seeds) != len(e.cores) {
+		return false
+	}
+	for _, c := range e.cores {
+		if _, ok := c.gen.(resettableGen); !ok {
+			return false
+		}
+	}
+	for i, c := range e.cores {
+		c.gen.(resettableGen).Reset(seeds[i])
+		c.reset()
+	}
+	if e.pf != nil {
+		e.pf.Reset()
+	}
+	return true
 }
 
 // Scheme returns the scheme the engine drives.
@@ -260,57 +371,89 @@ func (e *Engine) Run(accessesPerCore int64) []CoreResult {
 // ctx every ctxCheckInterval accesses and returns ctx.Err() when the
 // context ends, discarding partial results.
 func (e *Engine) RunContext(ctx context.Context, accessesPerCore int64) ([]CoreResult, error) {
-	return e.runPhase(ctx, accessesPerCore, "measure")
+	return e.runPhase(ctx, accessesPerCore, measureRate)
 }
 
-// observeRate records a phase's replay throughput into the process-wide
-// telemetry registry, one observation per completed phase. Wall-clock is
+// Phase throughput histograms, resolved once at package init: building
+// the label string and taking the registry lock per completed phase cost
+// an allocation and a lock acquisition per run, which pooled sweeps pay
+// at kHz phase-completion rates.
+var (
+	warmupRate = telemetry.Default.Histogram(
+		`bimodal_sim_accesses_per_second{phase="warmup"}`, telemetry.RateBuckets()...)
+	measureRate = telemetry.Default.Histogram(
+		`bimodal_sim_accesses_per_second{phase="measure"}`, telemetry.RateBuckets()...)
+)
+
+// observeRate records a phase's replay throughput into its precomputed
+// histogram, one observation per completed phase. Wall-clock is
 // observability only — it never feeds back into simulated time.
-func observeRate(phase string, steps int64, elapsed time.Duration) {
+func observeRate(h *telemetry.Histogram, steps int64, elapsed time.Duration) {
 	secs := elapsed.Seconds()
 	if steps == 0 || secs <= 0 {
 		return
 	}
-	telemetry.Default.Histogram(
-		`bimodal_sim_accesses_per_second{phase="`+phase+`"}`,
-		telemetry.RateBuckets()...,
-	).Observe(float64(steps) / secs)
+	h.Observe(float64(steps) / secs)
 }
 
-// runPhase is RunContext tagged with a phase label for throughput
-// telemetry (warmup vs measure).
-func (e *Engine) runPhase(ctx context.Context, accessesPerCore int64, phase string) ([]CoreResult, error) {
+// dispatchBatch bounds how many consecutive accesses one core may issue
+// per scheduler turn. While a re-primed core remains the strict dispatch
+// minimum it keeps stepping without touching the heap (the Sniper /
+// Ramulator batch-controller pattern); the cap bounds a turn so the
+// context check cadence and heap fairness stay predictable.
+const dispatchBatch = 64
+
+// runPhase is RunContext tagged with a phase histogram for throughput
+// telemetry (warmup vs measure). Dispatch is batched: because the
+// scheduler orders cores by the (key, id) total order, "this core is
+// before the heap root" is exactly "this core is the global minimum", so
+// skipping the push/pop pair while that holds replays the identical
+// access sequence one-at-a-time dispatch would.
+//
+//bmlint:hotpath
+func (e *Engine) runPhase(ctx context.Context, accessesPerCore int64, phaseHist *telemetry.Histogram) ([]CoreResult, error) {
 	start := telemetry.Now() //bmlint:wallclock — phase throughput telemetry only
-	h := make(coreHeap, 0, len(e.cores))
+	e.sched = e.sched[:0]
 	active := 0
 	for _, c := range e.cores {
 		c.remaining = accessesPerCore
 		if c.remaining > 0 {
 			active++
 			c.prime()
-			heap.Push(&h, c)
+			e.push(c)
 		} else {
 			c.finish()
 		}
 	}
 	var steps int64
 	for active > 0 {
-		if steps%ctxCheckInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, err
+		c := e.pop()
+		for batch := 0; ; batch++ {
+			if steps%ctxCheckInterval == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
+			steps++
+			if c.step(e.scheme, e.pf) {
+				c.finish()
+				active--
+			}
+			c.prime()
+			if active == 0 {
+				break
+			}
+			if batch+1 >= dispatchBatch || (len(e.sched) > 0 && !c.before(e.sched[0])) {
+				break
 			}
 		}
-		steps++
-		c := heap.Pop(&h).(*core)
-		if c.step(e.scheme, e.pf) {
-			c.finish()
-			active--
+		if active == 0 {
+			break
 		}
-		c.prime()
-		heap.Push(&h, c)
+		e.push(c)
 	}
-	observeRate(phase, steps, telemetry.Since(start)) //bmlint:wallclock
-	out := make([]CoreResult, len(e.cores))
+	observeRate(phaseHist, steps, telemetry.Since(start)) //bmlint:wallclock
+	out := make([]CoreResult, len(e.cores)) //bmlint:allow alloc — one phase-exit result copy, not per-access
 	for i, c := range e.cores {
 		out[i] = c.result
 	}
@@ -348,7 +491,7 @@ func (e *Engine) RunMeasuredContext(ctx context.Context, warmup, measure int64) 
 // point (see SnapshotState): re-running the measured phase afterwards
 // replays the straight-through RunMeasuredContext sequence identically.
 func (e *Engine) WarmupContext(ctx context.Context, warmup int64) ([]CoreResult, error) {
-	return e.runPhase(ctx, warmup, "warmup")
+	return e.runPhase(ctx, warmup, warmupRate)
 }
 
 // MeasureAfterWarmupContext resets scheme statistics (cache state stays

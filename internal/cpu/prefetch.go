@@ -40,6 +40,20 @@ func NewPrefetcher(n, cores int) *Prefetcher {
 	return p
 }
 
+// Reset clears the recency filters and counters in place, returning the
+// prefetcher to its just-constructed state for a pooled rerun.
+//
+//bmlint:hotpath
+func (p *Prefetcher) Reset() {
+	for _, f := range p.filters {
+		for i := range f {
+			f[i] = 0
+		}
+	}
+	p.Issued = 0
+	p.Suppressed = 0
+}
+
 // seen records a line and reports whether it was already present.
 func (p *Prefetcher) seen(coreID int, line uint64) bool {
 	f := p.filters[coreID]

@@ -62,8 +62,8 @@ func (c *core) snapshotState(w *snapshot.Writer) {
 	}
 	g.SnapshotState(w)
 	w.I64(c.time)
-	w.U32(uint32(len(c.outstanding)))
-	for _, m := range c.outstanding {
+	w.U32(uint32(len(c.outstanding) - c.outHead))
+	for _, m := range c.outstanding[c.outHead:] {
 		w.I64(m.done)
 		w.I64(m.inst)
 	}
@@ -91,6 +91,7 @@ func (c *core) restoreState(r *snapshot.Reader) {
 		return
 	}
 	c.outstanding = c.outstanding[:0]
+	c.outHead = 0
 	for i := 0; i < n; i++ {
 		c.outstanding = append(c.outstanding, inflight{done: r.I64(), inst: r.I64()})
 	}

@@ -119,6 +119,12 @@ type Channel struct {
 	rasCPU, wrCPU   int64
 	rrdCPU, fawCPU  int64
 	ratio, perClock int64
+	// Memoized bytes -> burst-cycles mapping for the access fast path. A
+	// pure function of construction-time constants (perClock, ratio), so
+	// it stays valid across Reset and Restore and never affects behaviour
+	// — only the division it avoids.
+	burstBytes  int64 // last bytes -> burst mapping (0 = unused)
+	burstCycles int64
 }
 
 // NewChannel builds a channel with the given timing and geometry (ranks x
@@ -163,6 +169,28 @@ func NewChannel(t Timing, ranks, banksPerRank int) *Channel {
 		c.refDur = t.cpu(t.RFC)
 	}
 	return c
+}
+
+// Reset returns the channel to its just-constructed state in place, reusing
+// the bank and rank arrays: all rows precharged, bank timing cleared, the
+// activate history re-seeded far in the past, bus freed and stats zeroed.
+// Timing and geometry are construction-time invariants and are untouched.
+//
+//bmlint:hotpath
+func (c *Channel) Reset() {
+	const longAgo = int64(-1) << 40
+	for i := range c.banks {
+		c.banks[i] = bank{openRow: -1}
+	}
+	for r := range c.ranks {
+		c.ranks[r].lastAct = longAgo
+		for j := range c.ranks[r].recentActs {
+			c.ranks[r].recentActs[j] = longAgo
+		}
+		c.ranks[r].actPos = 0
+	}
+	c.busAt = 0
+	c.stats = Stats{}
 }
 
 // Timing returns the channel's timing parameters.
@@ -243,7 +271,12 @@ func (c *Channel) Access(op Op, l addr.Location, now int64, bytes int64) (done i
 
 	var burst int64
 	if bytes > 0 {
-		burst = (bytes + c.perClock - 1) / c.perClock * c.ratio
+		if bytes == c.burstBytes {
+			burst = c.burstCycles
+		} else {
+			burst = (bytes + c.perClock - 1) / c.perClock * c.ratio
+			c.burstBytes, c.burstCycles = bytes, burst
+		}
 	}
 	var lat int64
 	if op == OpRead {
@@ -275,7 +308,8 @@ func (c *Channel) Access(op Op, l addr.Location, now int64, bytes int64) (done i
 
 // PeekRowHit reports the row-buffer outcome an access to l at time now
 // would see, without modifying any state. Refresh-epoch row closure is
-// taken into account but not committed.
+// taken into account but not committed. Kept lean enough to inline: it
+// runs on every deferred write enqueue.
 func (c *Channel) PeekRowHit(l addr.Location, now int64) RowResult {
 	b := c.bankOf(l)
 	open := b.openRow

@@ -151,6 +151,28 @@ func (a *Alloy) fillAfterMiss(req Request, idx, tag uint64, at int64) {
 	a.stacked.WriteAt(a.tadLoc(idx), at, tadBytes)
 }
 
+// Reset implements Resetter: the scheme returns to its just-constructed
+// state in place, reusing the packed tag array and both controllers. Only
+// cfg.Seed may differ from the construction Config (Alloy draws no
+// randomness, so the seed is recorded but unused).
+//
+//bmlint:hotpath
+func (a *Alloy) Reset(cfg Config) bool {
+	if !sameGeometry(cfg, a.cfg) {
+		return false
+	}
+	a.cfg = cfg
+	a.baseStats.reset()
+	a.stacked.Reset()
+	a.offchip.Reset()
+	for i := range a.tags {
+		a.tags[i] = 0
+	}
+	a.pred.resetHitLeaning()
+	a.WastedParallelBytes = 0
+	return true
+}
+
 // ResetStats implements Scheme.
 func (a *Alloy) ResetStats() {
 	a.baseStats.reset()

@@ -25,6 +25,17 @@ func newAssocArray(sets, assoc int) *assocArray {
 	return &assocArray{sets: sets, assoc: assoc, ways: make([]assocWay, sets*assoc)}
 }
 
+// reset returns the array to its just-constructed state in place, reusing
+// the way backing array.
+//
+//bmlint:hotpath
+func (a *assocArray) reset() {
+	for i := range a.ways {
+		a.ways[i] = assocWay{}
+	}
+	a.clock = 0
+}
+
 // lookup returns the way index of tag in set, or -1, updating recency on
 // hit when touch is true.
 func (a *assocArray) lookup(set int, tag uint64, touch bool) int {

@@ -169,6 +169,27 @@ func (a *ATCache) fillAfterMiss(req Request, set int, tag uint64, at int64) int 
 	return way
 }
 
+// Reset implements Resetter: the scheme returns to its just-constructed
+// state in place, reusing the tag array, the SRAM tag cache and both
+// controllers. Only cfg.Seed may differ from the construction Config.
+//
+//bmlint:hotpath
+func (a *ATCache) Reset(cfg Config) bool {
+	if !sameGeometry(cfg, a.cfg) {
+		return false
+	}
+	a.cfg = cfg
+	a.baseStats.reset()
+	a.stacked.Reset()
+	a.offchip.Reset()
+	a.sets.reset()
+	tc := a.tagCache.Config()
+	tc.Seed = cfg.Seed
+	a.tagCache.Reset(tc)
+	a.metaReads, a.metaRowHits = 0, 0
+	return true
+}
+
 // ResetStats implements Scheme.
 func (a *ATCache) ResetStats() {
 	a.baseStats.reset()

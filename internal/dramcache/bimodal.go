@@ -218,7 +218,7 @@ func (b *BiModal) readMeta(set uint64, at int64) int64 {
 // already has a pending update.
 func (b *BiModal) writeMeta(set uint64, at int64) {
 	b.MetaWrites++
-	row := set / b.metaRows
+	row, _ := b.layout.prDiv.divmod(set) // set / metaRows, divider precomputed
 	idx := row & uint64(len(b.metaWriteFilter)-1)
 	if b.metaWriteFilter[idx] == row+1 {
 		b.MetaWritesCoalesced++
@@ -378,6 +378,39 @@ func (b *BiModal) missPath(req Request, out core.Outcome, now int64, earlyDone i
 		}
 	}
 	return critDone
+}
+
+// Reset implements Resetter: the scheme returns to its just-constructed
+// state in place (constructor options preserved), reusing the functional
+// cache's metadata arrays and both controllers. Only cfg.Seed may differ
+// from the construction Config.
+//
+//bmlint:hotpath
+func (b *BiModal) Reset(cfg Config) bool {
+	if !sameGeometry(cfg, b.cfg) {
+		return false
+	}
+	p := b.cache.Params()
+	p.Seed = cfg.Seed
+	if !b.cache.Reset(p) {
+		return false
+	}
+	b.cfg = cfg
+	b.baseStats.reset()
+	b.stacked.Reset()
+	b.offchip.Reset()
+	b.metaReads, b.metaRowHits = 0, 0
+	b.WastedProbeBytes = 0
+	b.VictimHits = 0
+	b.metaWriteFilter = [256]uint64{}
+	b.MetaWrites, b.MetaWritesCoalesced = 0, 0
+	if b.missPred != nil {
+		b.missPred.resetHitLeaning()
+	}
+	if b.victims != nil {
+		b.victims.reset()
+	}
+	return true
 }
 
 // ResetStats implements Scheme.

@@ -226,6 +226,31 @@ func (f *Footprint) evictPage(set int, victim victimTag, at int64) {
 	*st = fpcPage{}
 }
 
+// Reset implements Resetter: the scheme returns to its just-constructed
+// state in place, reusing the page array, page-state payloads, history
+// table and both controllers. Only cfg.Seed may differ from the
+// construction Config (Footprint draws no randomness).
+//
+//bmlint:hotpath
+func (f *Footprint) Reset(cfg Config) bool {
+	if !sameGeometry(cfg, f.cfg) {
+		return false
+	}
+	f.cfg = cfg
+	f.baseStats.reset()
+	f.stacked.Reset()
+	f.offchip.Reset()
+	f.pages.reset()
+	for i := range f.state {
+		f.state[i] = fpcPage{}
+	}
+	for i := range f.hist {
+		f.hist[i] = 0
+	}
+	f.Bypassed, f.WastedFetchBytes, f.SubMisses = 0, 0, 0
+	return true
+}
+
 // ResetStats implements Scheme.
 func (f *Footprint) ResetStats() {
 	f.baseStats.reset()

@@ -1,9 +1,42 @@
 package dramcache
 
 import (
+	"math/bits"
+
 	"bimodal/internal/addr"
 	"bimodal/internal/core"
 )
+
+// fastDiv performs division by a fixed divisor with one 64x64->128
+// multiply instead of a hardware divide (Lemire's method): with
+// m = floor(2^64/d)+1, hi(m*n) equals n/d exactly for every n < 2^32.
+// The mapping functions below divide set indices, row-group indices and
+// byte columns — all bounded far below 2^32 — and they dominate the
+// scheme access path, where the three data-dependent divides per mapping
+// showed up directly in profiles. divmod falls back to plain division
+// for out-of-range dividends, so the result is always exact.
+type fastDiv struct {
+	d uint64
+	m uint64
+}
+
+func newFastDiv(d uint64) fastDiv {
+	if d == 0 {
+		panic("dramcache: fastDiv by zero")
+	}
+	return fastDiv{d: d, m: ^uint64(0)/d + 1}
+}
+
+func (f fastDiv) divmod(n uint64) (q, r uint64) {
+	if f.d == 1 { // m overflowed to 0; n/1 needs no multiply anyway
+		return n, 0
+	}
+	if n >= 1<<32 {
+		return n / f.d, n % f.d
+	}
+	q, _ = bits.Mul64(f.m, n)
+	return q, n - q*f.d
+}
 
 // setLayout maps cache sets onto the stacked DRAM geometry.
 //
@@ -25,6 +58,11 @@ type setLayout struct {
 	metaPerRow   uint64 // set-metadata records per DRAM page
 	db           uint64 // data banks per channel
 	separateMeta bool
+	// Precomputed fast dividers for the per-access mapping math.
+	chDiv fastDiv // by channels
+	dbDiv fastDiv // by db
+	pgDiv fastDiv // by pageBytes
+	prDiv fastDiv // by metaPerRow
 }
 
 func newSetLayout(channels, banksPerChannel int, pageBytes uint64, p core.Params, separate bool) setLayout {
@@ -40,6 +78,10 @@ func newSetLayout(channels, banksPerChannel int, pageBytes uint64, p core.Params
 	}
 	l.metaPerRow = uint64(int64(pageBytes) / l.metaBytes)
 	l.db = uint64(l.dataBanks())
+	l.chDiv = newFastDiv(uint64(channels))
+	l.dbDiv = newFastDiv(l.db)
+	l.pgDiv = newFastDiv(pageBytes)
+	l.prDiv = newFastDiv(l.metaPerRow)
 	return l
 }
 
@@ -57,19 +99,19 @@ func (l *setLayout) dataBanks() int {
 // rows of the same bank (the extra-activation cost the paper's footnote 6
 // avoids in its main configuration is thus modeled faithfully).
 func (l *setLayout) dataLoc(set uint64, column uint64) addr.Location {
-	ch := int(set % uint64(l.channels))
-	idx := set / uint64(l.channels)
-	db := l.db
-	bank := int(idx % db)
+	idx, ch := l.chDiv.divmod(set)
+	rowGroup, bank64 := l.dbDiv.divmod(idx)
+	bank := int(bank64)
 	if l.separateMeta {
 		bank++ // bank 0 is the metadata bank
 	}
+	rowOff, col := l.pgDiv.divmod(column)
 	return addr.Location{
-		Channel: ch,
+		Channel: int(ch),
 		Rank:    0,
 		Bank:    bank,
-		Row:     idx/db*l.rowsPerSet + column/l.pageBytes,
-		Column:  column % l.pageBytes,
+		Row:     rowGroup*l.rowsPerSet + rowOff,
+		Column:  col,
 	}
 }
 
@@ -80,15 +122,17 @@ func (l *setLayout) metaLoc(set uint64) addr.Location {
 		// modelling simplification: what matters is bank/row identity).
 		return l.dataLoc(set, 0)
 	}
-	ch := int(set % uint64(l.channels))
-	mch := (ch + 1) % l.channels
-	idx := set / uint64(l.channels)
-	perRow := l.metaPerRow
+	idx, ch64 := l.chDiv.divmod(set)
+	mch := int(ch64) + 1
+	if mch == l.channels {
+		mch = 0
+	}
+	row, rec := l.prDiv.divmod(idx)
 	return addr.Location{
 		Channel: mch,
 		Rank:    0,
 		Bank:    0,
-		Row:     idx / perRow,
-		Column:  (idx % perRow) * uint64(l.metaBytes),
+		Row:     row,
+		Column:  rec * uint64(l.metaBytes),
 	}
 }

@@ -171,6 +171,27 @@ func (l *LohHill) fillAfterMiss(req Request, set int, tag uint64, at int64) int 
 	return way
 }
 
+// Reset implements Resetter: the scheme returns to its just-constructed
+// state in place (MissMap option preserved), reusing the tag array and
+// both controllers. Only cfg.Seed may differ from the construction Config.
+//
+//bmlint:hotpath
+func (l *LohHill) Reset(cfg Config) bool {
+	if !sameGeometry(cfg, l.cfg) {
+		return false
+	}
+	l.cfg = cfg
+	l.baseStats.reset()
+	l.stacked.Reset()
+	l.offchip.Reset()
+	l.sets.reset()
+	if l.missMap != nil {
+		clear(l.missMap)
+	}
+	l.metaReads, l.metaRowHits = 0, 0
+	return true
+}
+
 // ResetStats implements Scheme.
 func (l *LohHill) ResetStats() {
 	l.baseStats.reset()

@@ -41,8 +41,15 @@ func (p *regionPredictor) update(core int, a addr.Phys, hit bool) {
 // stream does not flood the off-chip bus with parallel probes.
 func newHitLeaning() *regionPredictor {
 	p := &regionPredictor{}
+	p.resetHitLeaning()
+	return p
+}
+
+// resetHitLeaning returns every counter to the hit-leaning initial value.
+//
+//bmlint:hotpath
+func (p *regionPredictor) resetHitLeaning() {
 	for i := range p.counters {
 		p.counters[i] = 4
 	}
-	return p
 }

@@ -55,6 +55,23 @@ type Scheme interface {
 	ResetStats()
 }
 
+// Resetter is implemented by schemes that can return to their
+// just-constructed state in place, reusing all backing arrays. Reset
+// reports whether the reuse succeeded: only the Seed may differ from the
+// construction Config — any other difference changes geometry and the
+// scheme declines (returns false) so the caller rebuilds via its factory.
+// After a successful Reset the scheme is byte-identical (in observable
+// behaviour) to a freshly constructed instance with the same options.
+type Resetter interface {
+	Reset(cfg Config) bool
+}
+
+// sameGeometry reports whether two configs differ at most in Seed.
+func sameGeometry(a, b Config) bool {
+	a.Seed, b.Seed = 0, 0
+	return a == b
+}
+
 // Report carries the metrics every experiment consumes.
 type Report struct {
 	Scheme     string

@@ -21,6 +21,17 @@ func newVictimBuffer(n int) *victimBuffer {
 	}
 }
 
+// reset returns the buffer to its just-constructed state in place.
+//
+//bmlint:hotpath
+func (v *victimBuffer) reset() {
+	for i := range v.ring {
+		v.ring[i] = 0
+	}
+	v.pos = 0
+	clear(v.present)
+}
+
 // put records an evicted block base address.
 func (v *victimBuffer) put(base addr.Phys) {
 	if v.present[base] {

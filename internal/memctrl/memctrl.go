@@ -108,7 +108,10 @@ func New(cfg Config) *Controller {
 }
 
 // observe advances the controller's notion of time and ages out deferred
-// writes on the channel.
+// writes on the channel. The common case — nothing aged — must stay
+// loop-free so observe inlines into every Read/Write/Open call; the scan
+// below only examines the queue's prefix, so checking the front entry
+// alone decides whether any drain would happen.
 func (c *Controller) observe(ch int, now int64) {
 	if now > c.lastNow {
 		c.lastNow = now
@@ -116,6 +119,15 @@ func (c *Controller) observe(ch int, now int64) {
 	if c.cfg.WriteQueueDepth == 0 {
 		return
 	}
+	q := c.writeQ[ch]
+	if len(q) == 0 || q[0].at > now-c.cfg.WriteMaxAge {
+		return
+	}
+	c.ageOut(ch, now)
+}
+
+// ageOut drains the aged prefix of the channel's write queue.
+func (c *Controller) ageOut(ch int, now int64) {
 	q := c.writeQ[ch]
 	aged := 0
 	for aged < len(q) && q[aged].at <= now-c.cfg.WriteMaxAge {
@@ -170,6 +182,21 @@ func (c *Controller) FlushWrites() {
 			c.drain(ch, c.writeQ[ch])
 			c.writeQ[ch] = c.writeQ[ch][:0]
 		}
+	}
+}
+
+// Reset returns the controller to its just-constructed state in place,
+// reusing the write-queue backing arrays and resetting every channel.
+// Configuration (timing, geometry, queue depth) is untouched.
+//
+//bmlint:hotpath
+func (c *Controller) Reset() {
+	for i := range c.writeQ {
+		c.writeQ[i] = c.writeQ[i][:0]
+	}
+	c.lastNow = 0
+	for _, ch := range c.channels {
+		ch.Reset()
 	}
 }
 

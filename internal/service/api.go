@@ -188,7 +188,7 @@ func RunCellSpec(ctx context.Context, rs spec.RunSpec) ([]byte, error) {
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(res)
+	return marshalResultJSON(res)
 }
 
 // JobList is the paginated reply of GET /v1/jobs and GET /v1/sweeps.
@@ -364,11 +364,20 @@ func (c cellSpec) run(ctx context.Context) (CellResult, error) {
 		cr.ANTT = antt
 		return cr, nil
 	}
-	res, err := sim.RunContext(ctx, c.mix, factory, so)
+	s := runPool.Get(poolSchemeKey(c.rs), c.mix, factory, so)
+	if err := s.Warmup(ctx); err != nil {
+		return CellResult{}, err
+	}
+	res, err := s.Measure(ctx)
 	if err != nil {
 		return CellResult{}, err
 	}
-	return NewCellResult(c.rs.Scheme, res), nil
+	// NewCellResult must read res (which aliases the live scheme) before
+	// Put makes the simulator eligible for a concurrent Reset. Failed runs
+	// never reach Put: their partial state is discarded with the Sim.
+	cr := NewCellResult(c.rs.Scheme, res)
+	runPool.Put(s)
+	return cr, nil
 }
 
 // cells expands a canonical request into its simulation cells — explicit

@@ -234,7 +234,7 @@ func (s *Server) runJob(ctx context.Context, jb *job) {
 		s.mFailed.Inc()
 		jb.setState(StateFailed, err.Error())
 	default:
-		raw, merr := json.Marshal(res)
+		raw, merr := marshalResultJSON(res)
 		if merr != nil {
 			s.mFailed.Inc()
 			jb.setState(StateFailed, merr.Error())

@@ -2,7 +2,6 @@ package service
 
 import (
 	"context"
-	"encoding/json"
 	"sync"
 
 	"bimodal/internal/sim"
@@ -134,7 +133,7 @@ func (w *WarmRunner) RunCell(ctx context.Context, rs spec.RunSpec) (raw []byte, 
 	// This cell is the prefix's producer: warm its own simulation, seal
 	// the snapshot for the others, then measure on the already-warm state.
 	w.misses.Inc()
-	s := sim.NewSim(mix, factory, so)
+	s := runPool.Get(poolSchemeKey(rs), mix, factory, so)
 	if werr := s.Warmup(ctx); werr != nil {
 		c.err = werr
 	} else {
@@ -154,14 +153,22 @@ func (w *WarmRunner) RunCell(ctx context.Context, rs spec.RunSpec) (raw []byte, 
 	if err != nil {
 		return nil, false, err
 	}
-	raw, err = json.Marshal(NewCellResult(rs.Scheme, res))
+	raw, err = marshalResultJSON(NewCellResult(rs.Scheme, res))
+	if err == nil {
+		// The result bytes are sealed before Put: after Put a concurrent
+		// Reset may scribble over the scheme the result aliased.
+		runPool.Put(s)
+	}
 	return raw, false, err
 }
 
 // measureRestored builds a congruent simulation, overwrites its state
 // from the snapshot blob and runs the measured window.
 func (w *WarmRunner) measureRestored(ctx context.Context, rs spec.RunSpec, mix workloads.Mix, factory sim.Factory, so sim.Options, blob []byte, prefix string) ([]byte, error) {
-	s := sim.NewSim(mix, factory, so)
+	// A pooled Get is always fully reset (or fresh), so restoring over it
+	// is exactly NewSim+Restore. A failed Restore leaves partial state —
+	// those simulators are discarded, never Put back.
+	s := runPool.Get(poolSchemeKey(rs), mix, factory, so)
 	if err := s.Restore(blob, prefix); err != nil {
 		return nil, err
 	}
@@ -169,5 +176,9 @@ func (w *WarmRunner) measureRestored(ctx context.Context, rs spec.RunSpec, mix w
 	if err != nil {
 		return nil, err
 	}
-	return json.Marshal(NewCellResult(rs.Scheme, res))
+	raw, err := marshalResultJSON(NewCellResult(rs.Scheme, res))
+	if err == nil {
+		runPool.Put(s)
+	}
+	return raw, err
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"bimodal/internal/cpu"
+	"bimodal/internal/dramcache"
 	"bimodal/internal/energy"
 	"bimodal/internal/snapshot"
 	"bimodal/internal/workloads"
@@ -22,6 +23,12 @@ type Sim struct {
 	eng    *cpu.Engine
 	pre    []cpu.CoreResult
 	warmed bool
+
+	// seeds is a reusable per-core seed buffer for Reset.
+	seeds []uint64
+	// key/pooled track RunPool membership (set by RunPool.Get).
+	key    poolKey
+	pooled bool
 }
 
 // NewSim assembles a simulation without running it. The construction path
@@ -40,6 +47,55 @@ func NewSim(mix workloads.Mix, factory Factory, o Options) *Sim {
 		o:   o,
 		eng: cpu.NewEngine(scheme, mix.Generators(o.Seed), o.CoreCfg, pf),
 	}
+}
+
+// sameRunShape reports whether two normalized option sets describe the
+// same simulator structure. Seed is excluded (Reset re-seeds everything in
+// place) and so is Workers (it only fans out independent runs and never
+// shapes a Sim).
+func sameRunShape(a, b Options) bool {
+	a.Seed, b.Seed = 0, 0
+	a.Workers, b.Workers = 0, 0
+	return a == b
+}
+
+// Reset re-initializes the fully-constructed simulator in place for a new
+// run — scheme, cores, generators and statistics — reusing every backing
+// array, and reports whether it could. Reuse requires the same mix and the
+// same run shape (options modulo Seed and Workers), and a scheme that
+// implements dramcache.Resetter and accepts the derived config; otherwise
+// Reset declines, leaving the Sim unusable (possibly half-reset), and the
+// caller must build fresh with NewSim(mix, factory, o). After a successful
+// Reset the Sim behaves byte-identically to NewSim(mix, factory, o): the
+// scheme is back to its constructed state with the new seed, and each
+// core's generator is re-seeded with workloads.CoreSeed(o.Seed, i) —
+// exactly the seeds mix.Generators(o.Seed) would use.
+//
+// The factory parameter mirrors NewSim for call-site symmetry; Reset never
+// invokes it (a declined reuse is signalled, not repaired).
+//
+//bmlint:hotpath
+func (s *Sim) Reset(mix workloads.Mix, factory Factory, o Options) bool {
+	o = o.normalize()
+	if mix.Name != s.mix.Name || mix.Cores() != s.mix.Cores() || !sameRunShape(o, s.o) {
+		return false
+	}
+	rs, ok := s.eng.Scheme().(dramcache.Resetter)
+	if !ok || !rs.Reset(ConfigFor(mix, o)) {
+		return false
+	}
+	s.seeds = s.seeds[:0]
+	for i := 0; i < mix.Cores(); i++ {
+		s.seeds = append(s.seeds, workloads.CoreSeed(o.Seed, i))
+	}
+	if !s.eng.Reset(s.seeds) {
+		return false
+	}
+	s.mix = mix
+	s.o = o
+	s.pre = nil
+	s.warmed = false
+	return true
 }
 
 // Warmup runs the warmup window. A no-op when warmup is disabled. Calling

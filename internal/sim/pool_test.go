@@ -1,0 +1,182 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+
+	"bimodal/internal/cpu"
+	"bimodal/internal/dramcache"
+	"bimodal/internal/energy"
+	"bimodal/internal/workloads"
+)
+
+// runSim drives a Sim through the standard warmup+measure sequence.
+func runSim(t *testing.T, s *Sim) RunResult {
+	t.Helper()
+	if err := s.Warmup(context.Background()); err != nil {
+		t.Fatalf("warmup: %v", err)
+	}
+	res, err := s.Measure(context.Background())
+	if err != nil {
+		t.Fatalf("measure: %v", err)
+	}
+	return res
+}
+
+// marshalResult serializes the comparable portion of a run result (the
+// Scheme field is a live instance, not a value).
+func marshalResult(r RunResult) ([]byte, error) {
+	return json.Marshal(struct {
+		Mix     string
+		PerCore []cpu.CoreResult
+		Report  dramcache.Report
+		Energy  energy.Breakdown
+	}{r.Mix, r.PerCore, r.Report, r.Energy})
+}
+
+func encodeResult(t *testing.T, r RunResult) []byte {
+	t.Helper()
+	b, err := marshalResult(r)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// TestPooledRunMatchesFresh is the reuse-safety golden test: for every
+// registered scheme, a run on a pooled, Reset simulator must be
+// byte-identical to a run on a freshly constructed one — including across
+// a seed change, which exercises every re-seeding path.
+func TestPooledRunMatchesFresh(t *testing.T) {
+	mix := workloads.MustByName("Q1")
+	for _, id := range SchemeIDs() {
+		id := id
+		t.Run(id.String(), func(t *testing.T) {
+			o1 := Options{AccessesPerCore: 1500, Seed: 5, CacheBytes: 2 << 20}
+			o2 := o1
+			o2.Seed = 9
+			factory := id.Factory()
+
+			fresh1 := encodeResult(t, runSim(t, NewSim(mix, factory, o1)))
+			fresh2 := encodeResult(t, runSim(t, NewSim(mix, factory, o2)))
+			if bytes.Equal(fresh1, fresh2) {
+				t.Fatalf("seeds 5 and 9 produced identical results; seed change is not observable")
+			}
+
+			pool := NewRunPool(2)
+			s := pool.Get(id.String(), mix, factory, o1)
+			if got := encodeResult(t, runSim(t, s)); !bytes.Equal(got, fresh1) {
+				t.Errorf("first pooled run diverges from fresh run")
+			}
+			pool.Put(s)
+
+			s2 := pool.Get(id.String(), mix, factory, o2)
+			if hits, _ := pool.Stats(); hits != 1 {
+				t.Fatalf("second Get was not served by reuse (hits=%d): Reset declined", hits)
+			}
+			if got := encodeResult(t, runSim(t, s2)); !bytes.Equal(got, fresh2) {
+				t.Errorf("reused run (seed %d after seed %d) diverges from fresh run", o2.Seed, o1.Seed)
+			}
+			pool.Put(s2)
+		})
+	}
+}
+
+// TestRunPoolGeometryMismatch verifies a changed geometry never reuses a
+// simulator (distinct key), and a direct Reset with changed geometry
+// declines.
+func TestRunPoolGeometryMismatch(t *testing.T) {
+	mix := workloads.MustByName("Q1")
+	factory := SchemeBiModal.Factory()
+	o := Options{AccessesPerCore: 500, Seed: 1, CacheBytes: 2 << 20}
+	pool := NewRunPool(4)
+
+	s := pool.Get("bimodal", mix, factory, o)
+	runSim(t, s)
+	pool.Put(s)
+
+	bigger := o
+	bigger.CacheBytes = 4 << 20
+	if s.Reset(mix, factory, bigger) {
+		t.Error("Reset accepted a geometry change")
+	}
+	s2 := pool.Get("bimodal", mix, factory, bigger)
+	if hits, _ := pool.Stats(); hits != 0 {
+		t.Errorf("geometry change was served from the pool (hits=%d)", hits)
+	}
+	runSim(t, s2)
+}
+
+// TestRunPoolConcurrent hammers one shared pool from concurrent workers —
+// the service's usage pattern — and checks every pooled result against the
+// serially computed fresh result for its (scheme, seed) cell. Run with
+// -race this also proves the pool's synchronization.
+func TestRunPoolConcurrent(t *testing.T) {
+	mix := workloads.MustByName("Q1")
+	schemes := []SchemeID{SchemeBiModal, SchemeAlloy}
+	seeds := []uint64{2, 11}
+	base := Options{AccessesPerCore: 400, CacheBytes: 1 << 20}
+
+	want := make(map[string][]byte)
+	for _, id := range schemes {
+		for _, seed := range seeds {
+			o := base
+			o.Seed = seed
+			key := fmt.Sprintf("%s/%d", id, seed)
+			want[key] = encodeResult(t, runSim(t, NewSim(mix, id.Factory(), o)))
+		}
+	}
+
+	pool := NewRunPool(4)
+	const workers = 4
+	const iters = 6
+	var wg sync.WaitGroup
+	errs := make(chan error, workers*iters)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < iters; i++ {
+				id := schemes[(w+i)%len(schemes)]
+				seed := seeds[i%len(seeds)]
+				o := base
+				o.Seed = seed
+				s := pool.Get(id.String(), mix, id.Factory(), o)
+				if err := s.Warmup(context.Background()); err != nil {
+					errs <- err
+					return
+				}
+				res, err := s.Measure(context.Background())
+				if err != nil {
+					errs <- err
+					return
+				}
+				got, err := marshalResult(res)
+				if err != nil {
+					errs <- err
+					return
+				}
+				key := fmt.Sprintf("%s/%d", id, seed)
+				if !bytes.Equal(got, want[key]) {
+					errs <- fmt.Errorf("worker %d iter %d: pooled %s diverges from fresh", w, i, key)
+					return
+				}
+				pool.Put(s)
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	hits, misses := pool.Stats()
+	if hits == 0 {
+		t.Errorf("no pooled reuse happened (hits=%d misses=%d)", hits, misses)
+	}
+}

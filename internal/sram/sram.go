@@ -91,6 +91,25 @@ func New(cfg Config) *Cache {
 	return c
 }
 
+// Reset returns the cache to its just-constructed state in place, reusing
+// the set backing array: all ways invalidated, recency clock zeroed, the
+// victim rng re-seeded and statistics cleared. cfg.Seed may differ from the
+// construction seed; the remaining geometry fields must match (callers key
+// pooled reuse on geometry, so this is not re-checked here).
+//
+//bmlint:hotpath
+func (c *Cache) Reset(cfg Config) {
+	c.cfg = cfg
+	for _, set := range c.sets {
+		for i := range set {
+			set[i] = Way{}
+		}
+	}
+	c.clock = 0
+	c.rng.Seed(cfg.Seed + 0x5ea5)
+	c.Hits, c.Misses = 0, 0
+}
+
 // Config returns the cache configuration.
 func (c *Cache) Config() Config { return c.cfg }
 

@@ -82,6 +82,10 @@ func (s *SliceGen) Next() Access {
 // Name implements Generator.
 func (s *SliceGen) Name() string { return s.Lab }
 
+// Reset rewinds the replay cursor; the seed is ignored (replay is
+// seed-independent). It implements the pooled-run reset seam.
+func (s *SliceGen) Reset(seed uint64) { s.pos = 0 }
+
 // Profile parameterizes a synthetic benchmark.
 type Profile struct {
 	// Name is the SPEC-like benchmark name.
@@ -187,6 +191,22 @@ func NewSynthetic(prof Profile, base addr.Phys, seed uint64) *Synthetic {
 
 // Name implements Generator.
 func (g *Synthetic) Name() string { return g.prof.Name }
+
+// Reset returns the generator to exactly the state NewSynthetic(prof,
+// base, seed) produces, reusing the episode and revisit buffers. The rng
+// re-seeding mirrors the constructor draw for draw: New(seed) followed by
+// a single Uint64 to seed the Zipf sampler's fork, so a reset generator
+// replays the identical stream a fresh one would.
+//
+//bmlint:hotpath
+func (g *Synthetic) Reset(seed uint64) {
+	g.rng.Seed(seed)
+	g.zipf.Seed(g.rng.Uint64())
+	g.pending = g.pending[:0]
+	g.head = 0
+	g.recent = g.recent[:0]
+	g.rpos = 0
+}
 
 // Profile returns the generating profile.
 func (g *Synthetic) Profile() Profile { return g.prof }

@@ -46,14 +46,22 @@ func (m Mix) FootprintBytes() uint64 {
 // behind a coherent LLSC and multiprogrammed SPEC shares nothing).
 func CoreBase(i int) addr.Phys { return addr.Phys(uint64(i) << 32) }
 
+// CoreSeed derives core i's generator seed from the run seed: it hashes
+// the core index so identical benchmarks on different cores produce
+// distinct streams. Generators and the pooled-run reset path share this
+// one derivation, so a reseeded generator replays exactly the stream a
+// fresh Generators call would produce.
+func CoreSeed(seed uint64, i int) uint64 {
+	return seed*0x9E3779B9 + uint64(i)*0x85EBCA6B + 1
+}
+
 // Generators instantiates one deterministic generator per core. seed
-// decorrelates reruns; the per-core seed also hashes the core index so
-// identical benchmarks on different cores produce distinct streams.
+// decorrelates reruns (per-core derivation in CoreSeed).
 func (m Mix) Generators(seed uint64) []trace.Generator {
 	gens := make([]trace.Generator, len(m.Benchmarks))
 	for i, b := range m.Benchmarks {
 		p := trace.MustProfile(b)
-		gens[i] = trace.NewSynthetic(p, CoreBase(i), seed*0x9E3779B9+uint64(i)*0x85EBCA6B+1)
+		gens[i] = trace.NewSynthetic(p, CoreBase(i), CoreSeed(seed, i))
 	}
 	return gens
 }

@@ -7,6 +7,7 @@ package xrand
 
 import (
 	"math"
+	"sync"
 
 	"bimodal/internal/snapshot"
 )
@@ -35,6 +36,24 @@ func New(seed uint64) *Rand {
 	return r
 }
 
+// Seed re-seeds the generator in place, leaving it in exactly the state
+// New(seed) produces. It lets pooled components return to a fresh,
+// deterministic cursor without allocating a new generator.
+func (r *Rand) Seed(seed uint64) {
+	sm := seed
+	next := func() uint64 {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	r.s0, r.s1 = next(), next()
+	if r.s0 == 0 && r.s1 == 0 {
+		r.s0 = 1
+	}
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 {
 	x, y := r.s0, r.s1
@@ -44,10 +63,15 @@ func (r *Rand) Uint64() uint64 {
 	return r.s1 + y
 }
 
-// Intn returns a uniform int in [0, n). It panics if n <= 0.
+// Intn returns a uniform int in [0, n). It panics if n <= 0. Powers of
+// two — most hot call sites pass line or page fan-outs — reduce the
+// modulo to a mask, which is bit-identical to %.
 func (r *Rand) Intn(n int) int {
 	if n <= 0 {
 		panic("xrand: Intn with non-positive n")
+	}
+	if n&(n-1) == 0 {
+		return int(r.Uint64() & uint64(n-1))
 	}
 	return int(r.Uint64() % uint64(n))
 }
@@ -56,6 +80,9 @@ func (r *Rand) Intn(n int) int {
 func (r *Rand) Uint64n(n uint64) uint64 {
 	if n == 0 {
 		panic("xrand: Uint64n with zero n")
+	}
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
 	}
 	return r.Uint64() % n
 }
@@ -99,15 +126,60 @@ func (r *Rand) RestoreState(rd *snapshot.Reader) {
 // precomputed table. Construct with NewZipf.
 type Zipf struct {
 	cdf []float64
+	idx []int32
 	r   *Rand
 }
 
-// NewZipf builds a Zipf sampler with exponent s over n items, drawing
-// randomness from r. Item 0 is the most popular. n must be positive and s
-// should be > 0 for a skewed distribution (s=0 degenerates to uniform).
-func NewZipf(r *Rand, n int, s float64) *Zipf {
-	if n <= 0 {
-		panic("xrand: NewZipf with non-positive n")
+// zipfBuckets is the first-level index fan-out for Next's CDF search: u is
+// quantized into this many equal slices, each bounding the subrange of the
+// CDF its answers can fall in. Must be a power of two so the quantization
+// (u * zipfBuckets, then the bucket boundary b/zipfBuckets) is exact in
+// float64 and the bracketing below is airtight.
+const zipfBuckets = 256
+
+// zipfKey identifies one memoized CDF table: the table is a pure function
+// of (n, s), independent of any seed.
+type zipfKey struct {
+	n int
+	s float64
+}
+
+// zipfCDFs memoizes CDF tables across samplers. Building a table costs
+// O(n) math.Pow calls — for million-page footprints this dominated
+// end-to-end run construction — while the table itself is immutable and
+// safely shared by every sampler with the same (n, s). The map only ever
+// grows, bounded by the set of distinct workload profile geometries.
+var zipfCDFs sync.Map // zipfKey -> *zipfTable
+
+// zipfTable is one memoized sampler table: the CDF plus a first-level
+// bucket index. idx[b] is the lower bound of the answers for any u in
+// bucket b, idx[b+1] the upper bound, so Next searches a subrange instead
+// of the full table (for skewed distributions most buckets span a handful
+// of items). Both are pure functions of (n, s).
+type zipfTable struct {
+	cdf []float64
+	idx []int32
+}
+
+// lowerBound returns the least i with cdf[i] >= u (len(cdf)-1 if none
+// below the last entry), searching only [lo, hi].
+func lowerBound(cdf []float64, u float64, lo, hi int) int {
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// zipfCDF returns the shared table for (n, s), building it once.
+func zipfCDF(n int, s float64) *zipfTable {
+	key := zipfKey{n, s}
+	if t, ok := zipfCDFs.Load(key); ok {
+		return t.(*zipfTable)
 	}
 	cdf := make([]float64, n)
 	sum := 0.0
@@ -118,7 +190,25 @@ func NewZipf(r *Rand, n int, s float64) *Zipf {
 	for i := range cdf {
 		cdf[i] /= sum
 	}
-	return &Zipf{cdf: cdf, r: r}
+	idx := make([]int32, zipfBuckets+1)
+	for b := 1; b <= zipfBuckets; b++ {
+		u := float64(b) / zipfBuckets
+		idx[b] = int32(lowerBound(cdf, u, 0, n-1))
+	}
+	t, _ := zipfCDFs.LoadOrStore(key, &zipfTable{cdf: cdf, idx: idx})
+	return t.(*zipfTable)
+}
+
+// NewZipf builds a Zipf sampler with exponent s over n items, drawing
+// randomness from r. Item 0 is the most popular. n must be positive and s
+// should be > 0 for a skewed distribution (s=0 degenerates to uniform).
+// Samplers with the same (n, s) share one immutable CDF table.
+func NewZipf(r *Rand, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with non-positive n")
+	}
+	t := zipfCDF(n, s)
+	return &Zipf{cdf: t.cdf, idx: t.idx, r: r}
 }
 
 // SnapshotState implements snapshot.Snapshotter. The CDF table is a pure
@@ -135,18 +225,18 @@ func (z *Zipf) RestoreState(rd *snapshot.Reader) {
 	z.r.RestoreState(rd)
 }
 
+// Seed re-seeds the sampler's internal generator in place, leaving the
+// sampler in exactly the state NewZipf(New(seed), n, s) produces. The
+// shared CDF table is untouched.
+func (z *Zipf) Seed(seed uint64) { z.r.Seed(seed) }
+
 // Next returns the next Zipf-distributed value in [0, n).
 func (z *Zipf) Next() int {
 	u := z.r.Float64()
-	// Binary search the CDF.
-	lo, hi := 0, len(z.cdf)-1
-	for lo < hi {
-		mid := (lo + hi) / 2
-		if z.cdf[mid] < u {
-			lo = mid + 1
-		} else {
-			hi = mid
-		}
-	}
-	return lo
+	// Bucket bracketing: u >= b/zipfBuckets bounds the answer below by
+	// idx[b], u < (b+1)/zipfBuckets bounds it above by idx[b+1] (the
+	// answer is monotone in u), so the subrange search returns exactly
+	// what the full binary search over [0, n-1] would.
+	b := int(u * zipfBuckets)
+	return lowerBound(z.cdf, u, int(z.idx[b]), int(z.idx[b+1]))
 }
