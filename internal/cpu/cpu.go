@@ -337,6 +337,10 @@ func (e *Engine) Reset(seeds []uint64) bool {
 		c.gen.(resettableGen).Reset(seeds[i])
 		c.reset()
 	}
+	// The dispatch heap is drained by runPhase, but truncate it here too so
+	// a reset engine is observably identical to a freshly constructed one
+	// even if the previous run was abandoned mid-phase.
+	e.sched = e.sched[:0]
 	if e.pf != nil {
 		e.pf.Reset()
 	}
