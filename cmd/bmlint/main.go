@@ -7,6 +7,12 @@
 //	bmctxhygiene   context.Context struct fields; dropped contexts in
 //	               exported engine/service APIs
 //	bmerrwrap      fmt.Errorf without %w at package boundaries
+//	bmresetcomplete   Reset methods must assign every struct field or mark
+//	                  it //bmlint:resetconst (pooled-reuse contract)
+//	bmsnapshotcomplete  snapshot encode/decode pairs must cover every field
+//	                  symmetrically or mark it //bmlint:nosnapshot
+//	bmpoolalias    no reference derived from a pooled Sim survives past
+//	               its RunPool.Put (Put-after-marshal discipline)
 //
 // Standalone:
 //
@@ -36,6 +42,9 @@ import (
 	"bimodal/internal/analysis/errwrap"
 	"bimodal/internal/analysis/hotpath"
 	"bimodal/internal/analysis/load"
+	"bimodal/internal/analysis/poolalias"
+	"bimodal/internal/analysis/resetcomplete"
+	"bimodal/internal/analysis/snapshotcomplete"
 	"bimodal/internal/analysis/unitchecker"
 )
 
@@ -45,6 +54,9 @@ var suite = []*analysis.Analyzer{
 	hotpath.Analyzer,
 	ctxhygiene.Analyzer,
 	errwrap.Analyzer,
+	resetcomplete.Analyzer,
+	snapshotcomplete.Analyzer,
+	poolalias.Analyzer,
 }
 
 func main() {

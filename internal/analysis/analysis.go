@@ -75,6 +75,19 @@ const (
 	// AnnotOrderOK suppresses the map-iteration-order check on a range
 	// statement whose output genuinely does not depend on order.
 	AnnotOrderOK = "bmlint:orderok"
+	// AnnotReset opts a type into the resetcomplete field-coverage check
+	// regardless of package (simulator-package types with a Reset method
+	// are checked automatically).
+	AnnotReset = "bmlint:reset"
+	// AnnotResetConst marks a struct field as construction-time geometry
+	// (or otherwise managed outside Reset): resetcomplete does not require
+	// Reset to assign it.
+	AnnotResetConst = "bmlint:resetconst"
+	// AnnotNoSnapshot marks a struct field as deliberately excluded from
+	// the snapshot codec (reconstructed geometry, shared tables, transient
+	// scratch): snapshotcomplete does not require the encode/decode pair to
+	// cover it.
+	AnnotNoSnapshot = "bmlint:nosnapshot"
 )
 
 // FuncAnnotated reports whether fn carries the //bmlint:<name> annotation
@@ -137,6 +150,45 @@ func commentHas(c *ast.Comment, name string) bool {
 	// Exact annotation, optionally followed by prose ("bmlint:wallclock —
 	// phase telemetry only").
 	return text == name || strings.HasPrefix(text, name+" ")
+}
+
+// commentHasToken reports whether the comment carries the annotation as a
+// whitespace-separated token, so several annotations can share one trailing
+// comment ("//bmlint:resetconst //bmlint:nosnapshot — derived geometry").
+func commentHasToken(c *ast.Comment, name string) bool {
+	for _, tok := range strings.Fields(strings.TrimPrefix(c.Text, "//")) {
+		if strings.TrimPrefix(tok, "//") == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FieldAnnotated reports whether the struct field declaration carries the
+// //bmlint:<name> annotation in its doc comment or its trailing line
+// comment. A field line may stack several annotations in one comment as
+// whitespace-separated //bmlint:<name> tokens.
+func FieldAnnotated(f *ast.Field, name string) bool {
+	for _, cg := range []*ast.CommentGroup{f.Doc, f.Comment} {
+		if cg == nil {
+			continue
+		}
+		for _, c := range cg.List {
+			if commentHas(c, name) || commentHasToken(c, name) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// TypeAnnotated reports whether the type declaration carries the
+// //bmlint:<name> annotation: on the enclosing GenDecl's doc comment, the
+// TypeSpec's own doc, or its trailing comment.
+func TypeAnnotated(decl *ast.GenDecl, spec *ast.TypeSpec, name string) bool {
+	return commentGroupHas(decl.Doc, name) ||
+		commentGroupHas(spec.Doc, name) ||
+		commentGroupHas(spec.Comment, name)
 }
 
 // Allowed reports whether the line holding pos carries a

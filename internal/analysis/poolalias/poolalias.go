@@ -1,0 +1,365 @@
+// Package poolalias implements the bmlint analyzer enforcing PR 8's
+// Put-after-marshal discipline: once a pooled *sim.Sim is returned to its
+// RunPool with Put, the next Get may hand the same object — and every
+// buffer it owns — to another goroutine. Any reference derived from the
+// Sim that survives past the Put call in the same function is therefore a
+// latent data race and nondeterminism source.
+//
+// The check is flow-insensitive and function-local, matching the
+// discipline the service layer actually follows (marshal or copy first,
+// Put last): after the textual position of a RunPool.Put call, the pooled
+// variable itself must not be used, and no variable derived from it may be
+// returned, stored through a field/pointer/index, or sent on a channel.
+//
+// Derivation propagates through selectors, indexing, slicing, address-of,
+// composite literals and method calls on a derived receiver. Passing a
+// derived value to an ordinary function launders it — NewCellResult(...)
+// and marshal helpers copy what they keep, which is exactly the sanctioned
+// seal point — as do error values and reference-free (pure value) types.
+// Deferred Puts run at function exit and are skipped. A finding on a line
+// that genuinely cannot alias pooled storage is suppressed with
+// //bmlint:allow poolalias.
+package poolalias
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"bimodal/internal/analysis"
+	"bimodal/internal/analysis/structfields"
+)
+
+// Analyzer is the pooled-Sim escape checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "bmpoolalias",
+	Doc: "forbid uses and escapes of references derived from a pooled Sim " +
+		"after its RunPool.Put",
+	Run: run,
+}
+
+// poolPkg declares RunPool.
+const poolPkg = "bimodal/internal/sim"
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	for _, file := range pass.Files {
+		if analysis.TestFile(pass, file) {
+			continue
+		}
+		for _, d := range file.Decls {
+			fn, ok := d.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			checkFunc(pass, file, fn)
+		}
+	}
+	return nil, nil
+}
+
+// put is one non-deferred RunPool.Put call and the variable it pools.
+type put struct {
+	call *ast.CallExpr
+	v    *types.Var
+}
+
+func checkFunc(pass *analysis.Pass, file *ast.File, fn *ast.FuncDecl) {
+	deferred := map[*ast.CallExpr]bool{}
+	var puts []put
+	ast.Inspect(fn.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			deferred[n.Call] = true
+		case *ast.CallExpr:
+			if deferred[n] || !isPoolPut(pass, n) || len(n.Args) == 0 {
+				return true
+			}
+			id, ok := ast.Unparen(n.Args[0]).(*ast.Ident)
+			if !ok {
+				return true
+			}
+			if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok {
+				puts = append(puts, put{call: n, v: v})
+			}
+		}
+		return true
+	})
+	for _, p := range puts {
+		der := derivedSet(pass, fn.Body, p.v)
+		checkAfter(pass, file, fn.Body, p, der)
+	}
+}
+
+// isPoolPut reports whether call is (*sim.RunPool).Put.
+func isPoolPut(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := structfields.CalleeFunc(pass, call)
+	if fn == nil || fn.Name() != "Put" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "RunPool" &&
+		named.Obj().Pkg() != nil && named.Obj().Pkg().Path() == poolPkg
+}
+
+// derivedSet computes, to a fixpoint, the local variables holding
+// references derived from the pooled variable v0. Error values and types
+// containing no references are never derived (copies cannot alias pooled
+// storage), and ordinary function calls launder their arguments.
+func derivedSet(pass *analysis.Pass, body *ast.BlockStmt, v0 *types.Var) map[*types.Var]bool {
+	der := map[*types.Var]bool{v0: true}
+	add := func(v *types.Var, changed *bool) {
+		if v == nil || der[v] || exemptType(v.Type()) {
+			return
+		}
+		der[v] = true
+		*changed = true
+	}
+	lhsVar := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+			return v
+		}
+		v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+		return v
+	}
+	for {
+		changed := false
+		ast.Inspect(body, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, lhs := range n.Lhs {
+					var rhs ast.Expr
+					switch {
+					case len(n.Lhs) == len(n.Rhs):
+						rhs = n.Rhs[i]
+					case len(n.Rhs) == 1:
+						rhs = n.Rhs[0] // multi-value call or type assertion
+					}
+					if rhs == nil {
+						continue
+					}
+					if intersects(pass, rhs, der) {
+						add(lhsVar(lhs), &changed)
+					}
+				}
+			case *ast.RangeStmt:
+				if n.X != nil && intersects(pass, n.X, der) {
+					if n.Key != nil {
+						add(lhsVar(n.Key), &changed)
+					}
+					if n.Value != nil {
+						add(lhsVar(n.Value), &changed)
+					}
+				}
+			case *ast.DeclStmt:
+				gd, ok := n.Decl.(*ast.GenDecl)
+				if !ok {
+					return true
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for i, name := range vs.Names {
+						if i < len(vs.Values) && intersects(pass, vs.Values[i], der) {
+							v, _ := pass.TypesInfo.Defs[name].(*types.Var)
+							add(v, &changed)
+						}
+					}
+				}
+			}
+			return true
+		})
+		if !changed {
+			return der
+		}
+	}
+}
+
+// checkAfter reports uses and escapes positioned after the Put call.
+func checkAfter(pass *analysis.Pass, file *ast.File, body *ast.BlockStmt, p put, der map[*types.Var]bool) {
+	limit := p.call.End()
+	report := func(pos token.Pos, format string, args ...interface{}) {
+		if analysis.Allowed(pass, file, pos, "poolalias") {
+			return
+		}
+		pass.Reportf(pos, format, args...)
+	}
+	// derOther is the derived set minus the Sim itself: direct uses of the
+	// pooled variable are reported by the ident rule, escapes of values
+	// derived from it by the structural rules.
+	derOther := func(e ast.Expr) bool {
+		roots := map[*types.Var]bool{}
+		rootsOf(pass, e, roots)
+		for v := range roots {
+			if v != p.v && der[v] {
+				return true
+			}
+		}
+		return false
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if n == nil || n.End() <= limit {
+			return true // the node (and all children) precede the Put
+		}
+		if n.Pos() <= limit {
+			return true // spans the Put: descend to position-checked children
+		}
+		switch n := n.(type) {
+		case *ast.Ident:
+			if pass.TypesInfo.Uses[n] == p.v {
+				report(n.Pos(),
+					"pooled Sim %q used after RunPool.Put: the pool may already "+
+						"have handed it to another goroutine", p.v.Name())
+			}
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				if derOther(r) {
+					report(n.Pos(),
+						"returning a value derived from pooled Sim %q after "+
+							"RunPool.Put: marshal or copy before Put", p.v.Name())
+				}
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				switch ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+				default:
+					continue
+				}
+				var rhs ast.Expr
+				switch {
+				case len(n.Lhs) == len(n.Rhs):
+					rhs = n.Rhs[i]
+				case len(n.Rhs) == 1:
+					rhs = n.Rhs[0]
+				}
+				if rhs != nil && derOther(rhs) {
+					report(n.Pos(),
+						"storing a reference derived from pooled Sim %q after "+
+							"RunPool.Put: marshal or copy before Put", p.v.Name())
+				}
+			}
+		case *ast.SendStmt:
+			if derOther(n.Value) {
+				report(n.Pos(),
+					"sending a value derived from pooled Sim %q after "+
+						"RunPool.Put: marshal or copy before Put", p.v.Name())
+			}
+		}
+		return true
+	})
+}
+
+// rootsOf collects the variables an expression's value may alias.
+// Derivation propagates through selectors, indexing, slicing, address-of,
+// dereference, composite literals, type assertions, conversions and method
+// calls on the receiver; ordinary function calls launder (their results
+// are the callee's responsibility).
+func rootsOf(pass *analysis.Pass, e ast.Expr, out map[*types.Var]bool) {
+	switch e := e.(type) {
+	case *ast.Ident:
+		if v, ok := pass.TypesInfo.Uses[e].(*types.Var); ok {
+			out[v] = true
+		}
+	case *ast.SelectorExpr:
+		rootsOf(pass, e.X, out)
+	case *ast.IndexExpr:
+		rootsOf(pass, e.X, out)
+	case *ast.SliceExpr:
+		rootsOf(pass, e.X, out)
+	case *ast.ParenExpr:
+		rootsOf(pass, e.X, out)
+	case *ast.StarExpr:
+		rootsOf(pass, e.X, out)
+	case *ast.UnaryExpr:
+		rootsOf(pass, e.X, out)
+	case *ast.TypeAssertExpr:
+		rootsOf(pass, e.X, out)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			rootsOf(pass, el, out)
+		}
+	case *ast.CallExpr:
+		if tv, ok := pass.TypesInfo.Types[e.Fun]; ok && tv.IsType() {
+			// Conversion: []byte(x) and friends keep (or copy) x's bytes;
+			// stay conservative and propagate.
+			for _, a := range e.Args {
+				rootsOf(pass, a, out)
+			}
+			return
+		}
+		fn := structfields.CalleeFunc(pass, e)
+		if fn != nil {
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				// Method call: the result may alias the receiver's storage
+				// (s.Report(), s.Snapshot(prefix), ...).
+				if sel, ok := ast.Unparen(e.Fun).(*ast.SelectorExpr); ok {
+					rootsOf(pass, sel.X, out)
+				}
+			}
+		}
+	}
+}
+
+// intersects reports whether the expression's roots meet the derived set.
+func intersects(pass *analysis.Pass, e ast.Expr, der map[*types.Var]bool) bool {
+	roots := map[*types.Var]bool{}
+	rootsOf(pass, e, roots)
+	for v := range roots {
+		if der[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// exemptType reports whether values of t cannot alias pooled storage:
+// error values and types containing no reference types are plain copies.
+func exemptType(t types.Type) bool {
+	if types.Identical(t, types.Universe.Lookup("error").Type()) {
+		return true
+	}
+	return !containsRef(t, 0)
+}
+
+// containsRef reports whether t contains any reference type (pointer,
+// slice, map, channel, function or interface) through which pooled storage
+// could be reached.
+func containsRef(t types.Type, depth int) bool {
+	if depth > 10 {
+		return true // give up conservatively on deep nesting
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan,
+		*types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsRef(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return containsRef(u.Elem(), depth+1)
+	}
+	return false
+}

@@ -1,0 +1,13 @@
+package poolalias_test
+
+import (
+	"testing"
+
+	"bimodal/internal/analysis/analysistest"
+	"bimodal/internal/analysis/poolalias"
+)
+
+func TestPoolAlias(t *testing.T) {
+	analysistest.Run(t, poolalias.Analyzer,
+		"../testdata/src/poolalias", "bimodal/internal/service")
+}

@@ -1,0 +1,83 @@
+// Package resetcomplete implements the bmlint analyzer that proves
+// in-place Reset methods cover every struct field (PR 8's pooled-run
+// contract: after Reset the object must be observably identical to a
+// freshly constructed one, so a field that Reset never touches is stale
+// state leaking across pooled runs).
+//
+// A type is checked when it declares a Reset (or unexported reset) method
+// in a simulator package, or carries a //bmlint:reset annotation anywhere.
+// Every top-level struct field must be mentioned by the reset body —
+// assigned, zeroed, aliased, ranged over, or reset via a method call on
+// the field — either directly or inside a same-package helper the body
+// calls (one level of follow-through). Construction-time geometry that
+// Reset deliberately preserves is annotated //bmlint:resetconst on the
+// field declaration.
+package resetcomplete
+
+import (
+	"strings"
+
+	"bimodal/internal/analysis"
+	"bimodal/internal/analysis/determinism"
+	"bimodal/internal/analysis/structfields"
+)
+
+// Analyzer is the Reset field-coverage checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "bmresetcomplete",
+	Doc: "verify Reset methods assign or preserve (//bmlint:resetconst) " +
+		"every struct field",
+	Run: run,
+}
+
+// resetNames are the method names that opt a simulator-package type in.
+var resetNames = []string{"Reset", "reset"}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ix := structfields.New(pass)
+	inScope := determinism.AppliesTo(pass.Pkg.Path())
+	for _, s := range ix.Structs {
+		annotated := analysis.TypeAnnotated(s.Decl, s.Spec, analysis.AnnotReset)
+		var resets []structfields.Method
+		var names []string
+		for _, name := range resetNames {
+			if m, ok := ix.Methods[s.Named][name]; ok {
+				resets = append(resets, m)
+				names = append(names, name)
+			}
+		}
+		if len(resets) == 0 {
+			if annotated {
+				pass.Reportf(s.Spec.Pos(),
+					"type %s is annotated //bmlint:reset but declares no Reset method",
+					s.Named.Obj().Name())
+			}
+			continue
+		}
+		if !annotated && !inScope {
+			continue
+		}
+		mentioned := map[int]bool{}
+		for _, m := range resets {
+			root := structfields.RecvVar(pass, m)
+			for idx := range structfields.Mentions(pass, ix, m, root, s.Struct,
+				structfields.MentionOpts{Helpers: true}) {
+				mentioned[idx] = true
+			}
+		}
+		label := strings.Join(names, "/")
+		for _, f := range s.Fields() {
+			if mentioned[f.Index] || f.Var.Name() == "_" {
+				continue
+			}
+			if analysis.FieldAnnotated(f.AST, analysis.AnnotResetConst) {
+				continue
+			}
+			pass.Reportf(f.Var.Pos(),
+				"field %s.%s is not assigned in %s and not marked //bmlint:resetconst: "+
+					"stale state would survive pooled reuse",
+				s.Named.Obj().Name(), f.Var.Name(), label)
+		}
+	}
+	return nil, nil
+}

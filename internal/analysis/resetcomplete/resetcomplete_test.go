@@ -1,0 +1,20 @@
+package resetcomplete_test
+
+import (
+	"testing"
+
+	"bimodal/internal/analysis/analysistest"
+	"bimodal/internal/analysis/resetcomplete"
+)
+
+func TestResetComplete(t *testing.T) {
+	analysistest.Run(t, resetcomplete.Analyzer,
+		"../testdata/src/resetcomplete", "bimodal/internal/core")
+}
+
+// TestOptIn loads the fixture under a non-simulator import path: Reset
+// methods alone are out of scope there, but //bmlint:reset still opts in.
+func TestOptIn(t *testing.T) {
+	analysistest.Run(t, resetcomplete.Analyzer,
+		"../testdata/src/resetcomplete_optin", "example.com/outside")
+}

@@ -1,0 +1,183 @@
+// Package snapshotcomplete implements the bmlint analyzer that proves
+// snapshot encode/decode pairs are symmetric and complete (PR 7's
+// checkpointing contract: a field the codec forgets is silently divergent
+// state after restore, caught by goldens only if it perturbs the tested
+// seeds).
+//
+// For every type declaring a SnapshotState/RestoreState pair (or the
+// unexported snapshotState/restoreState convention), the analyzer
+// cross-checks three field sets — the fields the encoder mentions, the
+// fields the decoder mentions, and the struct definition — and flags:
+//
+//   - fields written by the encoder but never read by the decoder
+//   - fields read by the decoder but never written by the encoder
+//   - fields absent from both without a //bmlint:nosnapshot annotation
+//     (reconstructed geometry, shared tables and transient scratch are
+//     annotated; everything else must round-trip)
+//
+// plus a declared encoder or decoder whose counterpart is missing, and
+// section-tag literal sequences that diverge between the pair. Helper
+// calls that forward the codec writer/reader are followed one level, so
+// shared encode helpers count; validation helpers that do not take the
+// codec (CheckInvariants and friends) are deliberately not followed.
+package snapshotcomplete
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+	"strings"
+
+	"bimodal/internal/analysis"
+	"bimodal/internal/analysis/structfields"
+)
+
+// Analyzer is the snapshot codec symmetry/completeness checker.
+var Analyzer = &analysis.Analyzer{
+	Name: "bmsnapshotcomplete",
+	Doc: "cross-check snapshot encode/decode field coverage and section " +
+		"tags against the struct definition",
+	Run: run,
+}
+
+// snapshotPkg is the codec package whose Writer/Reader anchor the checks.
+const snapshotPkg = "bimodal/internal/snapshot"
+
+// pairs are the encode/decode method-name conventions.
+var pairs = [][2]string{
+	{"SnapshotState", "RestoreState"},
+	{"snapshotState", "restoreState"},
+}
+
+func run(pass *analysis.Pass) (interface{}, error) {
+	ix := structfields.New(pass)
+	for _, s := range ix.Structs {
+		for _, pair := range pairs {
+			enc, okE := ix.Methods[s.Named][pair[0]]
+			dec, okD := ix.Methods[s.Named][pair[1]]
+			switch {
+			case !okE && !okD:
+				continue
+			case okE != okD:
+				m, present, missing := enc, pair[0], pair[1]
+				if okD {
+					m, present, missing = dec, pair[1], pair[0]
+				}
+				pass.Reportf(m.Decl.Pos(),
+					"%s declares %s but no %s: the snapshot codec must be symmetric",
+					s.Named.Obj().Name(), present, missing)
+				continue
+			}
+			checkPair(pass, ix, s, pair, enc, dec)
+		}
+	}
+	return nil, nil
+}
+
+func checkPair(pass *analysis.Pass, ix *structfields.Index, s structfields.Struct, pair [2]string, enc, dec structfields.Method) {
+	e := codecMentions(pass, ix, s, enc)
+	d := codecMentions(pass, ix, s, dec)
+	name := s.Named.Obj().Name()
+	for _, f := range s.Fields() {
+		if f.Var.Name() == "_" || analysis.FieldAnnotated(f.AST, analysis.AnnotNoSnapshot) {
+			continue
+		}
+		switch {
+		case e[f.Index] && !d[f.Index]:
+			pass.Reportf(f.Var.Pos(),
+				"field %s.%s is written by %s but never read by %s",
+				name, f.Var.Name(), pair[0], pair[1])
+		case d[f.Index] && !e[f.Index]:
+			pass.Reportf(f.Var.Pos(),
+				"field %s.%s is read by %s but never written by %s",
+				name, f.Var.Name(), pair[1], pair[0])
+		case !e[f.Index] && !d[f.Index]:
+			pass.Reportf(f.Var.Pos(),
+				"field %s.%s is absent from both %s and %s: snapshot it or "+
+					"mark it //bmlint:nosnapshot",
+				name, f.Var.Name(), pair[0], pair[1])
+		}
+	}
+	et, dt := tagLiterals(pass, enc), tagLiterals(pass, dec)
+	if !equalStrings(et, dt) {
+		pass.Reportf(dec.Decl.Pos(),
+			"section tags diverge between %s [%s] and %s [%s]",
+			pair[0], strings.Join(et, " "), pair[1], strings.Join(dt, " "))
+	}
+}
+
+// codecMentions collects the fields of s that the method touches, following
+// same-package helpers one level when they also receive the method's codec
+// parameter (the snapshot Writer or Reader).
+func codecMentions(pass *analysis.Pass, ix *structfields.Index, s structfields.Struct, m structfields.Method) map[int]bool {
+	codec := codecParam(pass, m)
+	gate := func(call *ast.CallExpr) bool {
+		if codec == nil {
+			return false
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && pass.TypesInfo.Uses[id] == codec {
+				return true
+			}
+		}
+		return false
+	}
+	return structfields.Mentions(pass, ix, m, structfields.RecvVar(pass, m), s.Struct,
+		structfields.MentionOpts{Helpers: true, Gate: gate})
+}
+
+// codecParam returns the method's snapshot Writer/Reader parameter, or nil.
+func codecParam(pass *analysis.Pass, m structfields.Method) *types.Var {
+	for _, f := range m.Decl.Type.Params.List {
+		for _, name := range f.Names {
+			v, ok := pass.TypesInfo.Defs[name].(*types.Var)
+			if !ok {
+				continue
+			}
+			t := v.Type()
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if n, ok := t.(*types.Named); ok && n.Obj().Pkg() != nil &&
+				n.Obj().Pkg().Path() == snapshotPkg {
+				return v
+			}
+		}
+	}
+	return nil
+}
+
+// tagLiterals returns, in source order, the string-literal arguments of
+// Tag calls on the snapshot Writer/Reader in the method's own body.
+func tagLiterals(pass *analysis.Pass, m structfields.Method) []string {
+	var out []string
+	ast.Inspect(m.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || len(call.Args) == 0 {
+			return true
+		}
+		fn := structfields.CalleeFunc(pass, call)
+		if fn == nil || fn.Name() != "Tag" || fn.Pkg() == nil || fn.Pkg().Path() != snapshotPkg {
+			return true
+		}
+		if lit, ok := ast.Unparen(call.Args[0]).(*ast.BasicLit); ok {
+			if v, err := strconv.Unquote(lit.Value); err == nil {
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,13 @@
+package snapshotcomplete_test
+
+import (
+	"testing"
+
+	"bimodal/internal/analysis/analysistest"
+	"bimodal/internal/analysis/snapshotcomplete"
+)
+
+func TestSnapshotComplete(t *testing.T) {
+	analysistest.Run(t, snapshotcomplete.Analyzer,
+		"../testdata/src/snapshotcomplete", "bimodal/internal/dramcache")
+}

@@ -1,0 +1,345 @@
+// Package structfields provides the shared struct-field machinery behind
+// the field-completeness analyzers (resetcomplete, snapshotcomplete): an
+// index of declared struct types and their methods, and a conservative
+// "field mention" collector that reports which top-level fields of a
+// receiver a method body touches, directly or through one level of
+// same-package helper calls.
+//
+// Mention-based coverage is deliberately permissive: a field counts as
+// covered when the method references it at all (assignment, aliasing
+// through `s := &c.sets[i]`, a method call on the field, a range over it).
+// The bug class these analyzers target — a newly added struct field that
+// no one thought to reset or snapshot — is by construction a field with no
+// mention anywhere in the method, so permissiveness costs no recall while
+// avoiding false positives on the repo's aliasing idioms.
+package structfields
+
+import (
+	"go/ast"
+	"go/types"
+
+	"bimodal/internal/analysis"
+)
+
+// Struct is one declared struct type with its AST and type information.
+type Struct struct {
+	Named  *types.Named
+	Struct *types.Struct
+	Decl   *ast.GenDecl
+	Spec   *ast.TypeSpec
+	Type   *ast.StructType
+	File   *ast.File
+}
+
+// Field pairs a top-level struct field with the AST declaration carrying
+// its annotations. Several names declared on one line share an *ast.Field
+// (and therefore its annotations).
+type Field struct {
+	Index int
+	Var   *types.Var
+	AST   *ast.Field
+}
+
+// Fields returns the struct's top-level fields in declaration order.
+func (s Struct) Fields() []Field {
+	var out []Field
+	i := 0
+	for _, f := range s.Type.Fields.List {
+		n := len(f.Names)
+		if n == 0 {
+			n = 1 // embedded field
+		}
+		for j := 0; j < n; j++ {
+			if i < s.Struct.NumFields() {
+				out = append(out, Field{Index: i, Var: s.Struct.Field(i), AST: f})
+			}
+			i++
+		}
+	}
+	return out
+}
+
+// Method is one method declaration with its enclosing file.
+type Method struct {
+	Decl *ast.FuncDecl
+	File *ast.File
+}
+
+// Index holds the per-package declaration maps the analyzers share.
+type Index struct {
+	// Structs lists the package's declared struct types (non-test files).
+	Structs []Struct
+	// Methods maps a named struct type to its declared methods by name.
+	Methods map[*types.Named]map[string]Method
+	// Decls maps every declared function or method to its declaration,
+	// for helper follow-through.
+	Decls map[*types.Func]Method
+}
+
+// New builds the declaration index for the pass, skipping _test.go files.
+func New(pass *analysis.Pass) *Index {
+	ix := &Index{
+		Methods: map[*types.Named]map[string]Method{},
+		Decls:   map[*types.Func]Method{},
+	}
+	for _, file := range pass.Files {
+		if analysis.TestFile(pass, file) {
+			continue
+		}
+		for _, d := range file.Decls {
+			switch d := d.(type) {
+			case *ast.GenDecl:
+				for _, spec := range d.Specs {
+					ts, ok := spec.(*ast.TypeSpec)
+					if !ok {
+						continue
+					}
+					st, ok := ts.Type.(*ast.StructType)
+					if !ok {
+						continue
+					}
+					tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName)
+					if !ok {
+						continue
+					}
+					named, ok := tn.Type().(*types.Named)
+					if !ok {
+						continue
+					}
+					under, ok := named.Underlying().(*types.Struct)
+					if !ok {
+						continue
+					}
+					ix.Structs = append(ix.Structs, Struct{
+						Named: named, Struct: under,
+						Decl: d, Spec: ts, Type: st, File: file,
+					})
+				}
+			case *ast.FuncDecl:
+				obj, ok := pass.TypesInfo.Defs[d.Name].(*types.Func)
+				if !ok || d.Body == nil {
+					continue
+				}
+				ix.Decls[obj] = Method{Decl: d, File: file}
+				if named := recvNamed(obj); named != nil {
+					m := ix.Methods[named]
+					if m == nil {
+						m = map[string]Method{}
+						ix.Methods[named] = m
+					}
+					m[d.Name.Name] = Method{Decl: d, File: file}
+				}
+			}
+		}
+	}
+	return ix
+}
+
+// recvNamed returns the named base type of fn's receiver, or nil.
+func recvNamed(fn *types.Func) *types.Named {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, _ := t.(*types.Named)
+	return named
+}
+
+// RecvVar returns the declared receiver variable of the method, or nil for
+// an unnamed receiver.
+func RecvVar(pass *analysis.Pass, m Method) *types.Var {
+	if m.Decl.Recv == nil || len(m.Decl.Recv.List) == 0 {
+		return nil
+	}
+	names := m.Decl.Recv.List[0].Names
+	if len(names) == 0 {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Defs[names[0]].(*types.Var)
+	return v
+}
+
+// MentionOpts controls the one-level helper follow-through.
+type MentionOpts struct {
+	// Helpers enables union of field mentions from same-package callees
+	// that receive the root variable (as method receiver or argument).
+	Helpers bool
+	// Gate, when non-nil with Helpers set, filters which calls are
+	// followed (e.g. snapshotcomplete only follows helpers that also take
+	// the codec writer/reader, so validation helpers like CheckInvariants
+	// do not pollute the decode set).
+	Gate func(call *ast.CallExpr) bool
+}
+
+// Mentions reports the set of top-level field indexes of root's struct
+// type that the method body references. A whole-struct assignment through
+// the receiver (*b = T{} or b = T{}) marks every field.
+func Mentions(pass *analysis.Pass, ix *Index, m Method, root *types.Var, st *types.Struct, opts MentionOpts) map[int]bool {
+	out := map[int]bool{}
+	if root == nil {
+		return out
+	}
+	collect(pass, m.Decl.Body, root, st, out)
+	if !opts.Helpers {
+		return out
+	}
+	ast.Inspect(m.Decl.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if opts.Gate != nil && !opts.Gate(call) {
+			return true
+		}
+		callee := CalleeFunc(pass, call)
+		if callee == nil || callee.Pkg() != pass.Pkg {
+			return true
+		}
+		decl, ok := ix.Decls[callee]
+		if !ok {
+			return true
+		}
+		sig, _ := callee.Type().(*types.Signature)
+		if sig == nil {
+			return true
+		}
+		if sig.Recv() != nil {
+			// Method call: follow when the receiver expression is rooted
+			// at our root variable and the method belongs to the same type
+			// (so its body's field selections resolve into st).
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || baseVar(pass, sel.X) != root {
+				return true
+			}
+			if rv := RecvVar(pass, decl); rv != nil && sameStruct(rv.Type(), st) {
+				collect(pass, decl.Decl.Body, rv, st, out)
+			}
+			return true
+		}
+		// Plain function call: follow each argument that passes the root
+		// (directly or by address), mapping it to the parameter.
+		for i, arg := range call.Args {
+			if i >= sig.Params().Len() {
+				break
+			}
+			e := ast.Unparen(arg)
+			if u, ok := e.(*ast.UnaryExpr); ok {
+				e = u.X
+			}
+			if baseVar(pass, e) != root {
+				continue
+			}
+			if pv := paramVar(pass, decl, i); pv != nil && sameStruct(pv.Type(), st) {
+				collect(pass, decl.Decl.Body, pv, st, out)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// collect walks body marking top-level fields of st selected through root.
+func collect(pass *analysis.Pass, body ast.Node, root *types.Var, st *types.Struct, out map[int]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			sel, ok := pass.TypesInfo.Selections[n]
+			if !ok || baseVar(pass, n.X) != root {
+				return true
+			}
+			idx := sel.Index()
+			if len(idx) == 0 {
+				return true
+			}
+			switch sel.Kind() {
+			case types.FieldVal:
+				out[idx[0]] = true
+			case types.MethodVal, types.MethodExpr:
+				if len(idx) > 1 {
+					// Promoted method: reaching it touches the embedded
+					// field it is promoted from.
+					out[idx[0]] = true
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range n.Lhs {
+				e := ast.Unparen(lhs)
+				if s, ok := e.(*ast.StarExpr); ok {
+					e = ast.Unparen(s.X)
+				}
+				if id, ok := e.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == root {
+					for i := 0; i < st.NumFields(); i++ {
+						out[i] = true
+					}
+				}
+			}
+		}
+		return true
+	})
+}
+
+// baseVar unwraps parens, derefs and address-of down to an identifier and
+// resolves it, so `c`, `(*c)` and `(&x)` all report their variable.
+func baseVar(pass *analysis.Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.UnaryExpr:
+			e = x.X
+		case *ast.Ident:
+			v, _ := pass.TypesInfo.Uses[x].(*types.Var)
+			return v
+		default:
+			return nil
+		}
+	}
+}
+
+// paramVar returns the i'th declared parameter variable of the function.
+func paramVar(pass *analysis.Pass, m Method, i int) *types.Var {
+	n := 0
+	for _, f := range m.Decl.Type.Params.List {
+		names := f.Names
+		if len(names) == 0 {
+			n++ // unnamed parameter: nothing selectable through it
+			continue
+		}
+		for _, name := range names {
+			if n == i {
+				v, _ := pass.TypesInfo.Defs[name].(*types.Var)
+				return v
+			}
+			n++
+		}
+	}
+	return nil
+}
+
+// sameStruct reports whether t (possibly a pointer) has st as its
+// underlying struct.
+func sameStruct(t types.Type, st *types.Struct) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	return t.Underlying() == st
+}
+
+// CalleeFunc resolves the statically-called function of call, or nil.
+func CalleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	switch f := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := pass.TypesInfo.Uses[f].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := pass.TypesInfo.Uses[f.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}

@@ -1,0 +1,87 @@
+// Package poolalias is the bmpoolalias fixture: the sanctioned
+// marshal-then-Put discipline, every escape flavour (use, return, store,
+// send), the launder and value-copy exemptions, deferred Puts and the
+// //bmlint:allow suppression.
+package poolalias
+
+import (
+	"bimodal/internal/sim"
+	"bimodal/internal/workloads"
+)
+
+type resultHolder struct {
+	blob []byte
+}
+
+// sealed copies what it keeps: passing a derived value to an ordinary
+// function launders it (the callee owns its result).
+func sealed(b []byte) []byte {
+	out := make([]byte, len(b))
+	copy(out, b)
+	return out
+}
+
+// good follows the discipline: marshal, seal, Put last.
+func good(pool *sim.RunPool, mix workloads.Mix, f sim.Factory, h *resultHolder) []byte {
+	s := pool.Get("bimodal", mix, f, sim.Options{})
+	blob := s.Snapshot("prefix")
+	out := sealed(blob)
+	pool.Put(s)
+	h.blob = out // laundered by sealed: fine
+	return out
+}
+
+// useAfterPut touches the pooled Sim itself after the Put.
+func useAfterPut(pool *sim.RunPool, mix workloads.Mix, f sim.Factory) []byte {
+	s := pool.Get("bimodal", mix, f, sim.Options{})
+	pool.Put(s)
+	return s.Snapshot("prefix") // want `pooled Sim "s" used after RunPool\.Put`
+}
+
+// returnDerived returns a buffer derived before the Put.
+func returnDerived(pool *sim.RunPool, mix workloads.Mix, f sim.Factory) []byte {
+	s := pool.Get("bimodal", mix, f, sim.Options{})
+	blob := s.Snapshot("prefix")
+	pool.Put(s)
+	return blob // want `returning a value derived from pooled Sim "s" after RunPool\.Put`
+}
+
+// storeDerived stores a derived buffer through a field after the Put.
+func storeDerived(pool *sim.RunPool, mix workloads.Mix, f sim.Factory, h *resultHolder) {
+	s := pool.Get("bimodal", mix, f, sim.Options{})
+	blob := s.Snapshot("prefix")
+	pool.Put(s)
+	h.blob = blob // want `storing a reference derived from pooled Sim "s" after RunPool\.Put`
+}
+
+// sendDerived sends a derived buffer after the Put.
+func sendDerived(pool *sim.RunPool, mix workloads.Mix, f sim.Factory, ch chan []byte) {
+	s := pool.Get("bimodal", mix, f, sim.Options{})
+	blob := s.Snapshot("prefix")
+	pool.Put(s)
+	ch <- blob // want `sending a value derived from pooled Sim "s" after RunPool\.Put`
+}
+
+// valueCopy extracts a plain value before the Put: copies without
+// reference types cannot alias pooled storage.
+func valueCopy(pool *sim.RunPool, mix workloads.Mix, f sim.Factory) int {
+	s := pool.Get("bimodal", mix, f, sim.Options{})
+	n := len(s.Snapshot("prefix"))
+	pool.Put(s)
+	return n
+}
+
+// deferredPut runs at function exit: everything in the body precedes it.
+func deferredPut(pool *sim.RunPool, mix workloads.Mix, f sim.Factory) []byte {
+	s := pool.Get("bimodal", mix, f, sim.Options{})
+	defer pool.Put(s)
+	return sealed(s.Snapshot("prefix"))
+}
+
+// allowed suppresses a finding the caller has audited.
+func allowed(pool *sim.RunPool, mix workloads.Mix, f sim.Factory) []byte {
+	s := pool.Get("bimodal", mix, f, sim.Options{})
+	blob := s.Snapshot("prefix")
+	pool.Put(s)
+	return blob //bmlint:allow poolalias — single-owner pool, drained before reuse
+}

@@ -1,0 +1,71 @@
+// Package resetcomplete is the bmresetcomplete fixture: complete resets
+// (direct, aliased, helper-assisted and whole-struct), incomplete resets,
+// the //bmlint:resetconst suppression and the //bmlint:reset opt-in.
+// Loaded under import path bimodal/internal/core, a simulator package, so
+// Reset methods opt their types in automatically.
+package resetcomplete
+
+// Good resets every field: directly, through an alias, through a
+// truncation, through a helper method and through a helper function; the
+// preserved geometry field is annotated.
+type Good struct {
+	time    int64
+	sets    []int
+	scratch []int
+	geom    int //bmlint:resetconst
+	stats   int
+	depth   int
+}
+
+func (g *Good) Reset() {
+	g.time = 0
+	s := g.sets // aliasing the field counts as coverage
+	for i := range s {
+		s[i] = 0
+	}
+	g.scratch = g.scratch[:0]
+	g.clearStats()
+	clearDepth(g)
+}
+
+// clearStats is a same-package helper method: followed one level.
+func (g *Good) clearStats() { g.stats = 0 }
+
+// clearDepth is a same-package helper function receiving the receiver.
+func clearDepth(g *Good) { g.depth = 0 }
+
+// Bad forgets a field.
+type Bad struct {
+	time  int64
+	extra int // want `field Bad\.extra is not assigned in Reset and not marked`
+}
+
+func (b *Bad) Reset() { b.time = 0 }
+
+// Zeroed relies on a whole-struct assignment, which covers every field.
+type Zeroed struct {
+	a int
+	b []int
+}
+
+func (z *Zeroed) Reset() { *z = Zeroed{} }
+
+// Lower uses the unexported reset convention and forgets a field.
+type Lower struct {
+	x int
+	y int // want `field Lower\.y is not assigned in reset and not marked`
+}
+
+func (l *Lower) reset() { l.x = 0 }
+
+// Plain has no reset method and no annotation: not checked.
+type Plain struct {
+	anything int
+}
+
+// Annotated opts in via //bmlint:reset but declares no Reset method.
+//
+//bmlint:reset
+type Annotated struct { // want `type Annotated is annotated //bmlint:reset but declares no Reset method`
+	v int
+}

@@ -1,0 +1,21 @@
+// Package optin is the bmresetcomplete scope fixture, loaded under an
+// import path outside the simulator set: Reset methods alone do not opt a
+// type in there, but the //bmlint:reset annotation still does.
+package optin
+
+// Unchecked declares a Reset method in a non-simulator package: skipped.
+type Unchecked struct {
+	kept int
+}
+
+func (u *Unchecked) Reset() {}
+
+// Checked carries the annotation, so its Reset is verified anywhere.
+//
+//bmlint:reset
+type Checked struct {
+	n    int
+	lost int // want `field Checked\.lost is not assigned in Reset and not marked`
+}
+
+func (c *Checked) Reset() { c.n = 0 }
