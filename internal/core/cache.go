@@ -119,7 +119,9 @@ type cacheSet struct {
 // utilization and dirtiness, and drives the way locator, size predictor
 // and global adaptation. Timing is layered on top by internal/dramcache.
 type Cache struct {
-	params  Params
+	// params is construction-time geometry; snapshots reconstruct it from
+	// Config rather than serializing it.
+	params  Params //bmlint:nosnapshot
 	sets    []cacheSet
 	locator *WayLocator // nil disables way location (Bi-Modal-Only ablation)
 	pred    *SizePredictor
@@ -127,21 +129,24 @@ type Cache struct {
 	global  *GlobalState
 	rng     *xrand.Rand
 
-	offsetBits uint
-	setBits    uint
 	// Derived constants, precomputed so the access path never re-derives
 	// them from Params (whose value-receiver helpers copy the struct).
-	setMask   uint64 // NumSets - 1
-	subMask   uint64 // SubBlocks - 1
-	subShift  uint   // offsetBits - 6: line ID -> big block ID
-	subBlocks int
-	minBig    int
-	maxSmall  int
-	bigBlock  uint64
+	// Pure functions of params: preserved across Reset, rebuilt (not
+	// deserialized) on restore.
+	offsetBits uint   //bmlint:resetconst //bmlint:nosnapshot
+	setBits    uint   //bmlint:resetconst //bmlint:nosnapshot
+	setMask    uint64 //bmlint:resetconst //bmlint:nosnapshot — NumSets - 1
+	subMask    uint64 //bmlint:resetconst //bmlint:nosnapshot — SubBlocks - 1
+	subShift   uint   //bmlint:resetconst //bmlint:nosnapshot — offsetBits - 6: line ID -> big block ID
+	subBlocks  int    //bmlint:resetconst //bmlint:nosnapshot
+	minBig     int    //bmlint:resetconst //bmlint:nosnapshot
+	maxSmall   int    //bmlint:resetconst //bmlint:nosnapshot
+	bigBlock   uint64 //bmlint:resetconst //bmlint:nosnapshot
 
 	// scratch backs Outcome.Evictions; it is truncated at every Access and
-	// never shrinks, so the miss path performs no allocations.
-	scratch []Eviction
+	// never shrinks, so the miss path performs no allocations. Transient
+	// between accesses, so never snapshotted.
+	scratch []Eviction //bmlint:nosnapshot
 
 	// Stats holds the functional counters.
 	Stats CacheStats

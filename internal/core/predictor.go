@@ -12,7 +12,8 @@ import (
 // evicted ways and toward "00" (predict small) otherwise.
 type SizePredictor struct {
 	table []uint8
-	mask  uint64
+	// mask is fixed table geometry (2^P - 1).
+	mask uint64 //bmlint:resetconst //bmlint:nosnapshot
 
 	// Statistics.
 	Predictions int64
@@ -83,10 +84,12 @@ func (s *SizePredictor) StorageBits() int64 { return int64(len(s.table)) * 2 }
 // utilization bit vector of every big way and trains the predictor when a
 // tracked way is evicted. It also feeds the Figure 2 utilization histogram.
 type Tracker struct {
-	sampleMask uint64
-	threshold  int
-	subBlocks  int
-	pred       *SizePredictor
+	// Sampling geometry and the predictor binding are construction-time
+	// constants; only the histogram is mutable state.
+	sampleMask uint64         //bmlint:resetconst //bmlint:nosnapshot
+	threshold  int            //bmlint:resetconst //bmlint:nosnapshot
+	subBlocks  int            //bmlint:resetconst //bmlint:nosnapshot
+	pred       *SizePredictor //bmlint:resetconst //bmlint:nosnapshot
 	// Utilization histogram over evicted tracked ways: bucket i counts
 	// ways whose utilization was i sub-blocks (index 0 unused for big
 	// blocks that were never touched after fill — possible under
@@ -129,7 +132,9 @@ func popcount(m uint32) int { return bits.OnesCount32(m) }
 // target adapted from the demand counters D_big and D_small every
 // AdaptInterval accesses.
 type GlobalState struct {
-	params   Params
+	// params is construction-time configuration; restore validates against
+	// it but never deserializes it.
+	params   Params //bmlint:nosnapshot
 	state    State
 	dBig     int64
 	dSmall   int64

@@ -13,9 +13,10 @@ import (
 // leading offset bits"), so a locator hit is always correct: it never
 // causes a wasted DRAM access.
 type WayLocator struct {
-	k        uint
-	mask     uint64
-	bigShift uint      // log2 of the big block size
+	// Table geometry, fixed at construction.
+	k        uint      //bmlint:resetconst //bmlint:nosnapshot
+	mask     uint64    //bmlint:resetconst //bmlint:nosnapshot
+	bigShift uint      //bmlint:resetconst //bmlint:nosnapshot — log2 of the big block size
 	entries  []wlEntry // 2 per index, flattened
 	clock    uint64
 

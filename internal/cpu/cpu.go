@@ -72,9 +72,11 @@ func (r CoreResult) IPC() float64 {
 
 // core is the per-core replay state.
 type core struct {
-	id   int
+	// id and cfg are construction-time identity; the snapshot seam
+	// reconstructs cores congruently, so neither is serialized.
+	id   int              //bmlint:nosnapshot
 	gen  trace.Generator
-	cfg  CoreConfig
+	cfg  CoreConfig //bmlint:resetconst //bmlint:nosnapshot
 	time int64
 	// outstanding in-flight misses ordered by issue: done is the memory
 	// completion time, inst the instruction count at issue (for the ROB
@@ -86,11 +88,14 @@ type core struct {
 	lastDone    int64
 	insts       int64 // total instructions replayed (incl. uncounted)
 	result      CoreResult
-	remaining   int64
+	// remaining/next/key are phase-boundary non-state: runPhase re-primes
+	// every core when a phase starts, overwriting them before first use
+	// (see the seam note at the top of snapshot.go).
+	remaining int64 //bmlint:nosnapshot
 	// next is the primed upcoming access; key is its projected issue time
 	// (the heap priority, so requests reach memory in global time order).
-	next trace.Access
-	key  int64
+	next trace.Access //bmlint:nosnapshot
+	key  int64        //bmlint:nosnapshot
 }
 
 // inflight is one outstanding miss.
@@ -236,12 +241,15 @@ func (c *core) before(o *core) bool {
 
 // Engine drives a set of cores against one scheme.
 type Engine struct {
-	cores  []*core
-	scheme dramcache.Scheme
+	cores []*core
+	// scheme is bound at construction; pooled runs reset it separately
+	// through the dramcache Resetter seam (sim.Sim owns that call).
+	scheme dramcache.Scheme //bmlint:resetconst
 	pf     *Prefetcher
 	// sched is the dispatch min-heap, owned by the engine and reused
 	// across phases and pooled runs so runPhase never reallocates it.
-	sched []*core
+	// Transient within a phase — always empty at the snapshot seam.
+	sched []*core //bmlint:nosnapshot
 }
 
 // NewEngine builds an engine. gens supplies one generator per core.

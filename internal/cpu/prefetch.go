@@ -15,8 +15,9 @@ import (
 // lines the core touched or prefetched recently would be LLSC-resident
 // and are not prefetched again.
 type Prefetcher struct {
-	// N is the prefetch depth (1 = conservative, 3 = aggressive).
-	N       int
+	// N is the prefetch depth (1 = conservative, 3 = aggressive) — fixed
+	// configuration; the snapshot seam rebuilds congruent prefetchers.
+	N       int //bmlint:resetconst //bmlint:nosnapshot
 	filters [][]uint64
 
 	// Issued counts prefetch requests sent to the DRAM cache.

@@ -102,29 +102,32 @@ type rankState struct {
 
 // Channel models one DRAM channel: a grid of banks behind a shared data bus.
 type Channel struct {
-	timing Timing
+	// timing is construction-time configuration.
+	timing Timing //bmlint:resetconst //bmlint:nosnapshot
 	banks  []bank // ranks*banksPerRank, flattened
 	ranks  []rankState
-	perRnk int
+	// perRnk is fixed geometry (banks per rank).
+	perRnk int   //bmlint:resetconst //bmlint:nosnapshot
 	busAt  int64 // data bus free time (CPU cycles)
 	stats  Stats
-	// refresh period/duration in CPU cycles (0 disables)
-	refPeriod int64
-	refDur    int64
+	// Refresh period/duration in CPU cycles (0 disables) — derived from
+	// timing at construction.
+	refPeriod int64 //bmlint:resetconst //bmlint:nosnapshot
+	refDur    int64 //bmlint:resetconst //bmlint:nosnapshot
 	// Timing constants hoisted to CPU cycles at construction: the access
 	// path is hot enough that re-deriving them through the value-receiver
 	// Timing helpers (which copy the struct) shows up in profiles.
-	clCPU, cwlCPU   int64
-	rcdCPU, rpCPU   int64
-	rasCPU, wrCPU   int64
-	rrdCPU, fawCPU  int64
-	ratio, perClock int64
+	clCPU, cwlCPU   int64 //bmlint:resetconst //bmlint:nosnapshot
+	rcdCPU, rpCPU   int64 //bmlint:resetconst //bmlint:nosnapshot
+	rasCPU, wrCPU   int64 //bmlint:resetconst //bmlint:nosnapshot
+	rrdCPU, fawCPU  int64 //bmlint:resetconst //bmlint:nosnapshot
+	ratio, perClock int64 //bmlint:resetconst //bmlint:nosnapshot
 	// Memoized bytes -> burst-cycles mapping for the access fast path. A
 	// pure function of construction-time constants (perClock, ratio), so
 	// it stays valid across Reset and Restore and never affects behaviour
 	// — only the division it avoids.
-	burstBytes  int64 // last bytes -> burst mapping (0 = unused)
-	burstCycles int64
+	burstBytes  int64 //bmlint:resetconst //bmlint:nosnapshot — last bytes -> burst mapping (0 = unused)
+	burstCycles int64 //bmlint:resetconst //bmlint:nosnapshot
 }
 
 // NewChannel builds a channel with the given timing and geometry (ranks x

@@ -24,11 +24,12 @@ const tadsPerRow = 28
 // region), preserving the predictor's role of hiding miss latency.
 type Alloy struct {
 	baseStats
-	cfg     Config
+	// cfg is reassigned by Reset; snapshots rebuild geometry from it.
+	cfg     Config //bmlint:nosnapshot
 	stacked *memctrl.Controller
 	offchip *memctrl.Controller
 
-	numBlocks uint64
+	numBlocks uint64 //bmlint:resetconst //bmlint:nosnapshot
 	// tags packs each TAD's state into 32 bits: bit0 valid, bit1 dirty,
 	// bits 2.. tag. With a 40-bit address space and any cache >= 64KB the
 	// tag fits comfortably; packing keeps a 512MB cache's tag array at

@@ -5,8 +5,9 @@ package dramcache
 // Footprint Cache's page array). Unlike internal/sram it permits arbitrary
 // (non-power-of-two) set counts, which the row-packed organizations need.
 type assocArray struct {
-	sets  int
-	assoc int
+	// Geometry, fixed at construction (reset preserves it).
+	sets  int        //bmlint:resetconst //bmlint:nosnapshot
+	assoc int        //bmlint:resetconst //bmlint:nosnapshot
 	ways  []assocWay // sets*assoc, flattened
 	clock uint64
 }

@@ -25,16 +25,17 @@ const atPG = 8
 // cache.
 type ATCache struct {
 	baseStats
-	cfg     Config
+	// cfg is reassigned by Reset; snapshots rebuild geometry from it.
+	cfg     Config //bmlint:nosnapshot
 	stacked *memctrl.Controller
 	offchip *memctrl.Controller
 
-	numSets int
+	numSets int //bmlint:resetconst //bmlint:nosnapshot
 	sets    *assocArray
 	// tagCache caches per-set tag blocks; address space = set index * 64.
 	tagCache *sram.Cache
 
-	tagCacheLat int64
+	tagCacheLat int64 //bmlint:resetconst //bmlint:nosnapshot
 	metaReads   int64
 	metaRowHits int64
 }

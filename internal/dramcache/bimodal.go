@@ -18,26 +18,28 @@ const tagCompareCycles = 2
 // writebacks.
 type BiModal struct {
 	baseStats
-	name    string
-	cfg     Config
+	// name and layout are variant identity fixed at construction; cfg is
+	// reassigned by Reset and snapshots rebuild geometry from it.
+	name    string //bmlint:resetconst //bmlint:nosnapshot
+	cfg     Config //bmlint:nosnapshot
 	cache   *core.Cache
 	stacked *memctrl.Controller
 	offchip *memctrl.Controller
-	layout  setLayout
+	layout  setLayout //bmlint:resetconst //bmlint:nosnapshot
 
-	wlLatency      int64
-	prefetchBypass bool
+	wlLatency      int64 //bmlint:resetconst //bmlint:nosnapshot
+	prefetchBypass bool  //bmlint:resetconst //bmlint:nosnapshot
 	missPred       *regionPredictor // nil unless WithMissPredictor
 	victims        *victimBuffer    // nil unless WithVictimCache
 
 	// Derived cache-geometry constants hoisted out of the access path: the
 	// core.Params accessors copy the whole struct per call, which dominates
 	// profiles when invoked several times per access.
-	bigBlock  uint64 // big block bytes
-	setBytes  uint64 // set bytes
-	subMask   uint64 // SubBlocks-1 (sub-block index mask within a big block)
-	metaBytes int64  // metadata bytes per set
-	metaRows  uint64 // set-metadata records per metadata row
+	bigBlock  uint64 //bmlint:resetconst //bmlint:nosnapshot — big block bytes
+	setBytes  uint64 //bmlint:resetconst //bmlint:nosnapshot — set bytes
+	subMask   uint64 //bmlint:resetconst //bmlint:nosnapshot — SubBlocks-1
+	metaBytes int64  //bmlint:resetconst //bmlint:nosnapshot — metadata bytes per set
+	metaRows  uint64 //bmlint:resetconst //bmlint:nosnapshot — set-metadata records per metadata row
 
 	metaReads   int64
 	metaRowHits int64

@@ -28,18 +28,19 @@ const fpcWays = 4
 // footprint stability.
 type Footprint struct {
 	baseStats
-	cfg     Config
+	// cfg is reassigned by Reset; snapshots rebuild geometry from it.
+	cfg     Config //bmlint:nosnapshot
 	stacked *memctrl.Controller
 	offchip *memctrl.Controller
 
-	numSets int
+	numSets int //bmlint:resetconst //bmlint:nosnapshot
 	pages   *assocArray
 	state   []fpcPage // parallel payload to pages (indexed set*fpcWays+way)
 
 	hist     []uint32 // footprint history table
-	histMask uint64
+	histMask uint64 //bmlint:resetconst //bmlint:nosnapshot
 
-	tagLatency int64
+	tagLatency int64 //bmlint:resetconst //bmlint:nosnapshot
 
 	// Bypassed counts pages served without allocation.
 	Bypassed int64

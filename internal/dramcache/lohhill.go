@@ -20,18 +20,19 @@ const lohHillTagBytes = 128
 // hit) read the data with a column access to the open row.
 type LohHill struct {
 	baseStats
-	cfg     Config
+	// cfg is reassigned by Reset; snapshots rebuild geometry from it.
+	cfg     Config //bmlint:nosnapshot
 	stacked *memctrl.Controller
 	offchip *memctrl.Controller
 
-	numSets int
+	numSets int //bmlint:resetconst //bmlint:nosnapshot
 	sets    *assocArray
 
 	// missMap, when enabled, tracks resident lines exactly (the paper's
 	// MissMap lives in the L3 and is consulted before the DRAM cache, so
 	// known misses skip the tags-then-data DRAM accesses entirely).
 	missMap     map[uint64]struct{}
-	missMapLat  int64
+	missMapLat  int64 //bmlint:resetconst //bmlint:nosnapshot
 	metaReads   int64
 	metaRowHits int64
 }

@@ -9,9 +9,11 @@ const victimReadCycles = 4
 // victimBuffer is a small FIFO of recently evicted big blocks, probed on
 // misses when the WithVictimCache extension is enabled.
 type victimBuffer struct {
-	ring    []addr.Phys
-	pos     int
-	present map[addr.Phys]bool
+	ring []addr.Phys
+	pos  int
+	// present mirrors the ring for O(1) probes; restoreState rebuilds it
+	// from the restored ring rather than deserializing it.
+	present map[addr.Phys]bool //bmlint:nosnapshot
 }
 
 func newVictimBuffer(n int) *victimBuffer {

@@ -79,8 +79,9 @@ type pendingWrite struct {
 
 // Controller schedules accesses over a set of channels.
 type Controller struct {
-	cfg      Config
-	il       addr.Interleave
+	// cfg and the interleave map are construction-time configuration.
+	cfg      Config          //bmlint:resetconst //bmlint:nosnapshot
+	il       addr.Interleave //bmlint:resetconst //bmlint:nosnapshot
 	channels []*dram.Channel
 	// writeQ holds deferred writes per channel; lastNow tracks the most
 	// recent arrival for final drains.

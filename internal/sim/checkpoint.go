@@ -26,9 +26,10 @@ type Sim struct {
 
 	// seeds is a reusable per-core seed buffer for Reset.
 	seeds []uint64
-	// key/pooled track RunPool membership (set by RunPool.Get).
-	key    poolKey
-	pooled bool
+	// key/pooled track RunPool membership; RunPool.Get manages them, and
+	// Reset deliberately leaves them so a pooled Sim stays pooled.
+	key    poolKey //bmlint:resetconst
+	pooled bool    //bmlint:resetconst
 }
 
 // NewSim assembles a simulation without running it. The construction path

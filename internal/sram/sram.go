@@ -55,8 +55,10 @@ type Victim struct {
 
 // Cache is a set-associative cache over 64-bit tags.
 type Cache struct {
-	cfg    Config
-	fields addr.Fields
+	// cfg and the derived field extractor are construction-time geometry;
+	// snapshots rebuild them from Config.
+	cfg    Config      //bmlint:nosnapshot
+	fields addr.Fields //bmlint:resetconst //bmlint:nosnapshot
 	sets   [][]Way
 	clock  uint64
 	rng    *xrand.Rand

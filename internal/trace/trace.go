@@ -62,8 +62,11 @@ type Generator interface {
 
 // SliceGen replays a fixed slice, cycling; useful in tests.
 type SliceGen struct {
-	Accs []Access
-	Lab  string
+	// Accs and Lab define the replayed stream; Reset rewinds the cursor
+	// without touching them, and restore validates the slice length rather
+	// than deserializing the accesses.
+	Accs []Access //bmlint:resetconst //bmlint:nosnapshot
+	Lab  string   //bmlint:resetconst //bmlint:nosnapshot
 	pos  int
 }
 
@@ -145,8 +148,10 @@ func (p Profile) FootprintBytes() uint64 { return p.FootprintPages * PageBytes }
 
 // Synthetic generates a stream from a Profile. Create with NewSynthetic.
 type Synthetic struct {
-	prof Profile
-	base addr.Phys
+	// prof and base are construction-time identity (the snapshot seam
+	// rebuilds congruent generators from the same profile and placement).
+	prof Profile   //bmlint:resetconst //bmlint:nosnapshot
+	base addr.Phys //bmlint:resetconst //bmlint:nosnapshot
 	rng  *xrand.Rand
 	zipf *xrand.Zipf
 	// pending holds the current episode; head indexes the next access to
@@ -157,10 +162,10 @@ type Synthetic struct {
 	head    int
 	// spanMask is FootprintBytes-1 (the footprint is a power of two), for
 	// mask-based wraparound in sequential episodes.
-	spanMask addr.Phys
+	spanMask addr.Phys //bmlint:resetconst //bmlint:nosnapshot
 	// permMul is an odd multiplier giving a bijective page permutation so
 	// popular pages are scattered across the address space.
-	permMul uint64
+	permMul uint64 //bmlint:resetconst //bmlint:nosnapshot
 	// recent is the revisit history ring of episode page bases.
 	recent []addr.Phys
 	rpos   int

@@ -125,8 +125,10 @@ func (r *Rand) RestoreState(rd *snapshot.Reader) {
 // Zipf draws Zipf(s)-distributed values over [0, n) using inverse-CDF on a
 // precomputed table. Construct with NewZipf.
 type Zipf struct {
-	cdf []float64
-	idx []int32
+	// cdf/idx are immutable distribution tables shared across resets and
+	// restores; only the linked Rand carries mutable state.
+	cdf []float64 //bmlint:nosnapshot
+	idx []int32   //bmlint:nosnapshot
 	r   *Rand
 }
 
