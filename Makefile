@@ -8,9 +8,11 @@ build:
 	$(GO) build ./...
 
 # lint runs the stock go vet analyzers plus the repo's own bmlint suite
-# (determinism, zero-alloc hot paths, context hygiene, error wrapping). The
-# suite runs both standalone (go run, fast iteration) and as a vettool in
-# CI; see DESIGN.md section 11 for the invariants and annotations.
+# (determinism, zero-alloc hot paths, context hygiene, error wrapping, and
+# the struct-field completeness trio: Reset coverage, snapshot codec
+# symmetry, pooled-Sim escape). The suite runs both standalone (go run,
+# fast iteration) and as a vettool in CI; see DESIGN.md sections 11 and 16
+# for the invariants and annotations.
 lint: vet
 	$(GO) run ./cmd/bmlint ./...
 

@@ -57,7 +57,7 @@ func main() {
 		out       = flag.String("out", "", "snapshot output path (default BENCH_<date>.json; '-' suppresses)")
 		baseline  = flag.String("baseline", "", "compare against this snapshot; exit 1 on regression")
 		tolerance = flag.Float64("tolerance", 0.10, "allowed fractional ns/op regression vs the baseline")
-		ratchet   = flag.String("ratchet", "EndToEndMix", "comma-separated cases whose ns/op and allocs/op may only ratchet down: no tolerance band, any increase over the baseline fails")
+		ratchet   = flag.String("ratchet", "EndToEndMix,EndToEndMixPooled,SweepPooled", "comma-separated cases whose ns/op and allocs/op may only ratchet down: no tolerance band, any increase over the baseline fails")
 		list      = flag.Bool("list", false, "list registered cases and exit")
 	)
 	testing.Init() // registers -test.* flags so benchtime can be set below
