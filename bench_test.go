@@ -70,10 +70,11 @@ func BenchmarkTable6Prefetch(b *testing.B)  { benchExperiment(b, "table6") }
 func BenchmarkExtMissPredictor(b *testing.B) {
 	benchExperiment(b, "ext-misspred")
 }
-func BenchmarkExtVictimCache(b *testing.B) { benchExperiment(b, "ext-victim") }
-func BenchmarkSweepThreshold(b *testing.B) { benchExperiment(b, "sweep-threshold") }
-func BenchmarkSweepWeight(b *testing.B)    { benchExperiment(b, "sweep-weight") }
-func BenchmarkSweepPredictor(b *testing.B) { benchExperiment(b, "sweep-predictor") }
+func BenchmarkExtVictimCache(b *testing.B)    { benchExperiment(b, "ext-victim") }
+func BenchmarkExtTenantSlowdown(b *testing.B) { benchExperiment(b, "ext-tenant") }
+func BenchmarkSweepThreshold(b *testing.B)    { benchExperiment(b, "sweep-threshold") }
+func BenchmarkSweepWeight(b *testing.B)       { benchExperiment(b, "sweep-weight") }
+func BenchmarkSweepPredictor(b *testing.B)    { benchExperiment(b, "sweep-predictor") }
 
 // --- microbenchmarks of the simulator's hot paths ---
 //
@@ -94,3 +95,7 @@ func BenchmarkEndToEndMixPooled(b *testing.B)      { bench.Run(b, "EndToEndMixPo
 func BenchmarkSweepColdWarmup(b *testing.B)        { bench.Run(b, "SweepColdWarmup") }
 func BenchmarkSweepWarmRestore(b *testing.B)       { bench.Run(b, "SweepWarmRestore") }
 func BenchmarkSweepPooled(b *testing.B)            { bench.Run(b, "SweepPooled") }
+func BenchmarkTraceNextKVStore(b *testing.B)       { bench.Run(b, "TraceNextKVStore") }
+func BenchmarkTraceNextWebserve(b *testing.B)      { bench.Run(b, "TraceNextWebserve") }
+func BenchmarkTraceNextScan(b *testing.B)          { bench.Run(b, "TraceNextScan") }
+func BenchmarkTraceNextInterleave4(b *testing.B)   { bench.Run(b, "TraceNextInterleave4") }

@@ -185,7 +185,7 @@ func printSpec(rs spec.RunSpec) error {
 }
 
 func run(ctx context.Context, rs spec.RunSpec, workers int, jsonOut bool, checkpoint, restore string) error {
-	mix, err := workloads.ByName(rs.Mix)
+	mix, err := workloads.MixForSpec(rs)
 	if err != nil {
 		return err
 	}

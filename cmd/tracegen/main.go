@@ -8,6 +8,12 @@
 //	tracegen -inspect mcf.trc.gz                      # stream statistics
 //	tracegen -replay mcf.trc -scheme bimodal          # drive a scheme
 //
+// Multi-tenant streams interleave several profiles into one tagged trace
+// (profile:weight sets a tenant's relative share; -shared remaps that
+// percentage of accesses onto a hot region all tenants contend for):
+//
+//	tracegen -tenants kvstore:2,kvstore,webserve,scan -shared 10 -n 1000000 -o dc.trc
+//
 // Output is gzip-compressed when -gzip is set or the output name ends in
 // .gz; -inspect and -replay detect compression automatically.
 package main
@@ -16,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"bimodal/internal/dramcache"
@@ -27,6 +34,9 @@ func main() {
 	var (
 		bench   = flag.String("bench", "", "benchmark profile to generate (see -benches)")
 		benches = flag.Bool("benches", false, "list benchmark profiles")
+		tenants = flag.String("tenants", "", "comma-separated tenant profiles to interleave (profile or profile:weight)")
+		shared  = flag.Int64("shared", 0, "percent (0..90) of accesses remapped onto the shared hot region (with -tenants)")
+		spages  = flag.Uint64("shared-pages", 64, "shared hot region size in 4KB pages (with -shared)")
 		n       = flag.Int64("n", 1_000_000, "accesses to generate")
 		out     = flag.String("o", "", "output trace file")
 		seed    = flag.Uint64("seed", 1, "generator seed")
@@ -50,8 +60,8 @@ func main() {
 		err = inspectTrace(*inspect)
 	case *replay != "":
 		err = replayTrace(*replay, *scheme)
-	case *bench != "" && *out != "":
-		err = generate(*bench, *out, *n, *seed, *llsc, *gz || strings.HasSuffix(*out, ".gz"))
+	case (*bench != "" || *tenants != "") && *out != "":
+		err = generate(*bench, *tenants, *shared, *spages, *out, *n, *seed, *llsc, *gz || strings.HasSuffix(*out, ".gz"))
 	default:
 		flag.Usage()
 		os.Exit(2)
@@ -62,12 +72,56 @@ func main() {
 	}
 }
 
-func generate(bench, out string, n int64, seed, llscBytes uint64, gz bool) error {
-	prof, err := trace.ProfileByName(bench)
-	if err != nil {
-		return err
+// parseTenants turns "kvstore:2,webserve,scan" into interleaver streams.
+func parseTenants(arg string) ([]trace.TenantStream, error) {
+	parts := strings.Split(arg, ",")
+	if len(parts) > trace.MaxTenants {
+		return nil, fmt.Errorf("at most %d tenants, got %d", trace.MaxTenants, len(parts))
 	}
-	var gen trace.Generator = trace.NewSynthetic(prof, 0, seed)
+	streams := make([]trace.TenantStream, 0, len(parts))
+	for _, part := range parts {
+		name, weightArg, weighted := strings.Cut(strings.TrimSpace(part), ":")
+		weight := 1.0
+		if weighted {
+			w, err := strconv.ParseUint(weightArg, 10, 16)
+			if err != nil || w == 0 {
+				return nil, fmt.Errorf("tenant %q: weight must be a positive integer", part)
+			}
+			weight = float64(w)
+		}
+		prof, err := trace.ProfileByName(name)
+		if err != nil {
+			return nil, err
+		}
+		streams = append(streams, trace.TenantStream{Prof: prof, Weight: weight})
+	}
+	return streams, nil
+}
+
+func generate(bench, tenants string, sharedPct int64, sharedPages uint64, out string, n int64, seed, llscBytes uint64, gz bool) error {
+	var gen trace.Generator
+	switch {
+	case bench != "" && tenants != "":
+		return fmt.Errorf("-bench and -tenants are mutually exclusive")
+	case tenants != "":
+		streams, err := parseTenants(tenants)
+		if err != nil {
+			return err
+		}
+		if sharedPct < 0 || sharedPct > 90 {
+			return fmt.Errorf("-shared %d out of range 0..90", sharedPct)
+		}
+		if sharedPct > 0 && (sharedPages == 0 || sharedPages&(sharedPages-1) != 0) {
+			return fmt.Errorf("-shared-pages %d must be a power of two", sharedPages)
+		}
+		gen = trace.NewInterleaver("tracegen:"+tenants, streams, 0, float64(sharedPct)/100, sharedPages, seed)
+	default:
+		prof, err := trace.ProfileByName(bench)
+		if err != nil {
+			return err
+		}
+		gen = trace.NewSynthetic(prof, 0, seed)
+	}
 	if llscBytes > 0 {
 		gen = trace.NewLLSCFilter(gen, llscBytes, 8, seed)
 	}
@@ -113,6 +167,8 @@ func inspectTrace(path string) error {
 	}
 	var writes, deps int64
 	var gapSum float64
+	var tenantAcc [trace.MaxTenants + 1]int64
+	maxTenant := 0
 	lines := map[uint64]struct{}{}
 	blockUtil := map[uint64]uint8{}
 	for _, a := range recs {
@@ -121,6 +177,12 @@ func inspectTrace(path string) error {
 		}
 		if a.Dep {
 			deps++
+		}
+		if int(a.Tenant) <= trace.MaxTenants {
+			tenantAcc[a.Tenant]++
+			if int(a.Tenant) > maxTenant {
+				maxTenant = int(a.Tenant)
+			}
 		}
 		gapSum += float64(a.Gap)
 		lines[uint64(a.Addr)>>6] = struct{}{}
@@ -144,6 +206,13 @@ func inspectTrace(path string) error {
 	tbl.AddRow("distinct 64B lines", fmt.Sprint(len(lines)))
 	tbl.AddRow("footprint", stats.FmtBytes(float64(len(lines)*64)))
 	tbl.AddRow("512B-block utilization", stats.FmtPct(float64(utilBits)/float64(utilBlocks)))
+	if maxTenant > 0 {
+		tbl.AddRow("tenants", fmt.Sprint(maxTenant+1))
+		for t := 0; t <= maxTenant; t++ {
+			tbl.AddRow(fmt.Sprintf("tenant %d share", t),
+				stats.FmtPct(float64(tenantAcc[t])/float64(len(recs))))
+		}
+	}
 	fmt.Print(tbl)
 	return nil
 }

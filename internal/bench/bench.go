@@ -72,6 +72,10 @@ var cases = []Case{
 	{"SweepColdWarmup", "10-cell same-prefix sweep, every cell warming from cold", sweepColdWarmup},
 	{"SweepWarmRestore", "10-cell same-prefix sweep warming once via snapshot restore", sweepWarmRestore},
 	{"SweepPooled", "10-seed one-cell sweep recycling a single pooled simulator", sweepPooled},
+	{"TraceNextKVStore", "datacenter kvstore profile stream generation", traceNextCase("kvstore")},
+	{"TraceNextWebserve", "bursty webserve profile stream generation", traceNextCase("webserve")},
+	{"TraceNextScan", "analytics scan profile stream generation", traceNextCase("scan")},
+	{"TraceNextInterleave4", "4-tenant weighted interleaver with a shared hot region", traceNextCase("interleave4")},
 }
 
 // biModalAccess measures one end-to-end scheme access (functional cache +
@@ -183,6 +187,40 @@ func traceGeneration(b *testing.B) {
 	}
 }
 
+// traceNextGenerator builds the generator a TraceNext case measures;
+// shared with the zero-alloc regression test so the benchmarked path and
+// the asserted path are the same object.
+func traceNextGenerator(kind string) trace.Generator {
+	switch kind {
+	case "kvstore", "webserve", "scan":
+		return trace.NewSynthetic(trace.MustProfile(kind), 0, 4)
+	case "interleave4":
+		streams := []trace.TenantStream{
+			{Prof: trace.MustProfile("kvstore"), Weight: 1},
+			{Prof: trace.MustProfile("kvstore"), Weight: 2},
+			{Prof: trace.MustProfile("webserve"), Weight: 1},
+			{Prof: trace.MustProfile("scan"), Weight: 1},
+		}
+		return trace.NewInterleaver("bench-dc4", streams, 0, 0.10, 64, 7)
+	}
+	panic("bench: unknown TraceNext generator " + kind)
+}
+
+// traceNextCase measures the per-access cost of one traffic-model
+// generator: the datacenter profiles and the tenant interleaver are on
+// every simulated access's critical path, so these track the workload
+// layer the way TraceGeneration tracks the classic SPEC profiles.
+func traceNextCase(kind string) func(b *testing.B) {
+	return func(b *testing.B) {
+		g := traceNextGenerator(kind)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.Next()
+		}
+	}
+}
+
 // endToEndMix measures a complete small multiprogrammed run via the public
 // facade.
 func endToEndMix(b *testing.B) {
@@ -253,7 +291,7 @@ func warmSweepSpecs() []spec.RunSpec {
 func runSweepColdWarmup() error {
 	ctx := context.Background()
 	for _, rs := range warmSweepSpecs() {
-		mix, err := workloads.ByName(rs.Mix)
+		mix, err := workloads.MixForSpec(rs)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,20 @@
+package bench
+
+import "testing"
+
+// TestTraceNextZeroAlloc asserts the TraceNext benchmark family measures
+// an allocation-free hot path: after warmup (burst queues and pending
+// buffers reach steady-state capacity), Next must not allocate. A
+// regression here would show up as noise in the tolerance band long
+// before bmbench flags it, so it is pinned as a hard test.
+func TestTraceNextZeroAlloc(t *testing.T) {
+	for _, kind := range []string{"kvstore", "webserve", "scan", "interleave4"} {
+		g := traceNextGenerator(kind)
+		for i := 0; i < 1<<18; i++ {
+			g.Next()
+		}
+		if n := testing.AllocsPerRun(2048, func() { g.Next() }); n != 0 {
+			t.Errorf("%s: %v allocs/op after warmup, want 0", kind, n)
+		}
+	}
+}

@@ -70,11 +70,52 @@ func (r CoreResult) IPC() float64 {
 	return float64(r.Insts) / float64(r.Cycles)
 }
 
+// TenantResult attributes one tenant's share of a core's (or engine's)
+// counted traffic. Tenant IDs come from the trace.Interleaver weave; a
+// single-tenant generator produces no attribution at all (the per-core
+// CoreResult already is that tenant's result).
+type TenantResult struct {
+	Tenant     int
+	Accesses   int64
+	Reads      int64
+	Hits       int64
+	LatencySum int64
+	// Insts counts the instruction gaps preceding this tenant's accesses —
+	// the tenant's share of the core's replayed instructions.
+	Insts int64
+}
+
+// tenantCounted is implemented by generators that weave multiple tenant
+// streams (trace.Interleaver); the engine sizes per-tenant attribution
+// from it.
+type tenantCounted interface{ Tenants() int }
+
+// DeltaTenants subtracts a warmup baseline from cumulative per-tenant
+// totals, mirroring MeasureAfterWarmupContext's per-core subtraction.
+// pre may be nil (no warmup); slices must otherwise be index-aligned.
+func DeltaTenants(post, pre []TenantResult) []TenantResult {
+	if len(post) == 0 {
+		return nil
+	}
+	out := make([]TenantResult, len(post))
+	copy(out, post)
+	for i := range out {
+		if i < len(pre) {
+			out[i].Accesses -= pre[i].Accesses
+			out[i].Reads -= pre[i].Reads
+			out[i].Hits -= pre[i].Hits
+			out[i].LatencySum -= pre[i].LatencySum
+			out[i].Insts -= pre[i].Insts
+		}
+	}
+	return out
+}
+
 // core is the per-core replay state.
 type core struct {
 	// id and cfg are construction-time identity; the snapshot seam
 	// reconstructs cores congruently, so neither is serialized.
-	id   int              //bmlint:nosnapshot
+	id   int //bmlint:nosnapshot
 	gen  trace.Generator
 	cfg  CoreConfig //bmlint:resetconst //bmlint:nosnapshot
 	time int64
@@ -88,6 +129,10 @@ type core struct {
 	lastDone    int64
 	insts       int64 // total instructions replayed (incl. uncounted)
 	result      CoreResult
+	// tens attributes counted traffic to tenant streams when the core's
+	// generator weaves multiple tenants (empty otherwise). Sized once at
+	// construction from the generator's Tenants().
+	tens []TenantResult
 	// remaining/next/key are phase-boundary non-state: runPhase re-primes
 	// every core when a phase starts, overwriting them before first use
 	// (see the seam note at the top of snapshot.go).
@@ -167,6 +212,18 @@ func (c *core) step(s dramcache.Scheme, pf *Prefetcher) bool {
 			c.result.Reads++
 			c.result.LatencySum += res.Done - c.time
 		}
+		if len(c.tens) > 0 && int(a.Tenant) < len(c.tens) {
+			t := &c.tens[a.Tenant]
+			t.Insts += int64(a.Gap)
+			t.Accesses++
+			if res.Hit {
+				t.Hits++
+			}
+			if !a.Write {
+				t.Reads++
+				t.LatencySum += res.Done - c.time
+			}
+		}
 	}
 	c.insts += int64(a.Gap)
 	if !a.Write {
@@ -223,6 +280,9 @@ func (c *core) reset() {
 	c.lastDone = 0
 	c.insts = 0
 	c.result = CoreResult{Core: c.id, Benchmark: c.gen.Name()}
+	for i := range c.tens {
+		c.tens[i] = TenantResult{Tenant: i}
+	}
 	c.remaining = 0
 	c.next = trace.Access{}
 	c.key = 0
@@ -259,7 +319,7 @@ func NewEngine(scheme dramcache.Scheme, gens []trace.Generator, cfg CoreConfig, 
 	}
 	e := &Engine{scheme: scheme, pf: pf, sched: make([]*core, 0, len(gens))}
 	for i, g := range gens {
-		e.cores = append(e.cores, &core{
+		c := &core{
 			id:  i,
 			gen: g,
 			cfg: cfg,
@@ -267,7 +327,14 @@ func NewEngine(scheme dramcache.Scheme, gens []trace.Generator, cfg CoreConfig, 
 				Core:      i,
 				Benchmark: g.Name(),
 			},
-		})
+		}
+		if tc, ok := g.(tenantCounted); ok && tc.Tenants() > 1 {
+			c.tens = make([]TenantResult, tc.Tenants())
+			for t := range c.tens {
+				c.tens[t].Tenant = t
+			}
+		}
+		e.cores = append(e.cores, c)
 	}
 	return e
 }
@@ -319,30 +386,22 @@ func (e *Engine) pop() *core {
 	return c
 }
 
-// resettableGen is implemented by generators that can return to their
-// initial state under a new seed in place (trace.Synthetic, trace.SliceGen).
-type resettableGen interface{ Reset(seed uint64) }
-
 // Reset returns the engine to its just-constructed state for a new run:
 // every core's replay state is zeroed in place, its generator reseeded
 // with the matching entry of seeds (one per core — workloads.CoreSeed
 // derivation is the caller's job), and the prefetcher filters cleared.
 // It reports false, leaving the engine untouched, when the seed count
-// does not match or any generator cannot be reseeded in place; the caller
-// must then rebuild the engine instead.
+// does not match; the caller must then rebuild the engine instead.
+// (Every trace.Generator reseeds in place — Reset is part of the
+// interface contract — so a matching seed count always succeeds.)
 //
 //bmlint:hotpath
 func (e *Engine) Reset(seeds []uint64) bool {
 	if len(seeds) != len(e.cores) {
 		return false
 	}
-	for _, c := range e.cores {
-		if _, ok := c.gen.(resettableGen); !ok {
-			return false
-		}
-	}
 	for i, c := range e.cores {
-		c.gen.(resettableGen).Reset(seeds[i])
+		c.gen.Reset(seeds[i])
 		c.reset()
 	}
 	// The dispatch heap is drained by runPhase, but truncate it here too so
@@ -465,7 +524,7 @@ func (e *Engine) runPhase(ctx context.Context, accessesPerCore int64, phaseHist 
 		e.push(c)
 	}
 	observeRate(phaseHist, steps, telemetry.Since(start)) //bmlint:wallclock
-	out := make([]CoreResult, len(e.cores)) //bmlint:allow alloc — one phase-exit result copy, not per-access
+	out := make([]CoreResult, len(e.cores))               //bmlint:allow alloc — one phase-exit result copy, not per-access
 	for i, c := range e.cores {
 		out[i] = c.result
 	}
@@ -539,6 +598,36 @@ func (e *Engine) CumulativeResults() []CoreResult {
 	out := make([]CoreResult, len(e.cores))
 	for i, c := range e.cores {
 		out[i] = c.result
+	}
+	return out
+}
+
+// TenantTotals aggregates per-tenant attribution across every core,
+// indexed by tenant ID. It returns nil when no core weaves multiple
+// tenants. Totals are cumulative (like CumulativeResults); subtract a
+// warmup baseline with DeltaTenants.
+func (e *Engine) TenantTotals() []TenantResult {
+	n := 0
+	for _, c := range e.cores {
+		if len(c.tens) > n {
+			n = len(c.tens)
+		}
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]TenantResult, n)
+	for i := range out {
+		out[i].Tenant = i
+	}
+	for _, c := range e.cores {
+		for i, t := range c.tens {
+			out[i].Accesses += t.Accesses
+			out[i].Reads += t.Reads
+			out[i].Hits += t.Hits
+			out[i].LatencySum += t.LatencySum
+			out[i].Insts += t.Insts
+		}
 	}
 	return out
 }

@@ -75,6 +75,14 @@ func (c *core) snapshotState(w *snapshot.Writer) {
 	w.I64(c.result.Reads)
 	w.I64(c.result.Hits)
 	w.I64(c.result.LatencySum)
+	w.U32(uint32(len(c.tens)))
+	for _, t := range c.tens {
+		w.I64(t.Accesses)
+		w.I64(t.Reads)
+		w.I64(t.Hits)
+		w.I64(t.LatencySum)
+		w.I64(t.Insts)
+	}
 }
 
 func (c *core) restoreState(r *snapshot.Reader) {
@@ -103,6 +111,24 @@ func (c *core) restoreState(r *snapshot.Reader) {
 	c.result.Reads = r.I64()
 	c.result.Hits = r.I64()
 	c.result.LatencySum = r.I64()
+	nt := r.SliceLen(40)
+	if r.Err() != nil {
+		return
+	}
+	if nt != len(c.tens) {
+		r.Failf("tenant attribution count %d does not match the engine's %d", nt, len(c.tens))
+		return
+	}
+	for i := range c.tens {
+		c.tens[i] = TenantResult{
+			Tenant:     i,
+			Accesses:   r.I64(),
+			Reads:      r.I64(),
+			Hits:       r.I64(),
+			LatencySum: r.I64(),
+			Insts:      r.I64(),
+		}
+	}
 }
 
 // SnapshotState implements snapshot.Snapshotter.

@@ -9,7 +9,7 @@ import (
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"fig1", "fig2", "fig3", "fig5", "fig7", "fig8a", "fig8b", "fig8c",
 		"fig9a", "fig9b", "fig9c", "fig10", "fig11", "fig12", "table3", "table5", "table6",
-		"ext-misspred", "ext-victim", "sweep-threshold", "sweep-weight", "sweep-predictor"}
+		"ext-misspred", "ext-victim", "ext-tenant", "sweep-threshold", "sweep-weight", "sweep-predictor"}
 	for _, id := range want {
 		if _, err := ByID(id); err != nil {
 			t.Errorf("missing experiment %s: %v", id, err)
@@ -122,5 +122,12 @@ func TestFig10Runs(t *testing.T) {
 	out := run(t, "fig10")
 	if !strings.Contains(out, "small fraction") {
 		t.Errorf("fig10 output:\n%s", out)
+	}
+}
+
+func TestExtTenantRuns(t *testing.T) {
+	out := run(t, "ext-tenant")
+	if !strings.Contains(out, "KV4") || !strings.Contains(out, "ANTT gain") {
+		t.Errorf("ext-tenant output:\n%s", out)
 	}
 }

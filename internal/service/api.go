@@ -23,6 +23,7 @@ import (
 	"bimodal/internal/energy"
 	"bimodal/internal/sim"
 	"bimodal/internal/spec"
+	"bimodal/internal/stats"
 	"bimodal/internal/workloads"
 )
 
@@ -180,7 +181,7 @@ type Dispatcher interface {
 // canonical specs); results are marshaled exactly once so every node
 // produces identical bytes for identical specs.
 func RunCellSpec(ctx context.Context, rs spec.RunSpec) ([]byte, error) {
-	mix, err := workloads.ByName(rs.Mix)
+	mix, err := workloads.MixForSpec(rs)
 	if err != nil {
 		return nil, err
 	}
@@ -249,21 +250,38 @@ type JobResult struct {
 
 // CellResult reports one simulation cell.
 type CellResult struct {
-	Mix               string       `json:"mix"`
-	Scheme            string       `json:"scheme"`
-	HitRate           float64      `json:"hit_rate"`
-	AvgLatencyCycles  float64      `json:"avg_latency_cycles"`
-	LocatorHitRate    float64      `json:"locator_hit_rate,omitempty"`
-	MetaRowHitRate    float64      `json:"meta_row_hit_rate,omitempty"`
-	SmallFraction     float64      `json:"small_block_fraction,omitempty"`
-	StackedRowHitRate float64      `json:"stacked_row_hit_rate"`
-	OffchipReadBytes  int64        `json:"offchip_read_bytes"`
-	OffchipWriteBytes int64        `json:"offchip_write_bytes"`
-	WastedFetchBytes  int64        `json:"wasted_fetch_bytes"`
-	EnergyPerAccessNJ float64      `json:"energy_per_access_nj"`
-	TotalCycles       int64        `json:"total_cycles"`
-	ANTT              float64      `json:"antt,omitempty"`
-	PerCore           []CoreResult `json:"per_core"`
+	Mix               string  `json:"mix"`
+	Scheme            string  `json:"scheme"`
+	HitRate           float64 `json:"hit_rate"`
+	AvgLatencyCycles  float64 `json:"avg_latency_cycles"`
+	LocatorHitRate    float64 `json:"locator_hit_rate,omitempty"`
+	MetaRowHitRate    float64 `json:"meta_row_hit_rate,omitempty"`
+	SmallFraction     float64 `json:"small_block_fraction,omitempty"`
+	StackedRowHitRate float64 `json:"stacked_row_hit_rate"`
+	OffchipReadBytes  int64   `json:"offchip_read_bytes"`
+	OffchipWriteBytes int64   `json:"offchip_write_bytes"`
+	WastedFetchBytes  int64   `json:"wasted_fetch_bytes"`
+	EnergyPerAccessNJ float64 `json:"energy_per_access_nj"`
+	TotalCycles       int64   `json:"total_cycles"`
+	ANTT              float64 `json:"antt,omitempty"`
+	// TenantANTT and PerTenant attribute a multi-tenant cell to its tenant
+	// streams (absent on single-tenant mixes). TenantANTT is the mean
+	// per-tenant slowdown relative to the best-served tenant
+	// (stats.TenantSlowdowns).
+	TenantANTT float64        `json:"tenant_antt,omitempty"`
+	PerTenant  []TenantResult `json:"per_tenant,omitempty"`
+	PerCore    []CoreResult   `json:"per_core"`
+}
+
+// TenantResult is the per-tenant slice of a multi-tenant cell.
+type TenantResult struct {
+	Tenant           int     `json:"tenant"`
+	Accesses         int64   `json:"accesses"`
+	HitRate          float64 `json:"hit_rate"`
+	AvgLatencyCycles float64 `json:"avg_latency_cycles"`
+	// Slowdown is this tenant's average latency normalized to the
+	// best-served tenant's (>= 1; exactly 1 for the best tenant).
+	Slowdown float64 `json:"slowdown"`
 }
 
 // CoreResult is the per-core slice of a cell.
@@ -295,6 +313,23 @@ func NewCellResult(scheme string, res sim.RunResult) CellResult {
 		WastedFetchBytes:  r.WastedFetchBytes,
 		EnergyPerAccessNJ: energy.PerAccess(res.Energy, r.Accesses),
 		TotalCycles:       res.TotalCycles(),
+	}
+	if len(res.PerTenant) > 0 {
+		shares := make([]stats.TenantShare, len(res.PerTenant))
+		for i, t := range res.PerTenant {
+			shares[i] = stats.TenantShare{Accesses: t.Accesses, Reads: t.Reads, Hits: t.Hits, LatencySum: t.LatencySum}
+		}
+		slow, antt := stats.TenantSlowdowns(shares)
+		c.TenantANTT = antt
+		for i, t := range res.PerTenant {
+			c.PerTenant = append(c.PerTenant, TenantResult{
+				Tenant:           t.Tenant,
+				Accesses:         t.Accesses,
+				HitRate:          shares[i].HitRate(),
+				AvgLatencyCycles: shares[i].AvgLatency(),
+				Slowdown:         slow[i],
+			})
+		}
 	}
 	for _, pc := range res.PerCore {
 		hr := 0.0
@@ -390,7 +425,7 @@ func (r JobRequest) cells(maxCells int) ([]cellSpec, error) {
 		}
 		out := make([]cellSpec, 0, len(r.Specs))
 		for _, rs := range r.Specs {
-			mix, err := workloads.ByName(rs.Mix)
+			mix, err := workloads.MixForSpec(rs)
 			if err != nil {
 				return nil, err
 			}

@@ -82,7 +82,7 @@ func (w *WarmRunner) RunCell(ctx context.Context, rs spec.RunSpec) (raw []byte, 
 		raw, err = RunCellSpec(ctx, rs)
 		return raw, false, err
 	}
-	mix, err := workloads.ByName(rs.Mix)
+	mix, err := workloads.MixForSpec(rs)
 	if err != nil {
 		return nil, false, err
 	}

@@ -18,10 +18,13 @@ import (
 // execute the exact same engine call sequence and produce byte-identical
 // results (DESIGN.md section 14).
 type Sim struct {
-	mix    workloads.Mix
-	o      Options
-	eng    *cpu.Engine
-	pre    []cpu.CoreResult
+	mix workloads.Mix
+	o   Options
+	eng *cpu.Engine
+	pre []cpu.CoreResult
+	// preT is the per-tenant warmup baseline (nil for single-tenant mixes),
+	// captured alongside pre and subtracted the same way.
+	preT   []cpu.TenantResult
 	warmed bool
 
 	// seeds is a reusable per-core seed buffer for Reset.
@@ -95,6 +98,7 @@ func (s *Sim) Reset(mix workloads.Mix, factory Factory, o Options) bool {
 	s.mix = mix
 	s.o = o
 	s.pre = nil
+	s.preT = nil
 	s.warmed = false
 	return true
 }
@@ -113,6 +117,7 @@ func (s *Sim) Warmup(ctx context.Context) error {
 		return err
 	}
 	s.pre = pre
+	s.preT = s.eng.TenantTotals()
 	s.warmed = true
 	return nil
 }
@@ -148,6 +153,7 @@ func (s *Sim) Restore(blob []byte, wantPrefix string) error {
 		return fmt.Errorf("sim: restore: %d trailing payload bytes", n)
 	}
 	s.pre = s.eng.CumulativeResults()
+	s.preT = s.eng.TenantTotals()
 	s.warmed = true
 	return nil
 }
@@ -170,10 +176,11 @@ func (s *Sim) Measure(ctx context.Context) (RunResult, error) {
 	scheme := s.eng.Scheme()
 	rep := scheme.Report()
 	return RunResult{
-		Mix:     s.mix.Name,
-		PerCore: per,
-		Report:  rep,
-		Energy:  energy.Compute(rep, energy.Default()),
-		Scheme:  scheme,
+		Mix:       s.mix.Name,
+		PerCore:   per,
+		PerTenant: cpu.DeltaTenants(s.eng.TenantTotals(), s.preT),
+		Report:    rep,
+		Energy:    energy.Compute(rep, energy.Default()),
+		Scheme:    scheme,
 	}, nil
 }

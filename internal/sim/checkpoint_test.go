@@ -16,15 +16,16 @@ import (
 // resultView is RunResult minus the live Scheme handle: the comparable,
 // marshalable projection the golden tests compare byte-for-byte.
 type resultView struct {
-	Mix     string
-	PerCore []cpu.CoreResult
-	Report  dramcache.Report
-	Energy  energy.Breakdown
+	Mix       string
+	PerCore   []cpu.CoreResult
+	PerTenant []cpu.TenantResult
+	Report    dramcache.Report
+	Energy    energy.Breakdown
 }
 
 func viewJSON(t *testing.T, r RunResult) []byte {
 	t.Helper()
-	b, err := json.Marshal(resultView{Mix: r.Mix, PerCore: r.PerCore, Report: r.Report, Energy: r.Energy})
+	b, err := json.Marshal(resultView{Mix: r.Mix, PerCore: r.PerCore, PerTenant: r.PerTenant, Report: r.Report, Energy: r.Energy})
 	if err != nil {
 		t.Fatal(err)
 	}

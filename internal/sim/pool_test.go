@@ -31,11 +31,12 @@ func runSim(t *testing.T, s *Sim) RunResult {
 // Scheme field is a live instance, not a value).
 func marshalResult(r RunResult) ([]byte, error) {
 	return json.Marshal(struct {
-		Mix     string
-		PerCore []cpu.CoreResult
-		Report  dramcache.Report
-		Energy  energy.Breakdown
-	}{r.Mix, r.PerCore, r.Report, r.Energy})
+		Mix       string
+		PerCore   []cpu.CoreResult
+		PerTenant []cpu.TenantResult
+		Report    dramcache.Report
+		Energy    energy.Breakdown
+	}{r.Mix, r.PerCore, r.PerTenant, r.Report, r.Energy})
 }
 
 func encodeResult(t *testing.T, r RunResult) []byte {

@@ -86,8 +86,11 @@ func ConfigFor(mix workloads.Mix, o Options) dramcache.Config {
 type RunResult struct {
 	Mix     string
 	PerCore []cpu.CoreResult
-	Report  dramcache.Report
-	Energy  energy.Breakdown
+	// PerTenant attributes the measured window to tenant streams, indexed
+	// by tenant ID; nil for single-tenant mixes.
+	PerTenant []cpu.TenantResult
+	Report    dramcache.Report
+	Energy    energy.Breakdown
 	// Scheme retains the instance for scheme-specific inspection (e.g.
 	// the Bi-Modal core cache).
 	Scheme dramcache.Scheme

@@ -41,7 +41,9 @@ type Snapshotter interface {
 
 // Version is the envelope format version. Bump it when the meaning of
 // sealed bytes changes incompatibly; Open rejects mismatches.
-const Version = 1
+// v2: Access records carry a tenant byte and Synthetic serializes its
+// decomposed address/arrival processes.
+const Version = 2
 
 // magic identifies a sealed snapshot blob.
 const magic = "BMSN"

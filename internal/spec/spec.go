@@ -171,8 +171,12 @@ type RunSpec struct {
 	Scheme string `json:"scheme"`
 	// Params parameterize the scheme, validated against its descriptor.
 	Params Params `json:"params,omitempty"`
-	// Mix names the workload mix (Q1..Q24, E1..E16, S1..S8).
-	Mix string `json:"mix"`
+	// Mix names the workload mix (Q1..Q24, E1..E16, S1..S8, KV4, WEB4,
+	// SCAN4, DC4). Exactly one of Mix and Workload must be set.
+	Mix string `json:"mix,omitempty"`
+	// Workload declares a composed multi-tenant workload instead of a
+	// named mix.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
 	// Options scale the run.
 	Options Options `json:"options,omitempty"`
 	// Seed decorrelates reruns; 0 means 1 (canonical form >= 1).
@@ -193,8 +197,17 @@ func (s RunSpec) Canonical() (RunSpec, error) {
 		return RunSpec{}, err
 	}
 	s.Params = s.Params.canonical()
-	if s.Mix == "" {
-		return RunSpec{}, fmt.Errorf("spec: mix is required")
+	switch {
+	case s.Mix == "" && s.Workload == nil:
+		return RunSpec{}, fmt.Errorf("spec: one of mix and workload is required")
+	case s.Mix != "" && s.Workload != nil:
+		return RunSpec{}, fmt.Errorf("spec: mix %q and workload are mutually exclusive", s.Mix)
+	case s.Workload != nil:
+		w, err := s.Workload.Canonical()
+		if err != nil {
+			return RunSpec{}, err
+		}
+		s.Workload = &w
 	}
 	if s.Options, err = s.Options.Canonical(); err != nil {
 		return RunSpec{}, err

@@ -1,0 +1,101 @@
+package spec
+
+import (
+	"fmt"
+
+	"bimodal/internal/addr"
+	"bimodal/internal/trace"
+)
+
+// DefaultWorkloadCores is the core count a canonical workload spec
+// assumes when none is given (the evaluation's 4-core configuration).
+const DefaultWorkloadCores = 4
+
+// workloadCoreCounts lists the legal workload core counts: the Table IV
+// system configurations dramcache.DefaultConfig has presets for.
+var workloadCoreCounts = []int64{4, 8, 16}
+
+// DefaultSharedPages is the shared hot-region size a canonical workload
+// spec assumes when SharedPct is positive and no size is given.
+const DefaultSharedPages = 64
+
+// TenantSpec declares one tenant stream of a composed workload.
+type TenantSpec struct {
+	// Profile names a synthetic benchmark profile (trace.ProfileByName),
+	// typically one of the datacenter profiles: kvstore, webserve, scan.
+	Profile string `json:"profile"`
+	// Weight is the tenant's relative share of the interleaved accesses.
+	// 0 means 1; the canonical form of an even share is the omitted zero.
+	Weight int64 `json:"weight,omitempty"`
+}
+
+// WorkloadSpec declares a composed multi-tenant workload — the
+// declarative alternative to naming a static mix. Every core replays its
+// own tenant interleaver over the same tenant set (seeds decorrelate
+// cores), so per-tenant attribution aggregates cleanly across cores.
+//
+// Like the rest of the spec schema the fields are integers, keeping the
+// canonical encoding trivially stable (no float formatting concerns).
+type WorkloadSpec struct {
+	// Cores is the number of cores (4, 8 or 16 — the Table IV system
+	// presets); 0 means DefaultWorkloadCores.
+	Cores int64 `json:"cores,omitempty"`
+	// Tenants declares the interleaved tenant streams (1..trace.MaxTenants).
+	Tenants []TenantSpec `json:"tenants"`
+	// SharedPct is the percentage (0..90) of all accesses remapped onto
+	// the shared hot-page region every tenant contends for.
+	SharedPct int64 `json:"shared_pct,omitempty"`
+	// SharedPages sizes that region in 4KB pages (a power of two). 0 with
+	// positive SharedPct means DefaultSharedPages; forced to 0 when
+	// SharedPct is 0.
+	SharedPages uint64 `json:"shared_pages,omitempty"`
+}
+
+// Canonical validates the workload and resolves defaulted fields to
+// their explicit forms. The mapping is a fixed point.
+func (w WorkloadSpec) Canonical() (WorkloadSpec, error) {
+	if w.Cores == 0 {
+		w.Cores = DefaultWorkloadCores
+	}
+	legal := false
+	for _, n := range workloadCoreCounts {
+		legal = legal || w.Cores == n
+	}
+	if !legal {
+		return WorkloadSpec{}, fmt.Errorf("spec: workload cores %d not a system preset %v", w.Cores, workloadCoreCounts)
+	}
+	if len(w.Tenants) == 0 || len(w.Tenants) > trace.MaxTenants {
+		return WorkloadSpec{}, fmt.Errorf("spec: workload needs 1..%d tenants, got %d", trace.MaxTenants, len(w.Tenants))
+	}
+	tenants := make([]TenantSpec, len(w.Tenants))
+	for i, t := range w.Tenants {
+		if _, err := trace.ProfileByName(t.Profile); err != nil {
+			return WorkloadSpec{}, fmt.Errorf("spec: workload tenant %d: %w", i, err)
+		}
+		if t.Weight < 0 {
+			return WorkloadSpec{}, fmt.Errorf("spec: workload tenant %d weight %d must not be negative", i, t.Weight)
+		}
+		if t.Weight == 1 {
+			// 0 and 1 both mean an even unit share; the omitted zero is
+			// the canonical spelling.
+			t.Weight = 0
+		}
+		tenants[i] = t
+	}
+	w.Tenants = tenants
+	if w.SharedPct < 0 || w.SharedPct > 90 {
+		return WorkloadSpec{}, fmt.Errorf("spec: workload shared_pct %d out of range 0..90", w.SharedPct)
+	}
+	if w.SharedPct == 0 {
+		// Without folding the region size is inert.
+		w.SharedPages = 0
+	} else {
+		if w.SharedPages == 0 {
+			w.SharedPages = DefaultSharedPages
+		}
+		if !addr.IsPow2(w.SharedPages) || w.SharedPages > 1<<16 {
+			return WorkloadSpec{}, fmt.Errorf("spec: workload shared_pages %d must be a power of two <= %d", w.SharedPages, 1<<16)
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,178 @@
+package spec
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestWorkloadSpecCanonical checks default resolution and the fixed-point
+// property of WorkloadSpec.Canonical.
+func TestWorkloadSpecCanonical(t *testing.T) {
+	w := WorkloadSpec{
+		Tenants:   []TenantSpec{{Profile: "kvstore", Weight: 1}, {Profile: "scan", Weight: 2}},
+		SharedPct: 10,
+	}
+	c, err := w.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cores != DefaultWorkloadCores {
+		t.Errorf("cores = %d, want default %d", c.Cores, DefaultWorkloadCores)
+	}
+	if c.SharedPages != DefaultSharedPages {
+		t.Errorf("shared_pages = %d, want default %d", c.SharedPages, DefaultSharedPages)
+	}
+	if c.Tenants[0].Weight != 0 {
+		t.Errorf("unit weight canonicalized to %d, want omitted 0", c.Tenants[0].Weight)
+	}
+	if c.Tenants[1].Weight != 2 {
+		t.Errorf("weight 2 changed to %d", c.Tenants[1].Weight)
+	}
+	c2, err := c.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(c2.Tenants) != len(c.Tenants) {
+		t.Fatal("canonical tenant count changed")
+	}
+	for i := range c.Tenants {
+		if c2.Tenants[i] != c.Tenants[i] {
+			t.Errorf("tenant %d not a fixed point: %+v vs %+v", i, c2.Tenants[i], c.Tenants[i])
+		}
+	}
+	if c2.Cores != c.Cores || c2.SharedPct != c.SharedPct || c2.SharedPages != c.SharedPages {
+		t.Errorf("Canonical is not a fixed point: %+v vs %+v", c2, c)
+	}
+
+	// SharedPct 0 forces the region size off.
+	c3, err := WorkloadSpec{Tenants: []TenantSpec{{Profile: "kvstore"}}, SharedPages: 256}.Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c3.SharedPages != 0 {
+		t.Errorf("inert shared_pages kept as %d", c3.SharedPages)
+	}
+}
+
+// TestWorkloadSpecRejects enumerates the validation errors.
+func TestWorkloadSpecRejects(t *testing.T) {
+	kv := []TenantSpec{{Profile: "kvstore"}}
+	cases := []struct {
+		name string
+		w    WorkloadSpec
+	}{
+		{"no tenants", WorkloadSpec{}},
+		{"too many tenants", WorkloadSpec{Tenants: make([]TenantSpec, 16)}},
+		{"unknown profile", WorkloadSpec{Tenants: []TenantSpec{{Profile: "nope"}}}},
+		{"negative weight", WorkloadSpec{Tenants: []TenantSpec{{Profile: "kvstore", Weight: -1}}}},
+		{"negative cores", WorkloadSpec{Cores: -1, Tenants: kv}},
+		{"non-preset cores", WorkloadSpec{Cores: 6, Tenants: kv}},
+		{"too many cores", WorkloadSpec{Cores: 65, Tenants: kv}},
+		{"shared pct over 90", WorkloadSpec{Tenants: kv, SharedPct: 91}},
+		{"non-pow2 pages", WorkloadSpec{Tenants: kv, SharedPct: 10, SharedPages: 48}},
+		{"oversized region", WorkloadSpec{Tenants: kv, SharedPct: 10, SharedPages: 1 << 17}},
+	}
+	for _, tc := range cases {
+		if _, err := tc.w.Canonical(); err == nil {
+			t.Errorf("%s: accepted %+v", tc.name, tc.w)
+		}
+	}
+}
+
+// TestRunSpecWorkloadExclusive checks mix and workload are mutually
+// exclusive and exactly one is required.
+func TestRunSpecWorkloadExclusive(t *testing.T) {
+	w := &WorkloadSpec{Tenants: []TenantSpec{{Profile: "kvstore"}}}
+	if _, err := (RunSpec{Scheme: "bimodal"}).Canonical(); err == nil {
+		t.Error("spec with neither mix nor workload accepted")
+	}
+	if _, err := (RunSpec{Scheme: "bimodal", Mix: "Q1", Workload: w}).Canonical(); err == nil {
+		t.Error("spec with both mix and workload accepted")
+	}
+	c, err := (RunSpec{Scheme: "bimodal", Workload: w}).Canonical()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workload == nil || c.Workload.Cores != DefaultWorkloadCores {
+		t.Errorf("workload not canonicalized: %+v", c.Workload)
+	}
+}
+
+// TestWorkloadSpecHashDistinct checks the workload geometry reaches the
+// spec hash (the memoization key) and that classic mix hashes are
+// unchanged by the schema addition.
+func TestWorkloadSpecHashDistinct(t *testing.T) {
+	base := RunSpec{Scheme: "bimodal", Workload: &WorkloadSpec{
+		Tenants: []TenantSpec{{Profile: "kvstore"}, {Profile: "scan"}}, SharedPct: 10,
+	}}
+	h1, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := base
+	other.Workload = &WorkloadSpec{Tenants: []TenantSpec{{Profile: "kvstore"}, {Profile: "scan"}}, SharedPct: 20}
+	h2, err := other.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h1 == h2 {
+		t.Error("different workload geometries share a hash")
+	}
+	// A classic spec's canonical JSON must not mention the new field.
+	j, err := (RunSpec{Scheme: "bimodal", Mix: "Q1"}).CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(j, []byte("workload")) {
+		t.Errorf("classic spec encoding grew a workload field: %s", j)
+	}
+	// Workload specs must support warm-prefix grouping like mixes do.
+	if _, ok, err := base.PrefixHash(); err != nil || !ok {
+		t.Errorf("workload spec has no warm prefix: ok=%v err=%v", ok, err)
+	}
+}
+
+// FuzzWorkloadSpec feeds arbitrary profile/tenant-config JSON through the
+// canonical spec encoding: whatever parses and canonicalizes must reach a
+// fixed point and a stable hash, exactly like FuzzSpec for classic specs.
+func FuzzWorkloadSpec(f *testing.F) {
+	f.Add([]byte(`{"scheme":"bimodal","workload":{"tenants":[{"profile":"kvstore"}]}}`))
+	f.Add([]byte(`{"scheme":"bimodal","workload":{"cores":8,"tenants":[{"profile":"kvstore","weight":3},{"profile":"scan"}],"shared_pct":10}}`))
+	f.Add([]byte(`{"scheme":"alloy","workload":{"tenants":[{"profile":"webserve"},{"profile":"webserve"}],"shared_pct":25,"shared_pages":128},"seed":9}`))
+	f.Add([]byte(`{"scheme":"bimodal","workload":{"tenants":[{"profile":"kvstore","weight":1}],"shared_pages":64}}`))
+	f.Add([]byte(`{"scheme":"bimodal","mix":"Q1","workload":{"tenants":[{"profile":"kvstore"}]}}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rs, err := Parse(data)
+		if err != nil {
+			return
+		}
+		c, err := rs.Canonical()
+		if err != nil {
+			return
+		}
+		j1, err := c.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("canonical spec failed to encode: %v", err)
+		}
+		rt, err := Parse(j1)
+		if err != nil {
+			t.Fatalf("canonical JSON failed to re-parse: %v\n%s", err, j1)
+		}
+		j2, err := rt.CanonicalJSON()
+		if err != nil {
+			t.Fatalf("round-tripped spec failed to canonicalize: %v\n%s", err, j1)
+		}
+		if !bytes.Equal(j1, j2) {
+			t.Fatalf("canonical JSON is not a fixed point:\nonce  %s\ntwice %s", j1, j2)
+		}
+		if c.Workload != nil {
+			if c.Mix != "" {
+				t.Fatalf("canonical spec carries both mix and workload: %s", j1)
+			}
+			if !strings.Contains(string(j1), `"workload"`) {
+				t.Fatalf("workload dropped from canonical encoding: %s", j1)
+			}
+		}
+	})
+}

@@ -1,0 +1,58 @@
+package stats
+
+// TenantShare is the plain-number view of one tenant's attributed
+// traffic (a projection of cpu.TenantResult — plain types keep this
+// package free of simulator imports). LatencySum accumulates demand-read
+// latencies, so LatencySum/Reads is the tenant's average load latency.
+type TenantShare struct {
+	Accesses   int64
+	Reads      int64
+	Hits       int64
+	LatencySum int64
+}
+
+// HitRate returns the tenant's DRAM-cache hit rate.
+func (t TenantShare) HitRate() float64 { return Ratio(t.Hits, t.Accesses) }
+
+// AvgLatency returns the tenant's average demand-read latency in cycles.
+func (t TenantShare) AvgLatency() float64 {
+	if t.Reads == 0 {
+		return 0
+	}
+	return float64(t.LatencySum) / float64(t.Reads)
+}
+
+// TenantSlowdowns computes per-tenant QoS attribution for tenants
+// sharing one machine: each tenant's average demand-read latency
+// normalized to the best-served tenant's (the minimum average), and the
+// mean of those slowdowns — the tenant-level analogue of ANTT, where the
+// best-served tenant stands in for the unavailable isolated run. The
+// best tenant's slowdown is exactly 1; a tenant with no reads reports 0
+// and is excluded from the mean.
+func TenantSlowdowns(shares []TenantShare) (slowdowns []float64, antt float64) {
+	if len(shares) == 0 {
+		return nil, 0
+	}
+	best := 0.0
+	for _, s := range shares {
+		if l := s.AvgLatency(); l > 0 && (best == 0 || l < best) {
+			best = l
+		}
+	}
+	slowdowns = make([]float64, len(shares))
+	if best == 0 {
+		return slowdowns, 0
+	}
+	sum, n := 0.0, 0
+	for i, s := range shares {
+		if l := s.AvgLatency(); l > 0 {
+			slowdowns[i] = l / best
+			sum += slowdowns[i]
+			n++
+		}
+	}
+	if n == 0 {
+		return slowdowns, 0
+	}
+	return slowdowns, sum / float64(n)
+}

@@ -1,0 +1,78 @@
+package trace
+
+import (
+	"math"
+
+	"bimodal/internal/xrand"
+)
+
+// This file is the arrival-process half of the traffic-model pipeline:
+// arrivalProc spaces a stream's accesses in instruction time. The steady
+// path draws one exponential gap per access — byte-identical to the
+// pre-pipeline generator, which every committed golden depends on. The
+// bursty path (BurstLen > 0, used by the datacenter profiles) overlays
+// ON/OFF phases: accesses arrive in geometric-length ON bursts separated
+// by exponential OFF periods of idle instructions, the request-batching
+// shape server workloads exhibit.
+
+// arrivalProc is the mutable arrival-process state of one stream.
+type arrivalProc struct {
+	// gapMean, burstLen and burstIdle are profile configuration.
+	gapMean   int //bmlint:resetconst //bmlint:nosnapshot
+	burstLen  int //bmlint:resetconst //bmlint:nosnapshot
+	burstIdle int //bmlint:resetconst //bmlint:nosnapshot
+	// left counts the accesses remaining in the current ON burst
+	// (meaningful only when burstLen > 0).
+	left int
+}
+
+// init configures the process from the profile's arrival knobs.
+func (a *arrivalProc) init(prof Profile) {
+	a.gapMean = prof.GapMean
+	a.burstLen = prof.BurstLen
+	a.burstIdle = prof.BurstIdleGap
+	a.left = 0
+}
+
+// reset returns the process to its just-initialized state.
+//
+//bmlint:hotpath
+func (a *arrivalProc) reset() { a.left = 0 }
+
+// expGap draws an exponential instruction count with the given mean
+// (min 1, clamped to uint32).
+func expGap(rng *xrand.Rand, mean int) float64 {
+	u := rng.Float64()
+	v := -float64(mean) * math.Log(1-u)
+	if v < 1 {
+		v = 1
+	}
+	if v > math.MaxUint32 {
+		v = math.MaxUint32
+	}
+	return v
+}
+
+// next draws the instruction gap preceding the next access. Steady
+// streams consume exactly one Float64 per call; bursty streams draw two
+// extra Float64s at each burst boundary (the OFF-period length and the
+// next burst's length).
+//
+//bmlint:hotpath
+func (a *arrivalProc) next(rng *xrand.Rand) uint32 {
+	v := expGap(rng, a.gapMean)
+	if a.burstLen > 0 {
+		if a.left <= 0 {
+			// Burst boundary: the OFF period's idle instructions land on
+			// this access's gap, then a fresh geometric burst length is
+			// drawn (min 1 so the stream always progresses).
+			v += expGap(rng, a.burstIdle)
+			if v > math.MaxUint32 {
+				v = math.MaxUint32
+			}
+			a.left = int(expGap(rng, a.burstLen))
+		}
+		a.left--
+	}
+	return uint32(v)
+}

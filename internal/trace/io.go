@@ -14,11 +14,22 @@ import (
 // records. This lets long synthetic traces be generated once and replayed,
 // mirroring the paper's collect-then-simulate flow.
 //
-//	header: "BMT1" (4 bytes)
+//	header: "BMT2" (4 bytes)
 //	record: addr uint64 | gap uint32 | flags uint8 (bit0 write, bit1 dep)
-const magic = "BMT1"
+//	        | tenant uint8
+//
+// Writers emit BMT2; readers also accept the pre-tenant "BMT1" format
+// (13-byte records, every access tenant 0), so existing trace files keep
+// replaying unchanged.
+const (
+	magic   = "BMT2"
+	magicV1 = "BMT1"
+)
 
-const recordSize = 8 + 4 + 1
+const (
+	recordSize   = 8 + 4 + 1 + 1
+	recordSizeV1 = 8 + 4 + 1
+)
 
 // Writer serializes accesses to a binary trace stream, optionally
 // gzip-compressed (NewGzipWriter). Readers sniff the compression, so
@@ -68,6 +79,7 @@ func (w *Writer) Write(a Access) error {
 		flags |= 2
 	}
 	rec[12] = flags
+	rec[13] = a.Tenant
 	if _, err := w.w.Write(rec[:]); err != nil {
 		w.err = fmt.Errorf("trace: writing record %d: %w", w.n, err)
 		return w.err
@@ -103,9 +115,11 @@ func (w *Writer) Flush() error {
 // cycling when the underlying data is exhausted (matching SliceGen
 // semantics). For strict one-pass reading use Read directly.
 type Reader struct {
-	records []Access
+	// records and label are the loaded trace — configuration, not replay
+	// state; Reset only rewinds the cursor.
+	records []Access //bmlint:resetconst
 	pos     int
-	label   string
+	label   string //bmlint:resetconst
 }
 
 // NewReader reads an entire trace stream into memory. Gzip-compressed
@@ -125,31 +139,40 @@ func NewReader(r io.Reader, label string) (*Reader, error) {
 	if _, err := io.ReadFull(br, head); err != nil {
 		return nil, fmt.Errorf("trace: reading header: %w", err)
 	}
-	if string(head) != magic {
+	size := recordSize
+	switch string(head) {
+	case magic:
+	case magicV1:
+		size = recordSizeV1
+	default:
 		return nil, fmt.Errorf("trace: bad magic %q", head)
 	}
 	var out []Access
 	var rec [recordSize]byte
 	for {
-		_, err := io.ReadFull(br, rec[:])
+		_, err := io.ReadFull(br, rec[:size])
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
 			return nil, fmt.Errorf("trace: reading record %d: %w", len(out), err)
 		}
-		out = append(out, decode(rec))
+		out = append(out, decode(rec, size))
 	}
 	return &Reader{records: out, label: label}, nil
 }
 
-func decode(rec [recordSize]byte) Access {
-	return Access{
+func decode(rec [recordSize]byte, size int) Access {
+	a := Access{
 		Addr:  addr.Phys(binary.LittleEndian.Uint64(rec[0:8])),
 		Gap:   binary.LittleEndian.Uint32(rec[8:12]),
 		Write: rec[12]&1 != 0,
 		Dep:   rec[12]&2 != 0,
 	}
+	if size == recordSize {
+		a.Tenant = rec[13]
+	}
+	return a
 }
 
 // Len returns the number of records.
@@ -169,6 +192,11 @@ func (r *Reader) Next() Access {
 
 // Name implements Generator.
 func (r *Reader) Name() string { return r.label }
+
+// Reset implements Generator, rewinding the replay cursor. Like SliceGen,
+// a recorded trace has no randomness left to re-derive, so the seed is
+// deliberately unused.
+func (r *Reader) Reset(seed uint64) { r.pos = 0 }
 
 // Records returns the backing slice (not a copy).
 func (r *Reader) Records() []Access { return r.records }

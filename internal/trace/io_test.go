@@ -195,3 +195,48 @@ func TestGzipFlushTwiceAfterClose(t *testing.T) {
 		t.Errorf("second Flush should be a no-op, got %v", err)
 	}
 }
+
+// TestTenantRoundTrip checks the BMT2 tenant byte survives write/read.
+func TestTenantRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w, _ := NewWriter(&buf)
+	want := []Access{
+		{Addr: 0x40, Gap: 3, Tenant: 0},
+		{Addr: 0x1000, Write: true, Gap: 9, Tenant: 7},
+		{Addr: 0x2000, Dep: true, Gap: 1, Tenant: 14},
+	}
+	for _, a := range want {
+		w.Write(a)
+	}
+	w.Flush()
+	r, err := NewReader(&buf, "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, a := range r.Records() {
+		if a != want[i] {
+			t.Fatalf("record %d = %+v, want %+v", i, a, want[i])
+		}
+	}
+}
+
+// TestReaderAcceptsBMT1 checks pre-tenant trace files (13-byte records)
+// still replay, with every access on tenant 0.
+func TestReaderAcceptsBMT1(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString(magicV1)
+	// One record: addr 0x40, gap 5, flags write|dep.
+	rec := make([]byte, recordSizeV1)
+	rec[0] = 0x40
+	rec[8] = 5
+	rec[12] = 3
+	buf.Write(rec)
+	r, err := NewReader(&buf, "v1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Access{Addr: 0x40, Gap: 5, Write: true, Dep: true, Tenant: 0}
+	if r.Len() != 1 || r.Records()[0] != want {
+		t.Fatalf("records = %+v, want [%+v]", r.Records(), want)
+	}
+}

@@ -18,6 +18,7 @@ import (
 type LLSCFilter struct {
 	src   Generator
 	cache *sram.Cache
+	cfg   sram.Config //bmlint:resetconst
 
 	pendingGap uint64
 	queue      []Access
@@ -29,19 +30,32 @@ type LLSCFilter struct {
 
 // NewLLSCFilter wraps src with an LLSC of the given size and associativity.
 func NewLLSCFilter(src Generator, sizeBytes uint64, assoc int, seed uint64) *LLSCFilter {
-	return &LLSCFilter{
-		src: src,
-		cache: sram.New(sram.Config{
-			SizeBytes: sizeBytes,
-			BlockSize: LineBytes,
-			Assoc:     assoc,
-			Seed:      seed,
-		}),
+	cfg := sram.Config{
+		SizeBytes: sizeBytes,
+		BlockSize: LineBytes,
+		Assoc:     assoc,
+		Seed:      seed,
 	}
+	return &LLSCFilter{src: src, cache: sram.New(cfg), cfg: cfg}
 }
 
 // Name implements Generator.
 func (f *LLSCFilter) Name() string { return f.src.Name() + "+llsc" }
+
+// Reset implements Generator: the wrapped source is reset with the same
+// seed (so a filter constructed over a seed-matched source round-trips),
+// the LLSC is emptied and re-seeded, and the filter state and counters
+// clear.
+func (f *LLSCFilter) Reset(seed uint64) {
+	f.src.Reset(seed)
+	cfg := f.cfg
+	cfg.Seed = seed
+	f.cache.Reset(cfg)
+	f.pendingGap = 0
+	f.queue = f.queue[:0]
+	f.Accesses = 0
+	f.Misses = 0
+}
 
 // MissRate returns the LLSC miss rate observed so far.
 func (f *LLSCFilter) MissRate() float64 {
@@ -76,8 +90,10 @@ func (f *LLSCFilter) Next() Access {
 		// The miss fill reaches the DRAM cache first; a dirty victim's
 		// writeback follows immediately (gap 0).
 		if victim.Valid && victim.Dirty {
-			f.queue = append(f.queue, Access{Addr: victim.Addr, Write: true, Gap: 0})
+			// The writeback is attributed to the tenant whose miss evicted
+			// the line (the victim's original owner is not tracked).
+			f.queue = append(f.queue, Access{Addr: victim.Addr, Write: true, Gap: 0, Tenant: raw.Tenant})
 		}
-		return Access{Addr: line, Write: false, Gap: uint32(gap), Dep: raw.Dep}
+		return Access{Addr: line, Write: false, Gap: uint32(gap), Dep: raw.Dep, Tenant: raw.Tenant}
 	}
 }

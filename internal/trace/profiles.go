@@ -55,6 +55,33 @@ var profiles = map[string]Profile{
 	"equake":  {Name: "equake", FootprintPages: pages(128), ZipfS: 0.90, SeqFrac: 0.5, RunLines: 64, StrideFrac: 0.25, Stride: 2, WriteFrac: 0.3, RevisitFrac: 0.75, GapMean: 450, Intensity: IntensityModerate},
 }
 
+// dcProfiles are the datacenter workload profiles built from the
+// traffic-model combinators (episode mix × arrival process), following
+// the server-workload shapes Banshee and MemCache evaluate DRAM caches
+// under: key-value stores are point lookups over a heavily skewed object
+// population, web serving mixes lookups with session state under bursty
+// request batches, and analytics scans stream near-uniformly over large
+// tables. They compose into multi-tenant mixes through the tenant
+// interleaver (workloads.Traffic); footprints stay within the 256MB
+// per-tenant slot.
+var dcProfiles = map[string]Profile{
+	// Point lookups: tiny episodes, strong popularity skew, hash-bucket
+	// chains behind a fraction of lookups, ~10% updates.
+	"kvstore": {Name: "kvstore", FootprintPages: pages(64), ZipfS: 1.20, SeqFrac: 0.05, RunLines: 8, PointerFrac: 0.20, ChaseLen: 4, WriteFrac: 0.10, RevisitFrac: 0.50, GapMean: 250, Intensity: IntensityHigh},
+	// Request serving: mixed lookup/session episodes under bursty ON/OFF
+	// arrivals (request batching between idle waits).
+	"webserve": {Name: "webserve", FootprintPages: pages(128), ZipfS: 1.00, SeqFrac: 0.35, RunLines: 24, PointerFrac: 0.25, ChaseLen: 6, WriteFrac: 0.20, RevisitFrac: 0.60, GapMean: 400, BurstLen: 48, BurstIdleGap: 20_000, Intensity: IntensityModerate},
+	// Analytics scans: long sequential table sweeps, near-uniform page
+	// popularity, read-mostly.
+	"scan": {Name: "scan", FootprintPages: pages(256), ZipfS: 0.30, SeqFrac: 0.97, RunLines: 1024, WriteFrac: 0.05, RevisitFrac: 0.20, GapMean: 280, Intensity: IntensityHigh},
+}
+
+func init() {
+	for name, p := range dcProfiles {
+		profiles[name] = p
+	}
+}
+
 // ProfileByName returns the named benchmark profile.
 func ProfileByName(name string) (Profile, error) {
 	p, ok := profiles[name]

@@ -16,15 +16,25 @@
 //   - dependence fraction                -> memory-level parallelism
 //   - write fraction                     -> writeback traffic
 //
-// Generators are deterministic given a seed.
+// Generation is decomposed into a composable traffic-model pipeline:
+//
+//   - the address process (address.go) selects episode pages and
+//     synthesizes the seq/stride/chase/random episode kinds;
+//   - the arrival process (arrival.go) spaces accesses in instruction
+//     time — steady exponential gaps or bursty ON/OFF phases;
+//   - the tenant interleaver (traffic.go) weaves N per-tenant streams,
+//     with optional shared-hot-page overlap, into one stream and tags
+//     each Access with its tenant ID.
+//
+// Synthetic composes an address process with an arrival process over one
+// shared rng; Interleaver composes Synthetics. Generators are
+// deterministic given a seed.
 package trace
 
 import (
 	"fmt"
-	"math"
 
 	"bimodal/internal/addr"
-	"bimodal/internal/xrand"
 )
 
 // LineBytes is the CPU cache line size; every access in a trace is one
@@ -50,6 +60,10 @@ type Access struct {
 	// Dep marks the access as data-dependent on the previous one
 	// (pointer-chase): the core cannot overlap it with the previous miss.
 	Dep bool
+	// Tenant identifies the tenant stream the access belongs to in a
+	// multi-tenant interleave (0 for single-tenant generators). The cpu
+	// engine attributes issue and latency per tenant through this tag.
+	Tenant uint8
 }
 
 // Generator produces an infinite access stream.
@@ -58,6 +72,15 @@ type Generator interface {
 	Next() Access
 	// Name identifies the stream (benchmark name).
 	Name() string
+	// Reset returns the generator to the exact state a freshly
+	// constructed instance with the same configuration and the given
+	// seed would have, reusing internal buffers: after Reset(s) the
+	// generator replays byte for byte the stream a fresh generator
+	// seeded with s would produce. Generators whose stream is
+	// seed-independent (fixed replays such as SliceGen and Reader)
+	// rewind to the beginning and must still satisfy the contract —
+	// their freshly-constructed state is the same for every seed.
+	Reset(seed uint64)
 }
 
 // SliceGen replays a fixed slice, cycling; useful in tests.
@@ -85,8 +108,10 @@ func (s *SliceGen) Next() Access {
 // Name implements Generator.
 func (s *SliceGen) Name() string { return s.Lab }
 
-// Reset rewinds the replay cursor; the seed is ignored (replay is
-// seed-independent). It implements the pooled-run reset seam.
+// Reset implements Generator. A fresh SliceGen replays the same fixed
+// slice for every seed, so rewinding the cursor is exactly the
+// fresh-construction state the contract requires; the seed changes
+// nothing by design, not by omission.
 func (s *SliceGen) Reset(seed uint64) { s.pos = 0 }
 
 // Profile parameterizes a synthetic benchmark.
@@ -114,6 +139,13 @@ type Profile struct {
 	// GapMean is the mean instruction gap between accesses; smaller means
 	// more memory-intensive.
 	GapMean int
+	// BurstLen selects bursty ON/OFF arrivals when positive: accesses
+	// arrive in ON bursts of this mean length separated by OFF periods
+	// (datacenter request batching). 0 keeps steady arrivals.
+	BurstLen int
+	// BurstIdleGap is the mean instruction length of the OFF period
+	// between bursts; required when BurstLen is set.
+	BurstIdleGap int
 	// RevisitFrac is the probability that an episode revisits a recently
 	// touched page instead of drawing a fresh one — the loop-level
 	// temporal reuse real programs exhibit within any trace window.
@@ -137,6 +169,10 @@ func (p Profile) Validate() error {
 		return fmt.Errorf("trace: %s strided episodes need Stride >= 2", p.Name)
 	case p.GapMean <= 0:
 		return fmt.Errorf("trace: %s GapMean must be positive", p.Name)
+	case p.BurstLen < 0 || p.BurstIdleGap < 0:
+		return fmt.Errorf("trace: %s burst knobs must not be negative", p.Name)
+	case p.BurstLen > 0 && p.BurstIdleGap <= 0:
+		return fmt.Errorf("trace: %s bursty arrivals need BurstIdleGap > 0", p.Name)
 	case p.RevisitFrac < 0 || p.RevisitFrac > 1:
 		return fmt.Errorf("trace: %s RevisitFrac out of [0,1]", p.Name)
 	}
@@ -145,238 +181,6 @@ func (p Profile) Validate() error {
 
 // FootprintBytes returns the benchmark footprint in bytes.
 func (p Profile) FootprintBytes() uint64 { return p.FootprintPages * PageBytes }
-
-// Synthetic generates a stream from a Profile. Create with NewSynthetic.
-type Synthetic struct {
-	// prof and base are construction-time identity (the snapshot seam
-	// rebuilds congruent generators from the same profile and placement).
-	prof Profile   //bmlint:resetconst //bmlint:nosnapshot
-	base addr.Phys //bmlint:resetconst //bmlint:nosnapshot
-	rng  *xrand.Rand
-	zipf *xrand.Zipf
-	// pending holds the current episode; head indexes the next access to
-	// hand out. Draining by index instead of re-slicing lets refill reuse
-	// the buffer's full capacity, so steady-state generation is
-	// allocation-free once the longest episode has been seen.
-	pending []Access
-	head    int
-	// spanMask is FootprintBytes-1 (the footprint is a power of two), for
-	// mask-based wraparound in sequential episodes.
-	spanMask addr.Phys //bmlint:resetconst //bmlint:nosnapshot
-	// permMul is an odd multiplier giving a bijective page permutation so
-	// popular pages are scattered across the address space.
-	permMul uint64 //bmlint:resetconst //bmlint:nosnapshot
-	// recent is the revisit history ring of episode page bases.
-	recent []addr.Phys
-	rpos   int
-}
-
-// NewSynthetic builds a generator for prof, placing its footprint at base
-// (each core of a multiprogrammed mix gets a disjoint base) and drawing all
-// randomness from seed.
-func NewSynthetic(prof Profile, base addr.Phys, seed uint64) *Synthetic {
-	if err := prof.Validate(); err != nil {
-		panic(err)
-	}
-	rng := xrand.New(seed)
-	window := prof.RevisitWindow
-	if window <= 0 {
-		window = 64
-	}
-	return &Synthetic{
-		prof:     prof,
-		base:     base,
-		rng:      rng,
-		zipf:     xrand.NewZipf(rng.Fork(), int(prof.FootprintPages), prof.ZipfS),
-		spanMask: addr.Phys(prof.FootprintBytes() - 1),
-		permMul:  0x9E3779B97F4A7C15 | 1,
-		recent:   make([]addr.Phys, 0, window),
-	}
-}
-
-// Name implements Generator.
-func (g *Synthetic) Name() string { return g.prof.Name }
-
-// Reset returns the generator to exactly the state NewSynthetic(prof,
-// base, seed) produces, reusing the episode and revisit buffers. The rng
-// re-seeding mirrors the constructor draw for draw: New(seed) followed by
-// a single Uint64 to seed the Zipf sampler's fork, so a reset generator
-// replays the identical stream a fresh one would.
-//
-//bmlint:hotpath
-func (g *Synthetic) Reset(seed uint64) {
-	g.rng.Seed(seed)
-	g.zipf.Seed(g.rng.Uint64())
-	g.pending = g.pending[:0]
-	g.head = 0
-	g.recent = g.recent[:0]
-	g.rpos = 0
-}
-
-// Profile returns the generating profile.
-func (g *Synthetic) Profile() Profile { return g.prof }
-
-// pageAddr maps a popularity rank to the base address of its page.
-func (g *Synthetic) pageAddr(rank int) addr.Phys {
-	page := (uint64(rank) * g.permMul) & (g.prof.FootprintPages - 1)
-	return g.base + addr.Phys(page*PageBytes)
-}
-
-// gap draws an instruction gap (geometric-ish via exponential, min 1).
-func (g *Synthetic) gap() uint32 {
-	u := g.rng.Float64()
-	v := -float64(g.prof.GapMean) * math.Log(1-u)
-	if v < 1 {
-		v = 1
-	}
-	if v > math.MaxUint32 {
-		v = math.MaxUint32
-	}
-	return uint32(v)
-}
-
-// episodeLen draws a geometric length with the given mean (min 1).
-func (g *Synthetic) episodeLen(mean int) int {
-	if mean <= 1 {
-		return 1
-	}
-	u := g.rng.Float64()
-	v := int(-float64(mean) * math.Log(1-u))
-	if v < 1 {
-		v = 1
-	}
-	// Clamp to a multiple of the footprint walk so episodes stay bounded.
-	if v > 16*mean {
-		v = 16 * mean
-	}
-	return v
-}
-
-// Next implements Generator.
-//
-//bmlint:hotpath
-func (g *Synthetic) Next() Access {
-	for g.head >= len(g.pending) {
-		g.pending = g.pending[:0]
-		g.head = 0
-		g.refill()
-	}
-	a := g.pending[g.head]
-	g.head++
-	return a
-}
-
-// episodePage picks the page for the next episode: usually a fresh
-// Zipf-popularity draw, sometimes a revisit of a recent page. Revisits are
-// biased toward the most recently touched pages (loop-level locality), the
-// behaviour behind the paper's Figure 5 observation that cache hits
-// concentrate in the top MRU ways.
-func (g *Synthetic) episodePage() addr.Phys {
-	if len(g.recent) > 0 && g.rng.Bool(g.prof.RevisitFrac) {
-		if g.rng.Bool(0.6) {
-			// Hot loop: one of the last few pages (newest entries sit just
-			// behind the ring cursor).
-			span := 8
-			if span > len(g.recent) {
-				span = len(g.recent)
-			}
-			back := 1 + g.rng.Intn(span)
-			idx := (g.rpos - back + len(g.recent)) % len(g.recent)
-			if len(g.recent) < cap(g.recent) {
-				// Ring not full yet: newest entries are at the end.
-				idx = len(g.recent) - back
-			}
-			return g.recent[idx]
-		}
-		return g.recent[g.rng.Intn(len(g.recent))]
-	}
-	page := g.pageAddr(g.zipf.Next())
-	if cap(g.recent) > 0 {
-		if len(g.recent) < cap(g.recent) {
-			g.recent = append(g.recent, page)
-		} else {
-			g.recent[g.rpos] = page
-			g.rpos = (g.rpos + 1) % cap(g.recent)
-		}
-	}
-	return page
-}
-
-// refill synthesizes the next episode into pending.
-func (g *Synthetic) refill() {
-	p := &g.prof
-	page := g.episodePage()
-	u := g.rng.Float64()
-	switch {
-	case u < p.SeqFrac:
-		g.seqEpisode(page)
-	case u < p.SeqFrac+p.StrideFrac:
-		g.strideEpisode(page)
-	case u < p.SeqFrac+p.StrideFrac+p.PointerFrac:
-		g.chaseEpisode(page)
-	default:
-		g.randomEpisode(page)
-	}
-}
-
-// emit appends one access.
-func (g *Synthetic) emit(a addr.Phys, dep bool) {
-	g.pending = append(g.pending, Access{
-		Addr:  a,
-		Write: g.rng.Bool(g.prof.WriteFrac),
-		Gap:   g.gap(),
-		Dep:   dep,
-	})
-}
-
-// seqEpisode walks consecutive 64B lines starting at the page base,
-// continuing into following pages of the footprint when the run is long.
-func (g *Synthetic) seqEpisode(page addr.Phys) {
-	n := g.episodeLen(g.prof.RunLines)
-	start := page - g.base
-	for i := 0; i < n; i++ {
-		g.emit(g.base+(start+addr.Phys(uint64(i)*LineBytes))&g.spanMask, false)
-	}
-}
-
-// strideEpisode touches every Stride-th line of the page.
-func (g *Synthetic) strideEpisode(page addr.Phys) {
-	start := g.rng.Intn(g.prof.Stride)
-	for i := start; i < LinesPerPage; i += g.prof.Stride {
-		g.emit(page+addr.Phys(i*LineBytes), false)
-	}
-}
-
-// chaseEpisode emits a chain of dependent random lines. Each step lands on
-// a page drawn with the same revisit bias as episode starts: pointer
-// structures wander within hot regions, which is what concentrates cache
-// hits in the recently used ways (Figure 5) even for irregular programs.
-func (g *Synthetic) chaseEpisode(page addr.Phys) {
-	n := g.episodeLen(max(g.prof.ChaseLen, 1))
-	prev := page + addr.Phys(g.rng.Intn(LinesPerPage)*LineBytes)
-	g.emit(prev, false)
-	const linesPerBlock = 512 / LineBytes
-	for i := 1; i < n; i++ {
-		var next addr.Phys
-		if g.rng.Bool(0.3) {
-			// Pool-allocated neighbours: the next node shares the previous
-			// node's 512B block.
-			next = prev.Block(512) + addr.Phys(g.rng.Intn(linesPerBlock)*LineBytes)
-		} else {
-			next = g.episodePage() + addr.Phys(g.rng.Intn(LinesPerPage)*LineBytes)
-		}
-		g.emit(next, true)
-		prev = next
-	}
-}
-
-// randomEpisode emits one or two independent random lines within the page.
-func (g *Synthetic) randomEpisode(page addr.Phys) {
-	n := 1 + g.rng.Intn(2)
-	for i := 0; i < n; i++ {
-		g.emit(page+addr.Phys(g.rng.Intn(LinesPerPage)*LineBytes), false)
-	}
-}
 
 // Collect drains n accesses from gen into a slice (test/analysis helper).
 func Collect(gen Generator, n int) []Access {

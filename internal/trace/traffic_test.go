@@ -1,0 +1,175 @@
+package trace
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"bimodal/internal/addr"
+)
+
+// -update regenerates the golden interleave tables. Any intentional
+// change to the traffic pipeline's draw sequence must regenerate these in
+// the same commit, with the behavioural diff explained in the PR.
+var updateGolden = flag.Bool("update", false, "rewrite golden trace tables")
+
+// goldenCase is one pinned (profiles, tenants, seed) interleave.
+type goldenCase struct {
+	Label    string   `json:"label"`
+	Profiles []string `json:"profiles"`
+	Shared   float64  `json:"shared_frac"`
+	Pages    uint64   `json:"shared_pages"`
+	Seed     uint64   `json:"seed"`
+	First    []Access `json:"first"`
+}
+
+func goldenInterleaver(c goldenCase) *Interleaver {
+	streams := make([]TenantStream, len(c.Profiles))
+	for i, p := range c.Profiles {
+		streams[i] = TenantStream{Prof: MustProfile(p), Weight: 1}
+	}
+	return NewInterleaver(c.Label, streams, 0, c.Shared, c.Pages, c.Seed)
+}
+
+// TestInterleaverGolden pins the first 64 accesses of each (profile set,
+// tenant count, seed) interleave. The traffic pipeline's contract is
+// bit-reproducible streams per configuration and seed; a failure here
+// means generated traffic changed, which invalidates every committed
+// simulation golden downstream.
+func TestInterleaverGolden(t *testing.T) {
+	cases := []goldenCase{
+		{Label: "kv1", Profiles: []string{"kvstore"}, Seed: 3},
+		{Label: "kv4", Profiles: []string{"kvstore", "kvstore", "kvstore", "kvstore"}, Shared: 0.10, Pages: 64, Seed: 7},
+		{Label: "web2", Profiles: []string{"webserve", "webserve"}, Shared: 0.10, Pages: 64, Seed: 11},
+		{Label: "dc4", Profiles: []string{"kvstore", "kvstore", "webserve", "scan"}, Shared: 0.05, Pages: 64, Seed: 7},
+		{Label: "scan3", Profiles: []string{"scan", "scan", "scan"}, Seed: 5},
+	}
+	path := filepath.Join("testdata", "golden_interleave.json")
+	if *updateGolden {
+		for i := range cases {
+			cases[i].First = Collect(goldenInterleaver(cases[i]), 64)
+		}
+		b, err := json.MarshalIndent(cases, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(b, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden tables (run with -update to generate): %v", err)
+	}
+	var want []goldenCase
+	if err := json.Unmarshal(b, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(cases) {
+		t.Fatalf("golden file has %d cases, test has %d (run with -update)", len(want), len(cases))
+	}
+	for i, c := range cases {
+		c := c
+		t.Run(c.Label, func(t *testing.T) {
+			got := Collect(goldenInterleaver(c), 64)
+			for j, a := range got {
+				if j >= len(want[i].First) {
+					t.Fatalf("golden table has only %d accesses", len(want[i].First))
+				}
+				if a != want[i].First[j] {
+					t.Fatalf("access %d = %+v, want %+v", j, a, want[i].First[j])
+				}
+			}
+		})
+	}
+}
+
+// TestInterleaverTenantTags checks every access is tagged with a valid
+// tenant ID, every tenant is actually scheduled, and untagged (shared-
+// region) remaps land inside the shared slot.
+func TestInterleaverTenantTags(t *testing.T) {
+	iv := goldenInterleaver(goldenCase{
+		Label: "dc4", Profiles: []string{"kvstore", "kvstore", "webserve", "scan"},
+		Shared: 0.20, Pages: 64, Seed: 9,
+	})
+	seen := make([]int, 4)
+	shared := 0
+	sharedBase := addr.Phys(uint64(MaxTenants) << tenantSlotShift)
+	for i := 0; i < 50_000; i++ {
+		a := iv.Next()
+		if int(a.Tenant) >= len(seen) {
+			t.Fatalf("access %d: tenant %d out of range", i, a.Tenant)
+		}
+		seen[a.Tenant]++
+		if a.Addr >= sharedBase {
+			shared++
+			if a.Addr >= sharedBase+addr.Phys(64*PageBytes) {
+				t.Fatalf("access %d: shared remap %#x beyond the 64-page region", i, a.Addr)
+			}
+		} else if a.Addr>>tenantSlotShift != addr.Phys(a.Tenant) {
+			t.Fatalf("access %d: address %#x outside tenant %d's slot", i, a.Addr, a.Tenant)
+		}
+	}
+	for tn, n := range seen {
+		if n == 0 {
+			t.Errorf("tenant %d never scheduled", tn)
+		}
+	}
+	// ~20% of accesses should fold onto the shared region.
+	if frac := float64(shared) / 50_000; frac < 0.15 || frac > 0.25 {
+		t.Errorf("shared fraction %.3f, want ~0.20", frac)
+	}
+}
+
+// TestInterleaverWeights checks the weighted scheduler respects stream
+// shares: a 3:1 weighting should deliver roughly three times the traffic.
+func TestInterleaverWeights(t *testing.T) {
+	iv := NewInterleaver("w", []TenantStream{
+		{Prof: MustProfile("kvstore"), Weight: 3},
+		{Prof: MustProfile("kvstore"), Weight: 1},
+	}, 0, 0, 0, 21)
+	counts := make([]int, 2)
+	for i := 0; i < 100_000; i++ {
+		counts[iv.Next().Tenant]++
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 2.5 || ratio > 3.5 {
+		t.Errorf("weight ratio %.2f, want ~3", ratio)
+	}
+}
+
+// TestInterleaverNextZeroAlloc asserts the interleaver hot path is
+// allocation-free once every tenant stream reaches steady state, matching
+// the Synthetic guarantee the cpu engine's batched dispatch relies on.
+func TestInterleaverNextZeroAlloc(t *testing.T) {
+	iv := goldenInterleaver(goldenCase{
+		Label: "dc4", Profiles: []string{"kvstore", "kvstore", "webserve", "scan"},
+		Shared: 0.05, Pages: 64, Seed: 4,
+	})
+	for i := 0; i < 1<<20; i++ {
+		iv.Next()
+	}
+	if got := testing.AllocsPerRun(5000, func() { iv.Next() }); got != 0 {
+		t.Errorf("Next allocates %.2f allocs/op, want 0", got)
+	}
+}
+
+// TestTenantSeedDistinct guards the seed derivation: every tenant of
+// every plausible interleaver seed must get a distinct generator seed, or
+// identical profiles would replay identical streams.
+func TestTenantSeedDistinct(t *testing.T) {
+	seen := map[uint64]string{}
+	for seed := uint64(1); seed <= 64; seed++ {
+		for tn := 0; tn < MaxTenants; tn++ {
+			s := TenantSeed(seed, tn)
+			key := fmt.Sprintf("seed %d tenant %d", seed, tn)
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("%s collides with %s", key, prev)
+			}
+			seen[s] = key
+		}
+	}
+}

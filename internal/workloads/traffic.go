@@ -1,0 +1,136 @@
+package workloads
+
+// This file composes datacenter traffic: mixes whose cores each run a
+// multi-tenant trace.Interleaver instead of a single benchmark profile.
+// The static DC mixes (KV4, WEB4, SCAN4, DC4) cover the
+// server-consolidation shapes the DRAM-cache literature evaluates;
+// FromSpec builds arbitrary geometries from a declarative
+// spec.WorkloadSpec.
+
+import (
+	"fmt"
+	"strings"
+
+	"bimodal/internal/spec"
+	"bimodal/internal/trace"
+)
+
+// Traffic declares the multi-tenant composition a mix's cores replay.
+// Every core weaves the same tenant set (per-core seeds decorrelate the
+// streams), so tenant t means the same logical tenant on every core and
+// per-tenant attribution aggregates cleanly across the machine.
+type Traffic struct {
+	// Tenants lists the interleaved tenant streams; a zero Weight means 1.
+	Tenants []spec.TenantSpec
+	// SharedPct is the percentage of all accesses folded onto the shared
+	// hot-page region (0 disables); SharedPages sizes that region.
+	SharedPct   int64
+	SharedPages uint64
+}
+
+// label derives a mix name that encodes the full traffic geometry. Pooled
+// engines are keyed by mix name (sim.poolKey), so two different
+// compositions must never share one.
+func (t *Traffic) label(cores int) string {
+	parts := make([]string, len(t.Tenants))
+	for i, ten := range t.Tenants {
+		parts[i] = ten.Profile
+		if ten.Weight > 1 {
+			parts[i] = fmt.Sprintf("%s*%d", ten.Profile, ten.Weight)
+		}
+	}
+	s := fmt.Sprintf("dc:c%d:%s", cores, strings.Join(parts, "+"))
+	if t.SharedPct > 0 {
+		s += fmt.Sprintf(":sh%dp%d", t.SharedPct, t.SharedPages)
+	}
+	return s
+}
+
+// streams converts the declaration into interleaver streams.
+func (t *Traffic) streams() []trace.TenantStream {
+	out := make([]trace.TenantStream, len(t.Tenants))
+	for i, ten := range t.Tenants {
+		w := float64(ten.Weight)
+		if w == 0 {
+			w = 1
+		}
+		out[i] = trace.TenantStream{Prof: trace.MustProfile(ten.Profile), Weight: w}
+	}
+	return out
+}
+
+// footprintBytes is one core's traffic footprint: every tenant slot plus
+// the shared hot region.
+func (t *Traffic) footprintBytes() uint64 {
+	var total uint64
+	for _, ten := range t.Tenants {
+		total += trace.MustProfile(ten.Profile).FootprintBytes()
+	}
+	return total + t.SharedPages*trace.PageBytes
+}
+
+// highIntensity reports whether any tenant profile is high-intensity.
+func (t *Traffic) highIntensity() bool {
+	for _, ten := range t.Tenants {
+		if trace.MustProfile(ten.Profile).Intensity == trace.IntensityHigh {
+			return true
+		}
+	}
+	return false
+}
+
+// trafficMix assembles a Mix around a traffic declaration. Benchmarks
+// repeats the mix name per core (each core's generator is the whole
+// interleave, not a single benchmark).
+func trafficMix(name string, cores int, t Traffic) Mix {
+	b := make([]string, cores)
+	for i := range b {
+		b[i] = name
+	}
+	return Mix{Name: name, Benchmarks: b, HighIntensity: t.highIntensity(), Traffic: &t}
+}
+
+// tenants is shorthand for an evenly weighted tenant list.
+func tenants(profiles ...string) []spec.TenantSpec {
+	out := make([]spec.TenantSpec, len(profiles))
+	for i, p := range profiles {
+		out[i] = spec.TenantSpec{Profile: p}
+	}
+	return out
+}
+
+// dcMixes are the static datacenter mixes: four consolidated tenants per
+// core, quad-core. KV4 and WEB4 contend for a shared hot-object region;
+// SCAN4 tenants stream privately; DC4 is the heterogeneous consolidation
+// (two key-value tenants, a web server and an analytics scan).
+var dcMixes = []Mix{
+	trafficMix("KV4", 4, Traffic{Tenants: tenants("kvstore", "kvstore", "kvstore", "kvstore"), SharedPct: 10, SharedPages: 64}),
+	trafficMix("WEB4", 4, Traffic{Tenants: tenants("webserve", "webserve", "webserve", "webserve"), SharedPct: 10, SharedPages: 64}),
+	trafficMix("SCAN4", 4, Traffic{Tenants: tenants("scan", "scan", "scan", "scan")}),
+	trafficMix("DC4", 4, Traffic{Tenants: tenants("kvstore", "kvstore", "webserve", "scan"), SharedPct: 5, SharedPages: 64}),
+}
+
+// DatacenterMixes returns the static multi-tenant mixes.
+func DatacenterMixes() []Mix { return append([]Mix(nil), dcMixes...) }
+
+// FromSpec builds the mix a canonical workload spec declares. The mix
+// name encodes the full geometry, so pooled engines keyed by name are
+// never shared across different compositions.
+func FromSpec(w spec.WorkloadSpec) (Mix, error) {
+	w, err := w.Canonical()
+	if err != nil {
+		return Mix{}, err
+	}
+	t := Traffic{Tenants: w.Tenants, SharedPct: w.SharedPct, SharedPages: w.SharedPages}
+	return trafficMix(t.label(int(w.Cores)), int(w.Cores), t), nil
+}
+
+// MixForSpec resolves the workload a run spec names: the declarative
+// Workload when present, the named mix otherwise. This is the one lookup
+// every spec-driven entry point (service, CLI, bench) should use.
+func MixForSpec(rs spec.RunSpec) (Mix, error) {
+	if rs.Workload != nil {
+		return FromSpec(*rs.Workload)
+	}
+	return ByName(rs.Mix)
+}

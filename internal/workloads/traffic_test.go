@@ -1,0 +1,131 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+
+	"bimodal/internal/spec"
+	"bimodal/internal/trace"
+)
+
+// TestDatacenterMixesResolve checks the static DC mixes resolve by name,
+// carry a traffic declaration and build tenant-weaving generators.
+func TestDatacenterMixesResolve(t *testing.T) {
+	for _, name := range []string{"KV4", "WEB4", "SCAN4", "DC4"} {
+		m, err := ByName(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if m.Traffic == nil {
+			t.Fatalf("%s has no traffic declaration", name)
+		}
+		if m.Cores() != 4 {
+			t.Errorf("%s has %d cores, want 4", name, m.Cores())
+		}
+		gens := m.Generators(3)
+		if len(gens) != 4 {
+			t.Fatalf("%s built %d generators", name, len(gens))
+		}
+		iv, ok := gens[0].(*trace.Interleaver)
+		if !ok {
+			t.Fatalf("%s generator is %T, want *trace.Interleaver", name, gens[0])
+		}
+		if iv.Tenants() != len(m.Traffic.Tenants) {
+			t.Errorf("%s interleaver weaves %d tenants, want %d", name, iv.Tenants(), len(m.Traffic.Tenants))
+		}
+		if m.FootprintBytes() == 0 {
+			t.Errorf("%s reports zero footprint", name)
+		}
+	}
+}
+
+// TestTrafficGeneratorsDecorrelated checks different cores of a traffic
+// mix replay different streams (CoreSeed decorrelation).
+func TestTrafficGeneratorsDecorrelated(t *testing.T) {
+	gens := MustByName("KV4").Generators(7)
+	a := trace.Collect(gens[0], 64)
+	b := trace.Collect(gens[1], 64)
+	same := true
+	for i := range a {
+		// Different cores place footprints in different 4GB slices, so
+		// compare the slot-relative shape, not raw addresses.
+		if a[i].Gap != b[i].Gap || a[i].Tenant != b[i].Tenant {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("cores 0 and 1 replay identical streams")
+	}
+}
+
+// TestFromSpecNameEncodesGeometry checks the generated mix name is a
+// sound pool key: any geometry change must change the name.
+func TestFromSpecNameEncodesGeometry(t *testing.T) {
+	base := spec.WorkloadSpec{
+		Cores:     4,
+		Tenants:   []spec.TenantSpec{{Profile: "kvstore"}, {Profile: "webserve"}},
+		SharedPct: 10,
+	}
+	variants := []spec.WorkloadSpec{
+		{Cores: 8, Tenants: base.Tenants, SharedPct: 10},
+		{Cores: 4, Tenants: []spec.TenantSpec{{Profile: "kvstore"}, {Profile: "scan"}}, SharedPct: 10},
+		{Cores: 4, Tenants: []spec.TenantSpec{{Profile: "kvstore", Weight: 3}, {Profile: "webserve"}}, SharedPct: 10},
+		{Cores: 4, Tenants: base.Tenants, SharedPct: 20},
+		{Cores: 4, Tenants: base.Tenants, SharedPct: 10, SharedPages: 128},
+		{Cores: 4, Tenants: base.Tenants},
+	}
+	bm, err := FromSpec(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[string]bool{bm.Name: true}
+	for i, v := range variants {
+		m, err := FromSpec(v)
+		if err != nil {
+			t.Fatalf("variant %d: %v", i, err)
+		}
+		if seen[m.Name] {
+			t.Errorf("variant %d name %q collides with another geometry", i, m.Name)
+		}
+		seen[m.Name] = true
+	}
+	if !strings.Contains(bm.Name, "kvstore") {
+		t.Errorf("mix name %q does not mention its profiles", bm.Name)
+	}
+}
+
+// TestFromSpecRejectsInvalid checks spec validation reaches FromSpec.
+func TestFromSpecRejectsInvalid(t *testing.T) {
+	cases := []spec.WorkloadSpec{
+		{},
+		{Tenants: []spec.TenantSpec{{Profile: "no-such-profile"}}},
+		{Tenants: []spec.TenantSpec{{Profile: "kvstore"}}, SharedPct: 95},
+		{Tenants: []spec.TenantSpec{{Profile: "kvstore"}}, SharedPct: 10, SharedPages: 48},
+	}
+	for i, w := range cases {
+		if _, err := FromSpec(w); err == nil {
+			t.Errorf("case %d: FromSpec accepted invalid workload %+v", i, w)
+		}
+	}
+}
+
+// TestMixForSpecRoutes checks the one spec-driven lookup: named mixes and
+// declarative workloads both resolve, and the mutually-exclusive empty
+// form fails.
+func TestMixForSpecRoutes(t *testing.T) {
+	if m, err := MixForSpec(spec.RunSpec{Mix: "Q1"}); err != nil || m.Name != "Q1" {
+		t.Errorf("named mix: %v %v", m.Name, err)
+	}
+	w := &spec.WorkloadSpec{Tenants: []spec.TenantSpec{{Profile: "kvstore"}, {Profile: "scan"}}}
+	m, err := MixForSpec(spec.RunSpec{Workload: w})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Traffic == nil || m.Cores() != spec.DefaultWorkloadCores {
+		t.Errorf("workload mix %+v lacks traffic or default cores", m)
+	}
+	if _, err := MixForSpec(spec.RunSpec{Mix: "no-such-mix"}); err == nil {
+		t.Error("unknown mix accepted")
+	}
+}

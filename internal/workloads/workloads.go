@@ -18,12 +18,18 @@ import (
 
 // Mix is one multiprogrammed workload.
 type Mix struct {
-	// Name is the workload identifier (Q*, E*, S*).
+	// Name is the workload identifier (Q*, E*, S*, or a traffic label).
 	Name string
 	// Benchmarks lists the per-core benchmark names (length = core count).
+	// For a traffic mix each entry is the mix name: every core replays the
+	// whole tenant interleave, not one benchmark.
 	Benchmarks []string
 	// HighIntensity marks workloads the paper stars (LLSC miss rate >= 10%).
 	HighIntensity bool
+	// Traffic, when non-nil, declares the multi-tenant composition each
+	// core replays (see traffic.go); Benchmarks then only carries the core
+	// count and display name.
+	Traffic *Traffic
 }
 
 // Cores returns the number of cores in the mix.
@@ -33,6 +39,9 @@ func (m Mix) Cores() int { return len(m.Benchmarks) }
 // per-benchmark footprints; Table V reports ~990MB average for 4-core and
 // ~2.1GB for 8-core workloads).
 func (m Mix) FootprintBytes() uint64 {
+	if m.Traffic != nil {
+		return uint64(m.Cores()) * m.Traffic.footprintBytes()
+	}
 	var total uint64
 	for _, b := range m.Benchmarks {
 		total += trace.MustProfile(b).FootprintBytes()
@@ -59,6 +68,14 @@ func CoreSeed(seed uint64, i int) uint64 {
 // decorrelates reruns (per-core derivation in CoreSeed).
 func (m Mix) Generators(seed uint64) []trace.Generator {
 	gens := make([]trace.Generator, len(m.Benchmarks))
+	if m.Traffic != nil {
+		streams := m.Traffic.streams()
+		for i := range gens {
+			gens[i] = trace.NewInterleaver(m.Name, streams, CoreBase(i),
+				float64(m.Traffic.SharedPct)/100, m.Traffic.SharedPages, CoreSeed(seed, i))
+		}
+		return gens
+	}
 	for i, b := range m.Benchmarks {
 		p := trace.MustProfile(b)
 		gens[i] = trace.NewSynthetic(p, CoreBase(i), CoreSeed(seed, i))
@@ -174,7 +191,7 @@ func ForCores(n int) ([]Mix, error) {
 
 // ByName looks a mix up by its identifier.
 func ByName(name string) (Mix, error) {
-	for _, tbl := range [][]Mix{quadMixes, eightMixes, sixteenMixes} {
+	for _, tbl := range [][]Mix{quadMixes, eightMixes, sixteenMixes, dcMixes} {
 		for _, m := range tbl {
 			if m.Name == name {
 				return m, nil
